@@ -1,0 +1,108 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section and prints them with the paper's reported
+// values side by side. Run with -quick for coarse DSE granularity.
+//
+//	go run ./cmd/experiments            # full granularity (~ a minute)
+//	go run ./cmd/experiments -quick     # coarse granularity (seconds)
+//	go run ./cmd/experiments -only fig11,table5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "coarse DSE granularity (faster, less optimal designs)")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig5,fig6,table2,table4,fig11,table5,fig12,table6,fig13,table7,ablation,headline,ablations,preference")
+	fig11CSV := flag.String("fig11-csv", "", "also export the Figure 11 design points as CSV to this file")
+	flag.Parse()
+
+	cfg := experiments.New()
+	if *quick {
+		cfg = experiments.NewQuick()
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	type step struct {
+		key string
+		run func() (fmt.Stringer, error)
+	}
+	steps := []step{
+		{"table1", func() (fmt.Stringer, error) { return experiments.TableI() }},
+		{"table2", func() (fmt.Stringer, error) { return str(experiments.TableII()), nil }},
+		{"table4", func() (fmt.Stringer, error) { return str(experiments.TableIV()), nil }},
+		{"fig2", func() (fmt.Stringer, error) { return cfg.Figure2() }},
+		{"fig5", func() (fmt.Stringer, error) { return cfg.Figure5() }},
+		{"fig6", func() (fmt.Stringer, error) { return cfg.Figure6() }},
+		{"fig11", func() (fmt.Stringer, error) {
+			r, err := cfg.Figure11()
+			if err != nil {
+				return nil, err
+			}
+			if *fig11CSV != "" {
+				f, err := os.Create(*fig11CSV)
+				if err != nil {
+					return nil, err
+				}
+				if err := experiments.WriteFigure11CSV(f, r); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := f.Close(); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "[fig11 CSV written to %s]\n", *fig11CSV)
+			}
+			return r, nil
+		}},
+		{"table5", func() (fmt.Stringer, error) { return cfg.TableV() }},
+		{"fig12", func() (fmt.Stringer, error) { return cfg.Figure12() }},
+		{"table6", func() (fmt.Stringer, error) { return cfg.TableVI() }},
+		{"fig13", func() (fmt.Stringer, error) { return cfg.Figure13() }},
+		{"table7", func() (fmt.Stringer, error) { return cfg.TableVII() }},
+		{"ablation", func() (fmt.Stringer, error) { return cfg.SchedulerAblation() }},
+		{"headline", func() (fmt.Stringer, error) { return cfg.Headline() }},
+		{"ablations", func() (fmt.Stringer, error) {
+			rep, err := cfg.AblationsReport()
+			return str(rep), err
+		}},
+		{"preference", func() (fmt.Stringer, error) {
+			rep, err := cfg.PreferenceReportString()
+			return str(rep), err
+		}},
+	}
+
+	start := time.Now()
+	for _, s := range steps {
+		if !selected(s.key) {
+			continue
+		}
+		t0 := time.Now()
+		r, err := s.run()
+		if err != nil {
+			log.Fatalf("%s: %v", s.key, err)
+		}
+		fmt.Println(r.String())
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", s.key, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "[all experiments in %v]\n", time.Since(start).Round(time.Millisecond))
+}
+
+// str adapts a plain string to fmt.Stringer.
+type str string
+
+func (s str) String() string { return string(s) }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	herald "repro"
+)
+
+func TestParseWorkload(t *testing.T) {
+	cases := map[string]int{ // name -> expected instances
+		"arvr-a":         10,
+		"ARVR-B":         12,
+		"mlperf":         5,
+		"mlperf8":        40,
+		"unet:3":         3,
+		"resnet50":       1,
+		"mobilenetv1:16": 16,
+	}
+	for name, want := range cases {
+		w, err := parseWorkload(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if w.NumInstances() != want {
+			t.Errorf("%s: %d instances, want %d", name, w.NumInstances(), want)
+		}
+	}
+	for _, bad := range []string{"vgg99", "unet:x", "unet:0"} {
+		if _, err := parseWorkload(bad); err == nil {
+			t.Errorf("%s: accepted", bad)
+		}
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	parts, err := parsePartition("nvdla:128:4, shi-diannao:896:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || parts[0].PEs != 128 || parts[1].BWGBps != 12 {
+		t.Errorf("parts = %+v", parts)
+	}
+	if parts[0].Style != herald.NVDLA || parts[1].Style != herald.ShiDiannao {
+		t.Error("styles wrong")
+	}
+	for _, bad := range []string{"nvdla:128", "tpu:128:4", "nvdla:x:4", "nvdla:128:y"} {
+		if _, err := parsePartition(bad); err == nil {
+			t.Errorf("%q: accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// AR/VR co-design: the paper's flagship use case. Herald co-optimizes
+// the hardware partitioning of a two-way NVDLA + Shi-diannao HDA
+// (Maelstrom) for the AR/VR-A workload on an edge-class accelerator,
+// then compares the optimized design against the best fixed dataflow
+// accelerator — the §V-B comparison for one scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	herald "repro"
+)
+
+func main() {
+	w := herald.ARVRA()
+	fmt.Printf("workload %s: %d model instances, %d layers, %.1f GMACs\n",
+		w.Name, w.NumInstances(), w.TotalLayers(), float64(w.TotalMACs())/1e9)
+
+	h := herald.NewFramework()
+
+	// Design-time mode: explore PE and bandwidth partitions.
+	design, err := h.CoDesign(herald.Edge, herald.MaelstromStyles(), w, 16, 8, herald.Exhaustive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHerald explored %d partitionings; optimized Maelstrom:\n  %v\n",
+		design.Explored, design.HDA)
+	fmt.Printf("  latency %.4f s, energy %.1f mJ, EDP %.4g J*s\n",
+		design.LatencySec, design.EnergyMJ, design.EDP)
+
+	// Baselines: the three monolithic FDAs.
+	fmt.Println("\nfixed dataflow accelerators on the same budget:")
+	var bestFDA herald.Eval
+	for _, style := range herald.AllStyles() {
+		e, err := h.EvalFDA(herald.Edge, style, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s latency %.4f s, energy %.1f mJ, EDP %.4g\n",
+			e.Name, e.LatencySec, e.EnergyMJ, e.EDP)
+		if bestFDA.Name == "" || e.EDP < bestFDA.EDP {
+			bestFDA = e
+		}
+	}
+
+	fmt.Printf("\nMaelstrom vs best FDA (%s):\n", bestFDA.Name)
+	fmt.Printf("  latency: %.1f%% lower\n", 100*(bestFDA.LatencySec-design.LatencySec)/bestFDA.LatencySec)
+	fmt.Printf("  EDP:     %.1f%% lower\n", 100*(bestFDA.EDP-design.EDP)/bestFDA.EDP)
+
+	// Where did the layers go? Per-sub-accelerator utilization.
+	fmt.Println("\nschedule utilization:")
+	for i, u := range design.Schedule.Utilization() {
+		sub := design.HDA.Subs[i]
+		fmt.Printf("  %-20s %5.1f%% busy (%d PEs, %g GB/s)\n", sub.Name, 100*u, sub.HW.PEs, sub.HW.BWGBps)
+	}
+	fmt.Printf("  peak shared-buffer occupancy: %.2f MiB of %d MiB\n",
+		float64(design.Schedule.PeakOccupancyBytes)/(1<<20), herald.Edge.GlobalBufBytes>>20)
+}

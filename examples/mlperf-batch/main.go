@@ -1,0 +1,50 @@
+// MLPerf batch-size study (Table VI): how the HDA's advantage over an
+// RDA changes with batch size on the mobile accelerator class. HDAs
+// feed on inter-model layer parallelism, so more concurrent streams
+// favor them; RDAs run one layer at a time however large the batch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	herald "repro"
+)
+
+func main() {
+	h := herald.NewFramework()
+	class := herald.Mobile
+
+	fmt.Printf("MLPerf multi-stream on the %s class (%d PEs)\n\n", class.Name, class.PEs)
+	fmt.Printf("%-6s %-28s %12s %12s\n", "batch", "organization", "latency (s)", "energy (mJ)")
+
+	for _, batch := range []int{1, 2, 4, 8} {
+		w := herald.MLPerf(batch)
+
+		design, err := h.CoDesign(class, herald.MaelstromStyles(), w, 16, 8, herald.Exhaustive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rda, err := h.EvalRDA(class, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var bestFDA herald.Eval
+		for _, style := range herald.AllStyles() {
+			e, err := h.EvalFDA(class, style, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bestFDA.Name == "" || e.EDP < bestFDA.EDP {
+				bestFDA = e
+			}
+		}
+
+		fmt.Printf("%-6d %-28s %12.4f %12.1f\n", batch, "HDA "+design.HDA.String(), design.LatencySec, design.EnergyMJ)
+		fmt.Printf("%-6s %-28s %12.4f %12.1f\n", "", "best FDA ("+bestFDA.Name+")", bestFDA.LatencySec, bestFDA.EnergyMJ)
+		fmt.Printf("%-6s %-28s %12.4f %12.1f\n", "", "RDA", rda.LatencySec, rda.EnergyMJ)
+		fmt.Printf("%-6s -> HDA vs RDA: latency %+.1f%%, energy %+.1f%%\n\n", "",
+			100*(rda.LatencySec-design.LatencySec)/rda.LatencySec,
+			100*(rda.EnergyMJ-design.EnergyMJ)/rda.EnergyMJ)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: estimate one model's cost on a fixed dataflow
+// accelerator, layer by layer, with the analytical cost model — the
+// smallest useful slice of the library (the Figure 2 experiment for a
+// single model/style pair).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	herald "repro"
+)
+
+func main() {
+	model, err := herald.ModelByName("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 256-PE NVDLA-style accelerator with 32 GB/s of NoC bandwidth
+	// and a 4 MiB global buffer (the Figure 2 configuration).
+	hw := herald.HW{PEs: 256, BWGBps: 32, L2Bytes: 4 << 20}
+	et := herald.DefaultEnergyTable()
+
+	fmt.Printf("%s on a %d-PE NVDLA-style FDA\n\n", model.Name, hw.PEs)
+	fmt.Printf("%-30s %12s %10s %8s\n", "layer", "cycles", "energy uJ", "util")
+
+	var totalCycles int64
+	var totalPJ float64
+	for i := range model.Layers {
+		l := &model.Layers[i]
+		cost := herald.EstimateLayer(l, herald.NVDLA, hw, et)
+		totalCycles += cost.Cycles
+		totalPJ += cost.EnergyPJ()
+		// Print a representative subset to keep the output readable.
+		if i < 5 || i >= model.NumLayers()-2 {
+			fmt.Printf("%-30s %12d %10.1f %7.1f%%\n",
+				l.Name, cost.Cycles, cost.EnergyPJ()/1e6, 100*cost.Mapping.Utilization)
+		} else if i == 5 {
+			fmt.Printf("%-30s\n", "...")
+		}
+	}
+
+	seconds := float64(totalCycles) / 1e9 // 1 GHz clock
+	fmt.Printf("\ntotal: %.3f ms, %.2f mJ, EDP %.4g J*s\n",
+		seconds*1e3, totalPJ*1e-9, totalPJ*1e-12*seconds)
+
+	// The same question for the other two dataflow styles — the
+	// dataflow-preference effect in one screenful.
+	for _, style := range []herald.Style{herald.ShiDiannao, herald.Eyeriss} {
+		var cyc int64
+		var pj float64
+		for i := range model.Layers {
+			c := herald.EstimateLayer(&model.Layers[i], style, hw, et)
+			cyc += c.Cycles
+			pj += c.EnergyPJ()
+		}
+		s := float64(cyc) / 1e9
+		fmt.Printf("%-12s: %.3f ms, %.2f mJ, EDP %.4g J*s\n", style, s*1e3, pj*1e-9, pj*1e-12*s)
+	}
+}

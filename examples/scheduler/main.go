@@ -1,0 +1,62 @@
+// Scheduler ablation (§V-B "Efficacy of Scheduling Algorithm"): the
+// same workload on the same Maelstrom design under Herald's scheduler
+// (preference assignment + load-balancing feedback + idle-time
+// post-processing) versus the naive greedy scheduler that always takes
+// the locally-best sub-accelerator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	herald "repro"
+)
+
+func main() {
+	w := herald.ARVRB()
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+
+	// A Maelstrom-style edge HDA (the Table V edge partition).
+	hda, err := herald.NewHDA("maelstrom-edge", herald.Edge, []herald.Partition{
+		{Style: herald.NVDLA, PEs: 128, BWGBps: 4},
+		{Style: herald.ShiDiannao, PEs: 896, BWGBps: 12},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, opts herald.SchedOptions) *herald.Schedule {
+		s, err := herald.NewScheduler(cache, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sch, err := s.Schedule(hda, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sch.Validate(); err != nil {
+			log.Fatalf("%s produced an invalid schedule: %v", name, err)
+		}
+		u := sch.Utilization()
+		fmt.Printf("%-8s latency %.4f s  energy %.1f mJ  EDP %.4g  busy [%.0f%% %.0f%%]  (%v)\n",
+			name, sch.LatencySeconds(1.0), sch.EnergyMJ(), sch.EDP(1.0),
+			100*u[0], 100*u[1], sch.SchedulingTime)
+		return sch
+	}
+
+	fmt.Printf("scheduling %s (%d layers) on %v\n\n", w.Name, w.TotalLayers(), hda)
+	hs := run("herald", herald.DefaultSchedOptions())
+	gs := run("greedy", herald.GreedySchedOptions())
+
+	fmt.Printf("\nHerald scheduler EDP reduction vs greedy: %.1f%% (paper reports 24.1%% on average)\n",
+		100*(gs.EDP(1.0)-hs.EDP(1.0))/gs.EDP(1.0))
+
+	// Show the effect of the scheduler's individual features.
+	noPost := herald.DefaultSchedOptions()
+	noPost.PostProcess = false
+	run("no-post", noPost)
+
+	depth := herald.DefaultSchedOptions()
+	depth.Ordering = herald.DepthFirst
+	run("depth1st", depth)
+}

@@ -1,0 +1,51 @@
+// Workload-change robustness (Figure 13): an HDA is fixed silicon —
+// what happens when the deployed workload is not the one it was
+// optimized for? Herald's compile-time mode re-schedules the new
+// workload on the old design, and we measure the penalty against a
+// design optimized for the new workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	herald "repro"
+)
+
+func main() {
+	h := herald.NewFramework()
+	class := herald.Mobile
+
+	a := herald.ARVRA()
+	b := herald.ARVRB()
+
+	// Design for AR/VR-A.
+	designA, err := h.CoDesign(class, herald.MaelstromStyles(), a, 16, 8, herald.Exhaustive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HDA-A (optimized for %s): %v\n", a.Name, designA.HDA)
+	fmt.Printf("  on %s: latency %.4f s, energy %.1f mJ\n", a.Name, designA.LatencySec, designA.EnergyMJ)
+
+	// The workload changes after deployment: re-schedule only.
+	schB, err := h.Compile(designA.HDA, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  on %s (rescheduled): latency %.4f s, energy %.1f mJ\n",
+		b.Name, schB.LatencySeconds(1.0), schB.EnergyMJ())
+
+	// Reference: the design Herald would have chosen for AR/VR-B.
+	designB, err := h.CoDesign(class, herald.MaelstromStyles(), b, 16, 8, herald.Exhaustive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HDA-B (optimized for %s): %v\n", b.Name, designB.HDA)
+	fmt.Printf("  on %s: latency %.4f s, energy %.1f mJ\n", b.Name, designB.LatencySec, designB.EnergyMJ)
+
+	latPen := 100 * (schB.LatencySeconds(1.0) - designB.LatencySec) / designB.LatencySec
+	ePen := 100 * (schB.EnergyMJ() - designB.EnergyMJ) / designB.EnergyMJ
+	fmt.Printf("\nmismatch penalty of running %s on HDA-A instead of HDA-B:\n", b.Name)
+	fmt.Printf("  latency %+.1f%%, energy %+.1f%%\n", latPen, ePen)
+	fmt.Println("(the paper reports small penalties on average — HDAs are robust to workload change)")
+}

@@ -1,0 +1,323 @@
+// Package herald is a from-scratch Go reproduction of
+//
+//	Kwon, Lai, Pellauer, Krishna, Chen, Chandra.
+//	"Heterogeneous Dataflow Accelerators for Multi-DNN Workloads."
+//	HPCA 2021 (arXiv:1909.07437).
+//
+// It provides the complete system the paper describes: a MAESTRO-style
+// analytical cost model for DNN accelerators, the three fixed dataflow
+// styles the paper evaluates (NVDLA, Shi-diannao, Eyeriss), the four
+// accelerator organizations (FDA, SM-FDA, RDA, HDA), the Herald layer
+// scheduler with load balancing and idle-time post-processing, and the
+// hardware/schedule co-design-space exploration that identifies the
+// Maelstrom architecture — plus a benchmark harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	h := herald.NewFramework()
+//	design, err := h.CoDesign(herald.Edge, herald.MaelstromStyles(),
+//	    herald.ARVRA(), 16, 8, herald.Exhaustive)
+//	if err != nil { ... }
+//	fmt.Println(design.HDA)           // optimized PE/BW partitioning
+//	fmt.Println(design.LatencySec)    // expected latency
+//	fmt.Println(design.EnergyMJ)      // expected energy
+//
+// The package is a facade over the internal packages; every exported
+// name maps one-to-one onto a concept in the paper.
+package herald
+
+import (
+	"io"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+	"repro/internal/dse"
+	"repro/internal/energy"
+	"repro/internal/maestro"
+	"repro/internal/refsim"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DNN workload substrate (Table I / Table II).
+type (
+	// Layer is one DNN layer shape (K,C,Y,X,R,S + operator).
+	Layer = dnn.Layer
+	// Op is a layer operator type (CONV2D, PWCONV, DWCONV, FC, UPCONV).
+	Op = dnn.Op
+	// Model is an ordered list of layers with a linear dependence chain.
+	Model = dnn.Model
+	// Workload is a multi-DNN workload: model instances × batches.
+	Workload = workload.Workload
+	// WorkloadEntry requests batches of one zoo model.
+	WorkloadEntry = workload.Entry
+)
+
+// Layer operator constants.
+const (
+	Conv2D = dnn.Conv2D
+	PWConv = dnn.PWConv
+	DWConv = dnn.DWConv
+	FC     = dnn.FC
+	UpConv = dnn.UpConv
+)
+
+// Dataflows and mappings (§II-B, Fig. 4).
+type (
+	// Style is a fixed dataflow style.
+	Style = dataflow.Style
+	// Mapping is a dataflow instantiated for one layer on one array.
+	Mapping = dataflow.Mapping
+)
+
+// The three dataflow styles of the evaluation.
+const (
+	NVDLA      = dataflow.NVDLA
+	ShiDiannao = dataflow.ShiDiannao
+	Eyeriss    = dataflow.Eyeriss
+)
+
+// Cost model (§IV-B).
+type (
+	// HW describes one (sub-)accelerator substrate.
+	HW = maestro.HW
+	// Cost is an estimated layer execution cost.
+	Cost = maestro.Cost
+	// CostCache memoizes cost queries.
+	CostCache = maestro.Cache
+	// EnergyTable holds per-access energies.
+	EnergyTable = energy.Table
+)
+
+// Accelerator organizations (Table III / Table IV).
+type (
+	// Class is an accelerator resource budget (edge/mobile/cloud).
+	Class = accel.Class
+	// HDA is a heterogeneous dataflow accelerator (Definition 1);
+	// FDAs and SM-FDAs are degenerate HDAs.
+	HDA = accel.HDA
+	// Partition assigns one sub-accelerator its style and resources.
+	Partition = accel.Partition
+	// RDA is a MAERI-style reconfigurable dataflow accelerator.
+	RDA = accel.RDA
+)
+
+// The Table IV accelerator classes.
+var (
+	Edge   = accel.Edge
+	Mobile = accel.Mobile
+	Cloud  = accel.Cloud
+)
+
+// Scheduling (§IV-D).
+type (
+	// Schedule is a layer execution schedule with aggregate costs.
+	Schedule = sched.Schedule
+	// SchedOptions configures the Herald scheduler.
+	SchedOptions = sched.Options
+	// Scheduler generates schedules for HDAs.
+	Scheduler = sched.Scheduler
+	// Metric selects the per-layer preference metric.
+	Metric = sched.Metric
+	// Ordering selects the initial layer ordering heuristic.
+	Ordering = sched.Ordering
+)
+
+// Scheduler metric and ordering constants.
+const (
+	MetricEDP     = sched.MetricEDP
+	MetricLatency = sched.MetricLatency
+	MetricEnergy  = sched.MetricEnergy
+	BreadthFirst  = sched.BreadthFirst
+	DepthFirst    = sched.DepthFirst
+)
+
+// Design space exploration (§IV-C).
+type (
+	// SearchSpace is a partitioning design space.
+	SearchSpace = dse.Space
+	// SearchStrategy selects exhaustive/binary/random search.
+	SearchStrategy = dse.Strategy
+	// DesignPoint is one evaluated partition.
+	DesignPoint = dse.Point
+)
+
+// Search strategies.
+const (
+	Exhaustive = dse.Exhaustive
+	Binary     = dse.Binary
+	Random     = dse.Random
+)
+
+// SearchObjective selects what a search's Best point minimizes.
+type SearchObjective = dse.Objective
+
+// Search objectives (§IV-D: "users can select the metric").
+const (
+	ObjectiveEDP     = dse.ObjectiveEDP
+	ObjectiveLatency = dse.ObjectiveLatency
+	ObjectiveEnergy  = dse.ObjectiveEnergy
+)
+
+// Framework is Herald itself: the co-optimizer of hardware resource
+// partitioning and layer execution scheduling (§IV, Fig. 10).
+type Framework = core.Herald
+
+// Design is a co-optimized HDA design point (Fig. 10 outputs).
+type Design = core.Design
+
+// Eval is a uniform latency/energy/EDP summary.
+type Eval = core.Eval
+
+// NewFramework returns a Herald framework with the default 28 nm
+// energy table and scheduler options.
+func NewFramework() *Framework { return core.Default() }
+
+// NewFrameworkWith returns a Herald framework with custom energy and
+// scheduler configurations.
+func NewFrameworkWith(et EnergyTable, opts SchedOptions) (*Framework, error) {
+	return core.New(et, opts)
+}
+
+// DefaultEnergyTable returns the 28 nm Eyeriss-ratio energy table.
+func DefaultEnergyTable() EnergyTable { return energy.Default28nm() }
+
+// DefaultSchedOptions returns Herald's standard scheduler options.
+func DefaultSchedOptions() SchedOptions { return sched.DefaultOptions() }
+
+// GreedySchedOptions returns the naive greedy baseline scheduler.
+func GreedySchedOptions() SchedOptions { return sched.GreedyOptions() }
+
+// ModelByName returns a model from the zoo (resnet50, mobilenetv1,
+// mobilenetv2, unet, brq-handpose, fl-depthnet, ssd-resnet34,
+// ssd-mobilenetv1, gnmt).
+func ModelByName(name string) (*Model, error) { return dnn.ByName(name) }
+
+// ModelNames lists the zoo.
+func ModelNames() []string { return dnn.Names() }
+
+// AllStyles returns the three evaluated dataflow styles.
+func AllStyles() []Style { return dataflow.AllStyles() }
+
+// MaelstromStyles returns the NVDLA + Shi-diannao pair of the paper's
+// identified architecture.
+func MaelstromStyles() []Style { return []Style{NVDLA, ShiDiannao} }
+
+// ParseStyle resolves a dataflow style by name.
+func ParseStyle(name string) (Style, error) { return dataflow.ParseStyle(name) }
+
+// ParseClass resolves an accelerator class by name.
+func ParseClass(name string) (Class, error) { return accel.ParseClass(name) }
+
+// Classes returns the three Table IV accelerator classes.
+func Classes() []Class { return accel.Classes() }
+
+// ARVRA returns the AR/VR-A workload of Table II.
+func ARVRA() *Workload { return workload.ARVRA() }
+
+// ARVRB returns the AR/VR-B workload of Table II.
+func ARVRB() *Workload { return workload.ARVRB() }
+
+// MLPerf returns the MLPerf multi-stream workload of Table II at the
+// given per-model batch count.
+func MLPerf(batches int) *Workload { return workload.MLPerf(batches) }
+
+// SingleDNN returns a single-model workload (Fig. 12's case study).
+func SingleDNN(model string, batches int) (*Workload, error) {
+	return workload.SingleDNN(model, batches)
+}
+
+// NewWorkload builds a custom workload from zoo entries.
+func NewWorkload(name string, entries []WorkloadEntry) (*Workload, error) {
+	return workload.New(name, entries)
+}
+
+// NewHDA builds an HDA from explicit partitions (Definition 1).
+func NewHDA(name string, class Class, parts []Partition) (*HDA, error) {
+	return accel.New(name, class, parts)
+}
+
+// NewFDA builds a monolithic fixed-dataflow accelerator.
+func NewFDA(class Class, style Style) (*HDA, error) { return accel.NewFDA(class, style) }
+
+// NewSMFDA builds a scaled-out multi-FDA with n equal sub-accelerators.
+func NewSMFDA(class Class, style Style, n int) (*HDA, error) {
+	return accel.NewSMFDA(class, style, n)
+}
+
+// NewRDA builds a MAERI-style reconfigurable accelerator with the
+// paper-calibrated flexibility taxes.
+func NewRDA(class Class) (*RDA, error) { return accel.NewRDA(class) }
+
+// NewScheduler returns a Herald scheduler over a cost cache.
+func NewScheduler(cache *CostCache, opts SchedOptions) (*Scheduler, error) {
+	return sched.New(cache, opts)
+}
+
+// NewCostCache returns a memoizing cost-model cache.
+func NewCostCache(et EnergyTable) *CostCache { return maestro.NewCache(et) }
+
+// EstimateLayer runs the analytical cost model for one layer on one
+// substrate under one dataflow style.
+func EstimateLayer(l *Layer, style Style, hw HW, et EnergyTable) Cost {
+	return maestro.Estimate(l, style, hw, et)
+}
+
+// Search explores a partitioning space for a workload.
+func Search(cache *CostCache, space SearchSpace, w *Workload, opts SearchOptions) (*SearchResult, error) {
+	return dse.Search(cache, space, w, opts)
+}
+
+// SearchOptions configures a DSE run.
+type SearchOptions = dse.Options
+
+// SearchResult is a DSE outcome (cloud, Pareto front, best point).
+type SearchResult = dse.Result
+
+// DefaultSearchOptions returns an exhaustive search with default
+// scheduling.
+func DefaultSearchOptions() SearchOptions { return dse.DefaultOptions() }
+
+// --- Schedule inspection and export (internal/trace) ---
+
+// Gantt renders a schedule as a text Gantt chart, one lane per
+// sub-accelerator.
+func Gantt(s *Schedule, width int) string { return trace.Gantt(s, width) }
+
+// InstanceSummary is the per-model-instance completion view of a
+// schedule.
+type InstanceSummary = trace.InstanceSummary
+
+// ScheduleInstances summarizes per-instance completion times — the
+// per-subtask latencies an AR/VR integrator reads off a schedule.
+func ScheduleInstances(s *Schedule) []InstanceSummary { return trace.Instances(s) }
+
+// WriteScheduleCSV dumps every assignment of a schedule as CSV.
+func WriteScheduleCSV(w io.Writer, s *Schedule) error { return trace.WriteCSV(w, s) }
+
+// WriteScheduleJSON dumps a schedule as indented JSON.
+func WriteScheduleJSON(w io.Writer, s *Schedule) error { return trace.WriteJSON(w, s) }
+
+// OccupancySample is one point of the shared-buffer occupancy
+// timeline.
+type OccupancySample = trace.Sample
+
+// OccupancyTimeline returns the global-buffer occupancy step function
+// of a schedule.
+func OccupancyTimeline(s *Schedule) []OccupancySample { return trace.OccupancyTimeline(s) }
+
+// --- Cost-model validation (internal/refsim) ---
+
+// SimResult is a tile-level reference-simulation measurement.
+type SimResult = refsim.Result
+
+// SimulateLayer walks the tiled loop nest of a (layer, style, array)
+// mapping cycle group by cycle group — the reference the analytical
+// model is validated against.
+func SimulateLayer(style Style, l *Layer, pes int) SimResult {
+	return refsim.Simulate(style, l, pes)
+}

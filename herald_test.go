@@ -1,0 +1,102 @@
+package herald
+
+import (
+	"testing"
+)
+
+// TestPublicAPISurface exercises the facade end to end: build a model,
+// an HDA, a schedule, and a small co-design through exported names
+// only.
+func TestPublicAPISurface(t *testing.T) {
+	// The paper's nine evaluated networks plus the variant extensions
+	// (ResNet18/34, VGG16, width-scaled MobileNets).
+	if len(ModelNames()) != 15 {
+		t.Errorf("zoo size = %d, want 15", len(ModelNames()))
+	}
+	m, err := ModelByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLayers() != 54 {
+		t.Errorf("resnet50 layers = %d", m.NumLayers())
+	}
+
+	fda, err := NewFDA(Edge, NVDLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCostCache(DefaultEnergyTable())
+	s, err := NewScheduler(cache, DefaultSchedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SingleDNN("mobilenetv1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := s.Schedule(fda, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	hda, err := NewHDA("m", Edge, []Partition{
+		{Style: NVDLA, PEs: 512, BWGBps: 8},
+		{Style: ShiDiannao, PEs: 512, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewFramework()
+	e, err := h.EvalHDA(hda, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.EDP <= 0 {
+		t.Error("EDP not computed")
+	}
+
+	d, err := h.CoDesign(Edge, MaelstromStyles(), w, 8, 4, Exhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Explored != 21 {
+		t.Errorf("explored %d, want 21", d.Explored)
+	}
+
+	rda, err := NewRDA(Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &m.Layers[0]
+	cost, style := rda.LayerCost(cache, l)
+	if cost.Cycles <= 0 || !style.Valid() {
+		t.Error("RDA layer cost incomplete")
+	}
+
+	if _, err := ParseStyle("nvdla"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseClass("mobile"); err != nil {
+		t.Error(err)
+	}
+	if got := len(Classes()); got != 3 {
+		t.Errorf("classes = %d", got)
+	}
+	if got := len(AllStyles()); got != 3 {
+		t.Errorf("styles = %d", got)
+	}
+	if ARVRA().NumInstances() != 10 || ARVRB().NumInstances() != 12 || MLPerf(1).NumInstances() != 5 {
+		t.Error("workload construction broken")
+	}
+}
+
+func TestEstimateLayerFacade(t *testing.T) {
+	l := Layer{Op: Conv2D, K: 64, C: 64, Y: 56, X: 56, R: 3, S: 3, Stride: 1, Pad: 1}
+	c := EstimateLayer(&l, ShiDiannao, HW{PEs: 256, BWGBps: 32, L2Bytes: 4 << 20}, DefaultEnergyTable())
+	if c.Cycles <= 0 || c.EnergyPJ() <= 0 {
+		t.Error("cost incomplete")
+	}
+}

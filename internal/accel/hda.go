@@ -1,0 +1,150 @@
+package accel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/maestro"
+)
+
+// Partition assigns one sub-accelerator its dataflow style and resource
+// shares — one (δi, Ni, BWi) triple of Definition 1.
+type Partition struct {
+	Style  dataflow.Style
+	PEs    int
+	BWGBps float64
+}
+
+// HDA is a heterogeneous dataflow accelerator: sub-accelerators with
+// (potentially) different dataflow styles sharing a global buffer and
+// a hard-partitioned global NoC (Definition 1). FDAs and SM-FDAs are
+// represented as degenerate HDAs (one sub-accelerator, or n identical
+// ones), which lets the scheduler and DSE treat all organizations
+// uniformly.
+type HDA struct {
+	Name  string
+	Class Class
+	Subs  []SubAccelerator
+}
+
+// SubAccelerator is one fixed-dataflow substrate inside an HDA.
+type SubAccelerator struct {
+	Name  string
+	Style dataflow.Style
+	HW    maestro.HW
+}
+
+// New builds an HDA over the given class from explicit partitions,
+// enforcing Definition 1: ΣNi = N_PE and ΣBWi = BW_G. The global
+// scratchpad is shared (time-multiplexed) across sub-accelerators
+// (§III-C), so every substrate sees the full buffer for residency
+// decisions while the scheduler enforces the total-occupancy
+// constraint across concurrently-running layers.
+func New(name string, class Class, parts []Partition) (*HDA, error) {
+	if err := class.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("accel: HDA %q needs at least one sub-accelerator", name)
+	}
+	var sumPE int
+	var sumBW float64
+	for i, p := range parts {
+		if !p.Style.Valid() {
+			return nil, fmt.Errorf("accel: HDA %q partition %d: invalid style", name, i)
+		}
+		if p.PEs < 1 {
+			return nil, fmt.Errorf("accel: HDA %q partition %d: PEs must be >= 1 (got %d)", name, i, p.PEs)
+		}
+		if p.BWGBps <= 0 {
+			return nil, fmt.Errorf("accel: HDA %q partition %d: bandwidth must be positive (got %g)", name, i, p.BWGBps)
+		}
+		sumPE += p.PEs
+		sumBW += p.BWGBps
+	}
+	if sumPE != class.PEs {
+		return nil, fmt.Errorf("accel: HDA %q: PE partition sums to %d, class %q has %d (Definition 1)",
+			name, sumPE, class.Name, class.PEs)
+	}
+	if diff := sumBW - class.BWGBps; diff > 1e-9 || diff < -1e-9 {
+		return nil, fmt.Errorf("accel: HDA %q: bandwidth partition sums to %g, class %q has %g (Definition 1)",
+			name, sumBW, class.Name, class.BWGBps)
+	}
+
+	h := &HDA{Name: name, Class: class, Subs: make([]SubAccelerator, len(parts))}
+	for i, p := range parts {
+		h.Subs[i] = SubAccelerator{
+			Name:  fmt.Sprintf("acc%d-%s", i+1, p.Style),
+			Style: p.Style,
+			HW: maestro.HW{
+				PEs:     p.PEs,
+				BWGBps:  p.BWGBps,
+				L2Bytes: class.GlobalBufBytes,
+			},
+		}
+	}
+	return h, nil
+}
+
+// NewFDA builds a monolithic fixed-dataflow accelerator: one
+// sub-accelerator holding the entire class budget.
+func NewFDA(class Class, style dataflow.Style) (*HDA, error) {
+	return New("fda-"+style.String(), class,
+		[]Partition{{Style: style, PEs: class.PEs, BWGBps: class.BWGBps}})
+}
+
+// NewSMFDA builds a scaled-out multi-FDA (Baek et al.): n identical
+// sub-accelerators running the same dataflow with evenly partitioned
+// resources.
+func NewSMFDA(class Class, style dataflow.Style, n int) (*HDA, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("accel: SM-FDA needs n >= 1 (got %d)", n)
+	}
+	if class.PEs%n != 0 {
+		return nil, fmt.Errorf("accel: SM-FDA: %d PEs not divisible by %d", class.PEs, n)
+	}
+	parts := make([]Partition, n)
+	for i := range parts {
+		parts[i] = Partition{Style: style, PEs: class.PEs / n, BWGBps: class.BWGBps / float64(n)}
+	}
+	return New(fmt.Sprintf("smfda-%dx%s", n, style), class, parts)
+}
+
+// NumSubs returns the number of sub-accelerators.
+func (h *HDA) NumSubs() int { return len(h.Subs) }
+
+// Styles returns the per-sub-accelerator dataflow styles.
+func (h *HDA) Styles() []dataflow.Style {
+	out := make([]dataflow.Style, len(h.Subs))
+	for i := range h.Subs {
+		out[i] = h.Subs[i].Style
+	}
+	return out
+}
+
+// Heterogeneous reports whether the HDA combines at least two distinct
+// dataflow styles (a true HDA rather than an FDA/SM-FDA).
+func (h *HDA) Heterogeneous() bool {
+	for i := 1; i < len(h.Subs); i++ {
+		if h.Subs[i].Style != h.Subs[0].Style {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the partitioning compactly, e.g.
+// "maelstrom[cloud]{NVDLA:9728PE/224GBps + Shi-diannao:6656PE/32GBps}".
+func (h *HDA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s]{", h.Name, h.Class.Name)
+	for i, s := range h.Subs {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%s:%dPE/%gGBps", s.Style, s.HW.PEs, s.HW.BWGBps)
+	}
+	b.WriteString("}")
+	return b.String()
+}

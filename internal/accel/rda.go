@@ -1,0 +1,109 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+	"repro/internal/maestro"
+)
+
+// RDA energy/latency overhead defaults. The paper measured MAERI at
+// 11.7% more energy on average than an NVDLA-style FDA (§I), from the
+// switches, fat-tree interconnect and reconfiguration controller; and
+// notes that per-layer reconfiguration "adds additional latency and
+// power costs at the end of each layer" (§I). The reconfiguration
+// latency scales with the number of switches, i.e. with the PE count.
+const (
+	// DefaultRDAEnergyOverhead multiplies every energy component of a
+	// layer executed on the RDA.
+	DefaultRDAEnergyOverhead = 1.117
+	// DefaultReconfigCyclesPerPE: configuration bits are distributed
+	// through the tree once per layer.
+	DefaultReconfigCyclesPerPE = 2
+	// DefaultReconfigPJPerPE: energy to drive the configuration
+	// distribution network once per layer.
+	DefaultReconfigPJPerPE = 50
+)
+
+// RDA models a MAERI-style reconfigurable dataflow accelerator: the
+// full class budget on one substrate that can adopt, per layer, any of
+// the evaluated dataflow styles. Flexibility costs a constant energy
+// factor on all activity plus a per-layer reconfiguration penalty.
+// Like FDAs, an RDA runs one layer at a time (§III-B).
+type RDA struct {
+	Name  string
+	Class Class
+
+	// EnergyOverhead multiplies layer energy (>= 1).
+	EnergyOverhead float64
+	// ReconfigCycles / ReconfigPJ are charged once per layer.
+	ReconfigCycles int64
+	ReconfigPJ     float64
+
+	hw maestro.HW
+}
+
+// NewRDA builds an RDA over the class with the paper-calibrated
+// overhead defaults.
+func NewRDA(class Class) (*RDA, error) {
+	if err := class.Validate(); err != nil {
+		return nil, err
+	}
+	return &RDA{
+		Name:           "rda-maeri",
+		Class:          class,
+		EnergyOverhead: DefaultRDAEnergyOverhead,
+		ReconfigCycles: int64(DefaultReconfigCyclesPerPE) * int64(class.PEs),
+		ReconfigPJ:     DefaultReconfigPJPerPE * float64(class.PEs),
+		hw: maestro.HW{
+			PEs:     class.PEs,
+			BWGBps:  class.BWGBps,
+			L2Bytes: class.GlobalBufBytes,
+		},
+	}, nil
+}
+
+// HW returns the RDA's monolithic substrate description.
+func (r *RDA) HW() maestro.HW { return r.hw }
+
+// LayerCost evaluates the layer under every dataflow style on the full
+// substrate and returns the cost of the best mapping with the RDA's
+// flexibility taxes applied, along with the chosen style. "Best"
+// minimizes latency (EDP as tie-break): RDAs reconfigure per layer for
+// throughput, which is why the paper finds them latency-optimal but
+// energy-expensive relative to HDAs (§V-B).
+func (r *RDA) LayerCost(cache *maestro.Cache, l *dnn.Layer) (maestro.Cost, dataflow.Style) {
+	var best maestro.Cost
+	var bestStyle dataflow.Style
+	first := true
+	for _, s := range dataflow.AllStyles() {
+		c := cache.Estimate(l, s, r.hw)
+		better := first || c.Cycles < best.Cycles ||
+			(c.Cycles == best.Cycles && c.EDP(1.0) < best.EDP(1.0))
+		if better {
+			best, bestStyle, first = c, s, false
+		}
+	}
+	// Flexibility taxes: energy factor on all activity, plus the
+	// per-layer reconfiguration latency and energy.
+	best.Cycles += r.ReconfigCycles
+	best.Energy.MAC *= r.EnergyOverhead
+	best.Energy.RF *= r.EnergyOverhead
+	best.Energy.NoC *= r.EnergyOverhead
+	best.Energy.Buffer *= r.EnergyOverhead
+	best.Energy.DRAM *= r.EnergyOverhead
+	best.Energy.Context += r.ReconfigPJ
+	return best, bestStyle
+}
+
+// Validate checks the RDA's configuration.
+func (r *RDA) Validate() error {
+	if r.EnergyOverhead < 1 {
+		return fmt.Errorf("accel: RDA %q: energy overhead must be >= 1 (got %g)", r.Name, r.EnergyOverhead)
+	}
+	if r.ReconfigCycles < 0 || r.ReconfigPJ < 0 {
+		return fmt.Errorf("accel: RDA %q: reconfiguration penalties must be >= 0", r.Name)
+	}
+	return r.Class.Validate()
+}

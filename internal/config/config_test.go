@@ -1,0 +1,128 @@
+package config
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `{
+  "class": "edge",
+  "partitions": [
+    {"style": "nvdla", "pes": 128, "bw_gbps": 4},
+    {"style": "shi-diannao", "pes": 896, "bw_gbps": 12}
+  ],
+  "workload": {
+    "name": "custom-arvr",
+    "entries": [
+      {"model": "unet", "batches": 2},
+      {"model": "mobilenetv2", "batches": 1}
+    ]
+  }
+}`
+
+func TestReadValid(t *testing.T) {
+	f, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := f.BuildClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class.Name != "edge" || class.PEs != 1024 {
+		t.Errorf("class = %+v", class)
+	}
+	w, err := f.BuildWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom-arvr" || w.NumInstances() != 3 {
+		t.Errorf("workload = %s, %d instances", w.Name, w.NumInstances())
+	}
+	hda, err := f.BuildHDA("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hda.NumSubs() != 2 || !hda.Heterogeneous() {
+		t.Errorf("hda = %v", hda)
+	}
+}
+
+func TestCustomClass(t *testing.T) {
+	doc := `{
+	  "custom_class": {"name": "tiny", "pes": 256, "bw_gbps": 8, "global_buf_mib": 2},
+	  "workload": {"entries": [{"model": "mobilenetv1", "batches": 1}]}
+	}`
+	f, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := f.BuildClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class.PEs != 256 || class.GlobalBufBytes != 2<<20 {
+		t.Errorf("class = %+v", class)
+	}
+}
+
+func TestReadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"classs": "edge", "workload": {"entries": [{"model": "unet", "batches": 1}]}}`,
+		"no class":      `{"workload": {"entries": [{"model": "unet", "batches": 1}]}}`,
+		"no entries":    `{"class": "edge", "workload": {"entries": []}}`,
+		"bad model":     `{"class": "edge", "workload": {"entries": [{"model": "vgg99", "batches": 1}]}}`,
+		"bad style": `{"class": "edge",
+			"partitions": [{"style": "tpu", "pes": 1024, "bw_gbps": 16}],
+			"workload": {"entries": [{"model": "unet", "batches": 1}]}}`,
+		"bad partition sum": `{"class": "edge",
+			"partitions": [{"style": "nvdla", "pes": 100, "bw_gbps": 16}],
+			"workload": {"entries": [{"model": "unet", "batches": 1}]}}`,
+		"bad class": `{"class": "datacenter", "workload": {"entries": [{"model": "unet", "batches": 1}]}}`,
+		"not json":  `hello`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted invalid document", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Class != f.Class || len(f2.Partitions) != len(f.Partitions) {
+		t.Error("round trip changed the document")
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Class != "edge" {
+		t.Error("load mismatch")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

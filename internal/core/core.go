@@ -1,0 +1,212 @@
+// Package core is Herald itself — the paper's primary contribution:
+// a framework that co-optimizes hardware resource partitioning across
+// HDA sub-accelerators and the layer execution schedule for a given
+// multi-DNN workload (§IV, Fig. 10).
+//
+// The framework operates in the two modes the paper describes:
+//
+//   - CoDesign ("used by architects at design time by running (i) and
+//     (ii) together"): searches PE/bandwidth partitions for a style
+//     combination, scheduling the workload on every candidate, and
+//     returns the optimized design with its schedule.
+//   - Compile ("used by compilers as a scheduler by running (ii) at
+//     compile time"): schedules a workload on an already-fixed HDA.
+//
+// It also evaluates the paper's comparison organizations (FDA, SM-FDA,
+// RDA) under the same cost model so experiments can place every point
+// of Fig. 11 on one chart.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/dse"
+	"repro/internal/energy"
+	"repro/internal/maestro"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Herald bundles the cost model and scheduler configuration shared by
+// every operation. A single Herald (and its cache) should be reused
+// across experiments — the cost cache is what makes full-paper
+// reproduction fast.
+type Herald struct {
+	cache *maestro.Cache
+	opts  sched.Options
+}
+
+// New returns a Herald over a fresh cost cache with the given
+// scheduler options.
+func New(et energy.Table, opts sched.Options) (*Herald, error) {
+	if err := et.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Herald{cache: maestro.NewCache(et), opts: opts}, nil
+}
+
+// Default returns a Herald with the 28 nm energy table and default
+// scheduler options.
+func Default() *Herald {
+	h, err := New(energy.Default28nm(), sched.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Cache exposes the shared cost cache (for callers composing their own
+// evaluations, e.g. RDA comparisons).
+func (h *Herald) Cache() *maestro.Cache { return h.cache }
+
+// SchedOptions returns the scheduler configuration.
+func (h *Herald) SchedOptions() sched.Options { return h.opts }
+
+// Design is a co-optimized HDA design point: the Fig. 10 output
+// (optimized partitioning + optimized schedule + expected costs).
+type Design struct {
+	HDA      *accel.HDA
+	Schedule *sched.Schedule
+
+	LatencySec float64
+	EnergyMJ   float64
+	EDP        float64
+
+	// Explored is the number of design points evaluated.
+	Explored int
+	// Pareto is the latency-energy front over the explored cloud.
+	Pareto []dse.Point
+	// Cloud is every explored point (Fig. 6 / Fig. 11 raw data).
+	Cloud []dse.Point
+}
+
+// CoDesign searches the partition space of the given class and style
+// combination for workload w (design-time mode). Granularities of 0
+// select the dse defaults.
+func (h *Herald) CoDesign(class accel.Class, styles []dataflow.Style, w *workload.Workload, peUnits, bwUnits int, strategy dse.Strategy) (*Design, error) {
+	sp := dse.Space{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
+	opts := dse.Options{Strategy: strategy, Sched: h.opts}
+	res, err := dse.Search(h.cache, sp, w, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: co-design failed: %w", err)
+	}
+	best := res.Best
+	return &Design{
+		HDA:        best.HDA,
+		Schedule:   best.Schedule,
+		LatencySec: best.LatencySec,
+		EnergyMJ:   best.EnergyMJ,
+		EDP:        best.EDP,
+		Explored:   len(res.Points),
+		Pareto:     res.Pareto,
+		Cloud:      res.Points,
+	}, nil
+}
+
+// Compile schedules workload w on a fixed HDA (compile-time mode).
+func (h *Herald) Compile(hda *accel.HDA, w *workload.Workload) (*sched.Schedule, error) {
+	s := sched.MustNew(h.cache, h.opts)
+	return s.Schedule(hda, w)
+}
+
+// Eval is a uniform latency/energy/EDP triple for any accelerator
+// organization, at the 1 GHz reference clock.
+type Eval struct {
+	Name       string
+	LatencySec float64
+	EnergyMJ   float64
+	EDP        float64
+}
+
+// EvalHDA schedules w on an HDA (or FDA/SM-FDA represented as one) and
+// summarizes it.
+func (h *Herald) EvalHDA(hda *accel.HDA, w *workload.Workload) (Eval, error) {
+	schd, err := h.Compile(hda, w)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{
+		Name:       hda.Name,
+		LatencySec: schd.LatencySeconds(1.0),
+		EnergyMJ:   schd.EnergyMJ(),
+		EDP:        schd.EDP(1.0),
+	}, nil
+}
+
+// EvalFDA builds and evaluates a monolithic FDA of the given style.
+func (h *Herald) EvalFDA(class accel.Class, style dataflow.Style, w *workload.Workload) (Eval, error) {
+	fda, err := accel.NewFDA(class, style)
+	if err != nil {
+		return Eval{}, err
+	}
+	return h.EvalHDA(fda, w)
+}
+
+// BestFDA evaluates all dataflow styles as monolithic FDAs and returns
+// the one with the lowest EDP (the paper's "best FDA" baseline).
+func (h *Herald) BestFDA(class accel.Class, w *workload.Workload) (Eval, error) {
+	var best Eval
+	first := true
+	for _, s := range dataflow.AllStyles() {
+		e, err := h.EvalFDA(class, s, w)
+		if err != nil {
+			return Eval{}, err
+		}
+		if first || e.EDP < best.EDP {
+			best, first = e, false
+		}
+	}
+	return best, nil
+}
+
+// BestSMFDA evaluates 2-way scaled-out multi-FDAs of every style and
+// returns the lowest-EDP one (the SM-FDA baseline of Table III).
+func (h *Herald) BestSMFDA(class accel.Class, w *workload.Workload, n int) (Eval, error) {
+	var best Eval
+	first := true
+	for _, s := range dataflow.AllStyles() {
+		sm, err := accel.NewSMFDA(class, s, n)
+		if err != nil {
+			return Eval{}, err
+		}
+		e, err := h.EvalHDA(sm, w)
+		if err != nil {
+			return Eval{}, err
+		}
+		if first || e.EDP < best.EDP {
+			best, first = e, false
+		}
+	}
+	return best, nil
+}
+
+// EvalRDA runs the workload on a MAERI-style RDA: every layer of every
+// instance executes sequentially on the full array under its best
+// dataflow, with the RDA's flexibility taxes (§V's RDA comparison).
+func (h *Herald) EvalRDA(class accel.Class, w *workload.Workload) (Eval, error) {
+	rda, err := accel.NewRDA(class)
+	if err != nil {
+		return Eval{}, err
+	}
+	var cycles int64
+	var pj float64
+	for _, in := range w.Instances {
+		for i := range in.Model.Layers {
+			c, _ := rda.LayerCost(h.cache, &in.Model.Layers[i])
+			cycles += c.Cycles
+			pj += c.EnergyPJ()
+		}
+	}
+	lat := float64(cycles) / 1e9
+	return Eval{
+		Name:       rda.Name,
+		LatencySec: lat,
+		EnergyMJ:   pj * 1e-9,
+		EDP:        pj * 1e-12 * lat,
+	}, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/dse"
+	"repro/internal/energy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := energy.Default28nm()
+	bad.MAC = 0
+	if _, err := New(bad, sched.DefaultOptions()); err == nil {
+		t.Error("invalid energy table accepted")
+	}
+	opts := sched.DefaultOptions()
+	opts.LoadBalanceFactor = 0
+	if _, err := New(energy.Default28nm(), opts); err == nil {
+		t.Error("invalid sched options accepted")
+	}
+	h := Default()
+	if h.Cache() == nil {
+		t.Error("cache not initialized")
+	}
+	if h.SchedOptions().LoadBalanceFactor != sched.DefaultOptions().LoadBalanceFactor {
+		t.Error("options not stored")
+	}
+}
+
+func TestCoDesignFindsCloudMinimum(t *testing.T) {
+	h := Default()
+	w := workload.MustNew("cd", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 2},
+		{Model: "brq-handpose", Batches: 1},
+	})
+	d, err := h.CoDesign(accel.Edge,
+		[]dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao}, w, 8, 4, dse.Exhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Explored != 7*3 {
+		t.Errorf("explored %d, want 21", d.Explored)
+	}
+	for _, p := range d.Cloud {
+		if p.EDP < d.EDP {
+			t.Errorf("co-design missed the cloud minimum: %g < %g", p.EDP, d.EDP)
+		}
+	}
+	if err := d.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pareto) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+func TestCompileMode(t *testing.T) {
+	h := Default()
+	hda, err := accel.New("fixed", accel.Edge, []accel.Partition{
+		{Style: dataflow.NVDLA, PEs: 256, BWGBps: 8},
+		{Style: dataflow.ShiDiannao, PEs: 768, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := h.Compile(hda, workload.MLPerf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestFDAPerWorkload(t *testing.T) {
+	h := Default()
+	// A UNet-only workload must pick a spatial style as best FDA; an
+	// FC/GNMT-heavy one must pick NVDLA (Fig. 2's preference logic at
+	// the workload level).
+	unet, err := workload.SingleDNN("unet", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UNet's anti-NVDLA preference is a Fig. 2 result at its 256-PE /
+	// 32 GB/s configuration (at larger arrays NVDLA's wider lane groups
+	// amortize the input re-streaming).
+	fig2 := accel.Class{Name: "fig2", PEs: 256, BWGBps: 32, GlobalBufBytes: 4 << 20}
+	best, err := h.BestFDA(fig2, unet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name == "fda-NVDLA" {
+		t.Errorf("best FDA for UNet = %s, want a spatial style", best.Name)
+	}
+	gnmt, err := workload.SingleDNN("gnmt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err = h.BestFDA(accel.Edge, gnmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "fda-NVDLA" {
+		t.Errorf("best FDA for GNMT = %s, want NVDLA", best.Name)
+	}
+}
+
+func TestEvalRDABeatsFDALatencyCostsEnergy(t *testing.T) {
+	h := Default()
+	w := workload.MustNew("rda", []workload.Entry{
+		{Model: "mobilenetv2", Batches: 1},
+		{Model: "brq-handpose", Batches: 1},
+	})
+	rda, err := h.EvalRDA(accel.Edge, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestFDA, err := h.BestFDA(accel.Edge, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RDA picks the fastest dataflow per layer on the full array:
+	// its latency must not exceed any single FDA's beyond the per-layer
+	// reconfiguration penalty; its energy carries the flexibility tax.
+	if rda.LatencySec > bestFDA.LatencySec*1.10 {
+		t.Errorf("RDA latency %.4g should be at or below best FDA %.4g", rda.LatencySec, bestFDA.LatencySec)
+	}
+	if rda.EnergyMJ <= bestFDA.EnergyMJ {
+		t.Errorf("RDA energy %.4g should exceed best FDA %.4g (flex tax)", rda.EnergyMJ, bestFDA.EnergyMJ)
+	}
+}
+
+func TestBestSMFDA(t *testing.T) {
+	h := Default()
+	w := workload.MustNew("sm", []workload.Entry{{Model: "mobilenetv1", Batches: 2}})
+	sm, err := h.BestSMFDA(accel.Edge, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.EDP <= 0 {
+		t.Error("SM-FDA eval incomplete")
+	}
+}

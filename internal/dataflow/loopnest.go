@@ -1,0 +1,76 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dnn"
+)
+
+// LoopNest renders a mapping in the paper's Fig. 4 loop-nest notation:
+// temporal loops as `for`, spatially-unrolled loops as `pfor`, with
+// the mapping's concrete bounds filled in. Useful for documentation,
+// debugging and teaching — the rendered nest is exactly what the cost
+// model accounts for.
+func (m Mapping) LoopNest(l *dnn.Layer) string {
+	var b strings.Builder
+	indent := 0
+	line := func(format string, args ...any) {
+		b.WriteString(strings.Repeat(" ", indent))
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+		indent++
+	}
+
+	fmt.Fprintf(&b, "// %s mapping of %s on %d PEs (util %.1f%%)\n",
+		m.Style, l.Name, m.PEs, 100*m.Utilization)
+	if l.Repeat > 1 {
+		line("for (t = 0; t < %d; t++)        // sequential invocations", l.Repeat)
+	}
+
+	switch m.Style {
+	case NVDLA:
+		line("for (k1 = 0; k1 < %d; k1++)      // output-channel folds", m.FoldK)
+		line("pfor (k0 = 0; k0 < %d; k0++)     // output-channel lanes", m.SpatK)
+		line("for (c1 = 0; c1 < %d; c1++)      // input-channel folds", m.FoldC)
+		line("for (y = 0; y < %d; y++)", m.FoldY)
+		line("for (x = 0; x < %d; x++)", m.FoldX)
+		line("pfor (c0 = 0; c0 < %d; c0++)     // adder-tree lane (spatial reduce)", m.SpatC)
+		line("for (r = 0; r < %d; r++)", m.FoldR)
+		line("for (s = 0; s < %d; s++)", effS(l))
+	case ShiDiannao:
+		line("for (k = 0; k < %d; k++)         // output channels (psum-blocked x%d)", m.FoldK*spatOr1(m.SpatK), shiAccDepth)
+		line("for (c = 0; c < %d; c++)", m.FoldC)
+		line("for (y1 = 0; y1 < %d; y1++)      // output-tile rows", m.FoldY)
+		line("for (x1 = 0; x1 < %d; x1++)      // output-tile cols", m.FoldX)
+		line("pfor (y0 = 0; y0 < %d; y0++)", m.SpatY)
+		line("pfor (x0 = 0; x0 < %d; x0++)", m.SpatX)
+		line("for (r = 0; r < %d; r++)", m.FoldR)
+		line("for (s = 0; s < %d; s++)", effS(l))
+	case Eyeriss:
+		line("for (k1 = 0; k1 < %d; k1++)      // filter replication folds", m.FoldK)
+		line("pfor (k0 = 0; k0 < %d; k0++)", m.SpatK)
+		line("for (c1 = 0; c1 < %d; c1++)", m.FoldC)
+		line("pfor (c0 = 0; c0 < %d; c0++)", m.SpatC)
+		line("for (y1 = 0; y1 < %d; y1++)      // output-row folds", m.FoldY)
+		line("pfor (y0 = 0; y0 < %d; y0++)     // row-stationary PE set", m.SpatY)
+		line("pfor (r0 = 0; r0 < %d; r0++)     // filter rows (spatial reduce)", m.SpatR)
+		line("for (x = 0; x < %d; x++)", m.FoldX)
+		line("for (s = 0; s < %d; s++)", effS(l))
+	}
+	b.WriteString(strings.Repeat(" ", indent))
+	b.WriteString("O[k][y][x] += I[c][y+r][x+s] * W[k][c][r][s];\n")
+	return b.String()
+}
+
+func effS(l *dnn.Layer) int {
+	_, es := effTaps(l)
+	return es
+}
+
+func spatOr1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

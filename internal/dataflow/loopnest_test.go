@@ -1,0 +1,50 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+func TestLoopNestRendersAllStyles(t *testing.T) {
+	l := dnn.Layer{Name: "probe", Op: dnn.Conv2D, K: 64, C: 64, Y: 28, X: 28, R: 3, S: 3, Stride: 1, Pad: 1}
+	for _, style := range AllStyles() {
+		m := Map(style, &l, 256)
+		nest := m.LoopNest(&l)
+		if !strings.Contains(nest, "pfor") {
+			t.Errorf("%v: no spatial loop rendered:\n%s", style, nest)
+		}
+		if !strings.Contains(nest, "O[k][y][x] += I[c][y+r][x+s] * W[k][c][r][s];") {
+			t.Errorf("%v: body missing", style)
+		}
+		if !strings.Contains(nest, style.String()) {
+			t.Errorf("%v: header missing style name", style)
+		}
+	}
+}
+
+func TestLoopNestRepeat(t *testing.T) {
+	l := dnn.Layer{Name: "rnn", Op: dnn.FC, K: 4096, C: 2048, Y: 1, X: 1, R: 1, S: 1, Stride: 1, Repeat: 25}
+	m := Map(NVDLA, &l, 1024)
+	nest := m.LoopNest(&l)
+	if !strings.Contains(nest, "t < 25") {
+		t.Errorf("repeat loop missing:\n%s", nest)
+	}
+}
+
+// TestLoopNestBoundsConsistent: the product of every rendered `for`
+// and `pfor` bound must equal ComputeCycles × ActivePEs (the nest is
+// exactly what the model charges).
+func TestLoopNestBoundsConsistent(t *testing.T) {
+	l := dnn.Layer{Name: "c", Op: dnn.Conv2D, K: 32, C: 16, Y: 14, X: 14, R: 3, S: 3, Stride: 1, Pad: 1}
+	for _, style := range AllStyles() {
+		m := Map(style, &l, 64)
+		_, es := effTaps(&l)
+		slots := int64(m.FoldK) * int64(m.FoldC) * int64(m.FoldY) * int64(m.FoldX) * int64(m.FoldR) * int64(es) *
+			int64(m.SpatK) * int64(m.SpatC) * int64(m.SpatY) * int64(m.SpatX) * int64(m.SpatR)
+		if slots != m.ComputeCycles*int64(m.ActivePEs) {
+			t.Errorf("%v: nest slots %d != cycles*active %d", style, slots, m.ComputeCycles*int64(m.ActivePEs))
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dnn"
+)
+
+// Mapping is a concrete instance of a dataflow for one layer on one PE
+// array (§II-B: "by providing valid loop bounds to the representation,
+// we obtain mapping"). It records the spatial unrolling extents, the
+// temporal fold counts of each dimension, and the reuse factors the
+// cost model consumes.
+type Mapping struct {
+	Style Style
+	PEs   int // total PEs in the (sub-)accelerator
+
+	// Spatial extents: how many instances of each dimension are
+	// unrolled across PEs (the pfor bounds). Extents of dimensions a
+	// style does not unroll are 1.
+	SpatK, SpatC, SpatY, SpatX, SpatR int
+
+	// Temporal folds: ceil(bound/extent) iterations needed to cover
+	// each dimension that exceeds its spatial extent or is walked
+	// temporally.
+	FoldK, FoldC, FoldY, FoldX, FoldR int
+
+	// ActivePEs is the number of PEs the mapping occupies
+	// (= product of spatial extents), and Utilization the mapping
+	// utilization of Fig. 5: ActivePEs / PEs.
+	ActivePEs   int
+	Utilization float64
+
+	// ComputeCycles is the number of cycles the PE array needs for the
+	// layer's MACs under this mapping at one MAC/PE/cycle, including
+	// dimension-fold rounding and the layer's Repeat factor.
+	ComputeCycles int64
+
+	// InputMulticast and WeightMulticast are the spatial reuse factors
+	// of §III-C: how many PEs one delivered input/weight element serves
+	// simultaneously. They divide NoC and buffer read traffic.
+	InputMulticast  float64
+	WeightMulticast float64
+
+	// InputStreamFolds and WeightStreamFolds count how many times each
+	// tensor is re-streamed from the global buffer into the PE array,
+	// a consequence of the style's loop order (e.g. NVDLA re-streams
+	// input activations once per output-channel fold; Shi-diannao
+	// re-broadcasts filter weights once per spatial tile). When a
+	// tensor's working set exceeds the global-buffer share, these
+	// re-streams spill to DRAM — the mechanism behind weight-stationary
+	// dataflows' poor fit for activation-dominated networks like UNet.
+	InputStreamFolds  int64
+	WeightStreamFolds int64
+
+	// PsumReduce is the spatial partial-sum reduction width: how many
+	// MAC results are combined spatially (adder tree / inter-PE
+	// accumulation) before touching a register file. NVDLA reduces
+	// across its SpatC lanes; Eyeriss across its SpatR row set;
+	// output-stationary Shi-diannao accumulates purely temporally
+	// (PsumReduce = 1). Divides psum RF traffic.
+	PsumReduce int
+
+	// PsumAccumulator marks output-stationary mappings whose partial
+	// sums live in a dedicated in-place accumulator register: one RF
+	// event per update instead of a read+write pair. This is the
+	// energy essence of Shi-diannao's output stationarity.
+	PsumAccumulator bool
+}
+
+// Per-style accumulator depth: how many output channels' partial sums
+// one PE can hold resident (its psum register file), which blocks the
+// K loop and divides input re-streaming. ShiDianNao's PEs were designed
+// around exactly this output-stationarity; Eyeriss PEs hold a smaller
+// set; NVDLA holds weights instead (no psum K-blocking).
+const (
+	shiAccDepth     = 64
+	eyerissAccDepth = 16
+
+	// Eyeriss's row-stationary PE sets replicate across filters and
+	// channels to fill the array, but the replication is bounded by
+	// the tagged multicast NoC and per-PE RF capacity — it does not
+	// scale to arbitrarily wide arrays. These caps only bind at
+	// mobile/cloud scale; at Fig. 2/5 scale the array-size quotient is
+	// smaller than either cap.
+	eyerissMaxKRepl = 16
+	eyerissMaxCRepl = 2
+)
+
+// nvdlaMaxKLanes caps the number of output-channel lanes: each lane
+// needs its own accumulator path and shares the input broadcast, and
+// the fan-out does not scale arbitrarily (NVDLA's Atomic-K is 16-32).
+const nvdlaMaxKLanes = 32
+
+// nvdlaLaneWidth returns the width of NVDLA's input-channel MAC vector
+// lanes for a given array size: 64 lanes at the 1K-PE NVDLA-large
+// design point (Atomic-C), scaling down as a power of two for tiny
+// arrays so at least two output-channel lanes exist, and scaling *up*
+// proportionally for larger arrays (bigger arrays deepen the
+// spatial-reduction vector — the channel parallelism that §V-B
+// identifies as NVDLA's scaling axis).
+func nvdlaLaneWidth(pes int) int {
+	if pes > 1024 {
+		w := 64
+		for w < pes/16 {
+			w <<= 1
+		}
+		return w
+	}
+	w := 64
+	for w > 1 && w > pes/2 {
+		w >>= 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// balancedFactor returns (h, w) with h*w == p and h the largest divisor
+// of p not exceeding sqrt(p): the most-square PE grid for a
+// Shi-diannao-style 2D array.
+func balancedFactor(p int) (h, w int) {
+	if p < 1 {
+		return 1, 1
+	}
+	h = int(math.Sqrt(float64(p)))
+	for h > 1 && p%h != 0 {
+		h--
+	}
+	return h, p / h
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Map constructs the mapping of layer l onto a PE array of size pes
+// under the given dataflow style. It panics only on programmer error
+// (invalid style); invalid layers should be rejected by
+// dnn.Layer.Validate beforehand.
+func Map(style Style, l *dnn.Layer, pes int) Mapping {
+	if pes < 1 {
+		pes = 1
+	}
+	switch style {
+	case NVDLA:
+		return mapNVDLA(l, pes)
+	case ShiDiannao:
+		return mapShiDiannao(l, pes)
+	case Eyeriss:
+		return mapEyeriss(l, pes)
+	}
+	panic(fmt.Sprintf("dataflow: Map called with invalid style %d", style))
+}
+
+func repeat(l *dnn.Layer) int64 {
+	if l.Repeat <= 1 {
+		return 1
+	}
+	return int64(l.Repeat)
+}
+
+// effTaps returns the effective per-output-pixel filter extent. For
+// up-scale convolution the R×S kernel is distributed over stride²
+// output phases, so each output pixel receives only ceil(R/stride) ×
+// ceil(S/stride) taps; walking the (larger) output domain with the
+// effective taps keeps cycle counts consistent with dnn.Layer.MACs.
+func effTaps(l *dnn.Layer) (er, es int) {
+	if l.Op == dnn.UpConv {
+		return ceilDiv(l.R, l.Stride), ceilDiv(l.S, l.Stride)
+	}
+	return l.R, l.S
+}
+
+// mapNVDLA: weight-stationary, spatial dims (K, C). The array is
+// organized as (pes/lane) output-channel lanes, each with `lane`
+// input-channel MAC units feeding an adder tree. Depth-wise layers
+// cannot reduce across input channels, so they occupy one MAC unit per
+// lane — the under-utilization of Fig. 5's Layer 3.
+func mapNVDLA(l *dnn.Layer, pes int) Mapping {
+	lane := nvdlaLaneWidth(pes)
+	lanes := pes / lane
+	if lanes < 1 {
+		lanes = 1
+	}
+
+	var c0, k0 int
+	if l.Op == dnn.DWConv {
+		// Depth-wise layers cannot share an input vector across a lane
+		// (each output channel consumes a distinct input channel), so
+		// only one MAC per lane is fed — Fig. 5 Layer 3's 12.5%.
+		c0 = 1
+		k0 = minInt(minInt(l.K, lanes), nvdlaMaxKLanes)
+	} else {
+		// Channel post-extension: when C is shallower than a lane, the
+		// freed MACs serve additional output channels (k0 grows toward
+		// P/c0, bounded by the lane fan-out), as in NVDLA's
+		// shallow-input operation mode.
+		c0 = minInt(l.C, lane)
+		k0 = minInt(minInt(l.K, pes/c0), nvdlaMaxKLanes)
+	}
+
+	m := Mapping{
+		Style: NVDLA, PEs: pes,
+		SpatK: k0, SpatC: c0, SpatY: 1, SpatX: 1, SpatR: 1,
+	}
+	m.FoldK = ceilDiv(l.K, k0)
+	if l.Op == dnn.DWConv {
+		m.FoldC = 1
+	} else {
+		m.FoldC = ceilDiv(l.C, c0)
+	}
+	er, _ := effTaps(l)
+	m.FoldY = l.OutY()
+	m.FoldX = l.OutX()
+	m.FoldR = er
+	m.finish(l)
+
+	// Inputs are multicast to all output-channel lanes; weights are
+	// private per PE. Inputs are re-streamed once per output-channel
+	// fold (the weight-stationary loop order offers no psum blocking);
+	// weights stay resident across the spatial walk. Partial sums
+	// reduce spatially across the c0 adder tree.
+	m.InputMulticast = float64(k0)
+	m.WeightMulticast = 1
+	m.InputStreamFolds = int64(m.FoldK)
+	m.WeightStreamFolds = 1
+	m.PsumReduce = c0
+	return m
+}
+
+// shiTile picks the output-tile factorization (y0, x0) that minimizes
+// the spatial walk's slot count (tiles × tile area), i.e. the edge
+// rounding waste, over a small candidate set. ShiDianNao's mapper
+// configures the output tile per layer; the dataflow itself — output
+// stationarity over a 2D spatial unrolling — is fixed.
+func shiTile(outY, outX, pes int) (y0, x0 int) {
+	bestTiles := int64(1) << 62
+	consider := func(cy int) {
+		if cy < 1 {
+			cy = 1
+		}
+		if cy > outY {
+			cy = outY
+		}
+		if cy > pes {
+			cy = pes
+		}
+		cx := minInt(outX, pes/cy)
+		if cx < 1 {
+			cx = 1
+		}
+		tiles := int64(ceilDiv(outY, cy)) * int64(ceilDiv(outX, cx))
+		if tiles < bestTiles || (tiles == bestTiles && cy*cx > y0*x0) {
+			bestTiles, y0, x0 = tiles, cy, cx
+		}
+	}
+	// Candidates: whole rows, per-fold even splits, and the square grid.
+	consider(outY)
+	for folds := 2; folds <= 64 && folds <= outY; folds++ {
+		consider(ceilDiv(outY, folds))
+	}
+	h, _ := balancedFactor(pes)
+	consider(h)
+	return y0, x0
+}
+
+// mapShiDiannao: output-stationary, spatial dims (Y', X') on a 2D PE
+// grid with a per-layer tile factorization. Partial sums accumulate
+// temporally inside each PE; inputs propagate between neighbours
+// (convolutional reuse) and each weight is broadcast to the grid.
+func mapShiDiannao(l *dnn.Layer, pes int) Mapping {
+	y0, x0 := shiTile(l.OutY(), l.OutX(), pes)
+
+	m := Mapping{
+		Style: ShiDiannao, PEs: pes,
+		SpatK: 1, SpatC: 1, SpatY: y0, SpatX: x0, SpatR: 1,
+	}
+	m.FoldK = l.K
+	if l.Op == dnn.DWConv {
+		m.FoldC = 1
+	} else {
+		m.FoldC = l.C
+	}
+	er, es := effTaps(l)
+	m.FoldY = ceilDiv(l.OutY(), y0)
+	m.FoldX = ceilDiv(l.OutX(), x0)
+	m.FoldR = er
+	m.finish(l)
+
+	// Neighbour forwarding lets one input delivery serve up to R*S
+	// overlapping windows; one weight broadcast feeds every active PE.
+	// Each PE holds partial sums for up to shiAccDepth output channels
+	// (the output-stationary design point), so inputs re-stream only
+	// once per K-block; weights are re-broadcast once per spatial tile.
+	// Partial sums accumulate temporally (no spatial reduction).
+	m.InputMulticast = math.Min(float64(er*es), float64(m.ActivePEs))
+	m.WeightMulticast = float64(m.ActivePEs)
+	m.InputStreamFolds = int64(ceilDiv(l.K, shiAccDepth))
+	m.WeightStreamFolds = int64(m.FoldY) * int64(m.FoldX)
+	m.PsumReduce = 1
+	m.PsumAccumulator = true
+	return m
+}
+
+// mapEyeriss: row-stationary, spatial dims (R, Y') forming PE sets
+// that each compute a 1D row convolution, replicated across output
+// then input channels until the array fills.
+func mapEyeriss(l *dnn.Layer, pes int) Mapping {
+	er, _ := effTaps(l)
+	r0 := minInt(er, pes)
+	y0 := minInt(l.OutY(), pes/r0)
+	if y0 < 1 {
+		y0 = 1
+	}
+	k0 := minInt(minInt(l.K, pes/(r0*y0)), eyerissMaxKRepl)
+	if k0 < 1 {
+		k0 = 1
+	}
+	var c0 int
+	if l.Op == dnn.DWConv {
+		c0 = 1
+	} else {
+		c0 = minInt(minInt(l.C, pes/(r0*y0*k0)), eyerissMaxCRepl)
+		if c0 < 1 {
+			c0 = 1
+		}
+	}
+
+	m := Mapping{
+		Style: Eyeriss, PEs: pes,
+		SpatK: k0, SpatC: c0, SpatY: y0, SpatX: 1, SpatR: r0,
+	}
+	m.FoldK = ceilDiv(l.K, k0)
+	if l.Op == dnn.DWConv {
+		m.FoldC = 1
+	} else {
+		m.FoldC = ceilDiv(l.C, c0)
+	}
+	m.FoldY = ceilDiv(l.OutY(), y0)
+	m.FoldX = l.OutX()
+	m.FoldR = ceilDiv(er, r0)
+	m.finish(l)
+
+	// Inputs reuse diagonally across the (r, y) PE set; weight rows are
+	// broadcast across the y dimension. Each PE set keeps a modest
+	// block of output-channel psums resident (Eyeriss's psum RF), so
+	// inputs re-stream once per K-fold block; weights re-stream per
+	// output-row fold. Partial sums reduce spatially across the r0 row
+	// set.
+	m.InputMulticast = math.Max(1, float64(minInt(r0, y0)))
+	m.WeightMulticast = float64(y0)
+	m.InputStreamFolds = int64(ceilDiv(m.FoldK, eyerissAccDepth))
+	m.WeightStreamFolds = int64(m.FoldY)
+	m.PsumReduce = r0
+	return m
+}
+
+// finish derives ActivePEs, Utilization and ComputeCycles from the
+// spatial extents and folds. The per-rep cycle count is the product of
+// all fold counts and the style's residual temporal loops (already
+// folded into FoldY/FoldX/FoldR), times the filter column loop S for
+// styles that walk it temporally.
+func (m *Mapping) finish(l *dnn.Layer) {
+	m.ActivePEs = m.SpatK * m.SpatC * m.SpatY * m.SpatX * m.SpatR
+	if m.ActivePEs > m.PEs {
+		// Spatial extents never exceed the array by construction; guard
+		// against future mapper bugs.
+		panic(fmt.Sprintf("dataflow: mapping overflows array: %d > %d", m.ActivePEs, m.PEs))
+	}
+	m.Utilization = float64(m.ActivePEs) / float64(m.PEs)
+
+	_, es := effTaps(l)
+	cycles := int64(m.FoldK) * int64(m.FoldC) * int64(m.FoldY) * int64(m.FoldX) * int64(m.FoldR) * int64(es)
+	m.ComputeCycles = cycles * repeat(l)
+}
+
+// String renders the mapping compactly for diagnostics.
+func (m Mapping) String() string {
+	return fmt.Sprintf("%s[%dPE] spat(K%d C%d Y%d X%d R%d) act=%d util=%.1f%% cyc=%d",
+		m.Style, m.PEs, m.SpatK, m.SpatC, m.SpatY, m.SpatX, m.SpatR,
+		m.ActivePEs, 100*m.Utilization, m.ComputeCycles)
+}

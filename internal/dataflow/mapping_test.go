@@ -1,0 +1,248 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnn"
+)
+
+// Figure 5's three example layers on a 16-PE toy accelerator. The
+// paper reports exact mapping utilizations for NVDLA- and
+// Shi-diannao-style dataflows; our mappers must reproduce all six.
+func fig5Layers() []dnn.Layer {
+	return []dnn.Layer{
+		// Layer 1: CONV2D with early-classification aspect ratio
+		// (C=3, K=2, 6×6 input, 3×3 filter → 4×4 output).
+		{Name: "fig5-l1", Op: dnn.Conv2D, K: 2, C: 3, Y: 6, X: 6, R: 3, S: 3, Stride: 1},
+		// Layer 2: CONV2D with late-classification aspect ratio
+		// (C=16, K=3, 4×4 input → 2×2 output).
+		{Name: "fig5-l2", Op: dnn.Conv2D, K: 3, C: 16, Y: 4, X: 4, R: 3, S: 3, Stride: 1},
+		// Layer 3: depth-wise CONV2D, same size as Layer 1
+		// (K=C=2, 6×6 input → 4×4 output).
+		{Name: "fig5-l3", Op: dnn.DWConv, K: 2, C: 2, Y: 6, X: 6, R: 3, S: 3, Stride: 1},
+	}
+}
+
+func TestFigure5Utilizations(t *testing.T) {
+	const pes = 16
+	layers := fig5Layers()
+	for i := range layers {
+		if err := layers[i].Validate(); err != nil {
+			t.Fatalf("fig5 layer %d: %v", i, err)
+		}
+	}
+	want := []struct {
+		nvdla, shi float64
+	}{
+		{0.375, 1.0}, // Layer 1: NVDLA 37.5%, Shi-diannao 100%
+		{1.0, 0.25},  // Layer 2: NVDLA 100%,  Shi-diannao 25%
+		{0.125, 1.0}, // Layer 3: NVDLA 12.5%, Shi-diannao 100%
+	}
+	for i := range layers {
+		n := Map(NVDLA, &layers[i], pes)
+		s := Map(ShiDiannao, &layers[i], pes)
+		if n.Utilization != want[i].nvdla {
+			t.Errorf("layer %d NVDLA utilization = %.3f, want %.3f (Fig. 5)", i+1, n.Utilization, want[i].nvdla)
+		}
+		if s.Utilization != want[i].shi {
+			t.Errorf("layer %d Shi-diannao utilization = %.3f, want %.3f (Fig. 5)", i+1, s.Utilization, want[i].shi)
+		}
+	}
+}
+
+func TestNVDLALaneWidth(t *testing.T) {
+	// Atomic-C is 64 at the 1K-PE NVDLA-large design point, shrinking
+	// as a power of two for toy arrays and deepening proportionally for
+	// larger arrays (the channel-parallelism scaling axis of §V-B).
+	cases := map[int]int{1: 1, 2: 1, 4: 2, 16: 8, 64: 32, 128: 64, 256: 64, 1024: 64, 4096: 256, 16384: 1024}
+	for pes, want := range cases {
+		if got := nvdlaLaneWidth(pes); got != want {
+			t.Errorf("nvdlaLaneWidth(%d) = %d, want %d", pes, got, want)
+		}
+	}
+}
+
+func TestBalancedFactor(t *testing.T) {
+	cases := []struct{ p, h, w int }{
+		{256, 16, 16}, {16, 4, 4}, {896, 28, 32}, {1, 1, 1}, {2, 1, 2},
+		{1024, 32, 32}, {6656, 64, 104}, {0, 1, 1},
+	}
+	for _, c := range cases {
+		h, w := balancedFactor(c.p)
+		if h != c.h || w != c.w {
+			t.Errorf("balancedFactor(%d) = (%d,%d), want (%d,%d)", c.p, h, w, c.h, c.w)
+		}
+		if c.p > 0 && h*w != c.p {
+			t.Errorf("balancedFactor(%d): %d*%d != %d", c.p, h, w, c.p)
+		}
+	}
+}
+
+func TestStyleParsing(t *testing.T) {
+	for _, s := range AllStyles() {
+		got, err := ParseStyle(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStyle(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStyle("tpu"); err == nil {
+		t.Error("ParseStyle should reject unknown styles")
+	}
+	if Style(42).String() == "" || Style(42).Valid() {
+		t.Error("invalid style should stringify and report invalid")
+	}
+}
+
+// TestFCMappingExtremes checks the dataflow-preference mechanism behind
+// the paper's Maelstrom synergy: FC layers park Shi-diannao at a single
+// active PE while NVDLA fills the array; large-spatial shallow layers
+// do the reverse.
+func TestFCMappingExtremes(t *testing.T) {
+	fc := dnn.Layer{Op: dnn.FC, K: 4096, C: 4096, Y: 1, X: 1, R: 1, S: 1, Stride: 1}
+	shi := Map(ShiDiannao, &fc, 1024)
+	if shi.ActivePEs != 1 {
+		t.Errorf("Shi-diannao on FC: ActivePEs = %d, want 1", shi.ActivePEs)
+	}
+	nv := Map(NVDLA, &fc, 1024)
+	if nv.ActivePEs != 1024 {
+		t.Errorf("NVDLA on FC: ActivePEs = %d, want 1024", nv.ActivePEs)
+	}
+	if nv.ComputeCycles >= shi.ComputeCycles {
+		t.Errorf("NVDLA should be far faster on FC: %d vs %d cycles", nv.ComputeCycles, shi.ComputeCycles)
+	}
+
+	big := dnn.Layer{Op: dnn.Conv2D, K: 64, C: 1, Y: 580, X: 580, R: 3, S: 3, Stride: 1}
+	shiBig := Map(ShiDiannao, &big, 1024)
+	nvBig := Map(NVDLA, &big, 1024)
+	if shiBig.Utilization < 0.97 {
+		t.Errorf("Shi-diannao on UNet conv1: util = %.3f, want ~1.0", shiBig.Utilization)
+	}
+	if nvBig.Utilization >= shiBig.Utilization {
+		t.Errorf("NVDLA should under-utilize on shallow-channel conv: %.3f vs %.3f",
+			nvBig.Utilization, shiBig.Utilization)
+	}
+	if shiBig.ComputeCycles >= nvBig.ComputeCycles {
+		t.Errorf("Shi-diannao should be faster on UNet conv1: %d vs %d", shiBig.ComputeCycles, nvBig.ComputeCycles)
+	}
+}
+
+// TestDWConvPreference: depth-wise layers must prefer Shi-diannao over
+// NVDLA at realistic sizes (MobileNet dw layers), per §V-B.
+func TestDWConvPreference(t *testing.T) {
+	dw := dnn.Layer{Op: dnn.DWConv, K: 32, C: 32, Y: 112, X: 112, R: 3, S: 3, Stride: 1, Pad: 1}
+	nv := Map(NVDLA, &dw, 1024)
+	shi := Map(ShiDiannao, &dw, 1024)
+	if nv.ComputeCycles <= shi.ComputeCycles {
+		t.Errorf("NVDLA should be slower on dwconv: %d vs %d", nv.ComputeCycles, shi.ComputeCycles)
+	}
+}
+
+func genMappingLayer(r *rand.Rand) dnn.Layer {
+	ops := []dnn.Op{dnn.Conv2D, dnn.PWConv, dnn.DWConv, dnn.FC, dnn.UpConv}
+	op := ops[r.Intn(len(ops))]
+	l := dnn.Layer{Op: op, Stride: 1}
+	switch op {
+	case dnn.FC:
+		l.K, l.C, l.Y, l.X, l.R, l.S = 1+r.Intn(4096), 1+r.Intn(4096), 1, 1, 1, 1
+	case dnn.PWConv:
+		l.K, l.C, l.R, l.S = 1+r.Intn(512), 1+r.Intn(512), 1, 1
+		l.Y, l.X = 1+r.Intn(256), 1+r.Intn(256)
+	case dnn.DWConv:
+		ch := 1 + r.Intn(512)
+		l.K, l.C, l.R, l.S, l.Pad = ch, ch, 3, 3, 1
+		l.Y, l.X = 3+r.Intn(256), 3+r.Intn(256)
+	case dnn.UpConv:
+		l.K, l.C, l.R, l.S, l.Stride = 1+r.Intn(256), 1+r.Intn(256), 2, 2, 2
+		l.Y, l.X = 1+r.Intn(64), 1+r.Intn(64)
+	default:
+		l.K, l.C, l.R, l.S, l.Pad = 1+r.Intn(256), 1+r.Intn(256), 3, 3, 1
+		l.Y, l.X = 3+r.Intn(256), 3+r.Intn(256)
+		if r.Intn(2) == 0 {
+			l.Stride = 2
+		}
+	}
+	if r.Intn(8) == 0 {
+		l.Repeat = 1 + r.Intn(30)
+	}
+	return l
+}
+
+// TestMappingInvariants property-checks every style over random layers
+// and array sizes: spatial extents fit the array, utilization is in
+// (0,1], cycle counts cover the MAC workload, and all reuse factors
+// are at least 1.
+func TestMappingInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	pesChoices := []int{1, 16, 64, 128, 256, 896, 1024, 4096, 16384}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := genMappingLayer(r)
+		if err := l.Validate(); err != nil {
+			t.Logf("invalid generated layer: %v", err)
+			return false
+		}
+		pes := pesChoices[r.Intn(len(pesChoices))]
+		for _, st := range AllStyles() {
+			m := Map(st, &l, pes)
+			if m.ActivePEs < 1 || m.ActivePEs > pes {
+				t.Logf("%v on %v: ActivePEs %d out of range", st, l, m.ActivePEs)
+				return false
+			}
+			if m.Utilization <= 0 || m.Utilization > 1 {
+				t.Logf("%v: utilization %f", st, m.Utilization)
+				return false
+			}
+			// The array must perform at least the layer's MACs:
+			// cycles * activePEs >= MACs.
+			if m.ComputeCycles*int64(m.ActivePEs) < l.MACs() {
+				t.Logf("%v on %v: cycles %d * active %d < MACs %d",
+					st, l.String(), m.ComputeCycles, m.ActivePEs, l.MACs())
+				return false
+			}
+			// And not overshoot by more than the worst-case ceil
+			// rounding (each of the five folded dims can round up by
+			// at most 2x, but folds are small; allow 16x slack).
+			if m.ComputeCycles > 16*(l.MACs()/int64(m.ActivePEs)+int64(l.MACs())) {
+				return false
+			}
+			if m.InputMulticast < 1 || m.WeightMulticast < 1 {
+				return false
+			}
+			if m.InputStreamFolds < 1 || m.WeightStreamFolds < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepeatScalesCycles: an RNN-style repeated layer must scale
+// compute cycles linearly without changing utilization.
+func TestRepeatScalesCycles(t *testing.T) {
+	base := dnn.Layer{Op: dnn.FC, K: 4096, C: 2048, Y: 1, X: 1, R: 1, S: 1, Stride: 1}
+	rep := base
+	rep.Repeat = 25
+	for _, st := range AllStyles() {
+		m1 := Map(st, &base, 1024)
+		m25 := Map(st, &rep, 1024)
+		if m25.ComputeCycles != 25*m1.ComputeCycles {
+			t.Errorf("%v: repeat cycles %d, want %d", st, m25.ComputeCycles, 25*m1.ComputeCycles)
+		}
+		if m25.Utilization != m1.Utilization {
+			t.Errorf("%v: repeat changed utilization", st)
+		}
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	l := fig5Layers()[0]
+	m := Map(NVDLA, &l, 16)
+	if m.String() == "" {
+		t.Error("String should render")
+	}
+}

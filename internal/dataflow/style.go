@@ -1,0 +1,82 @@
+// Package dataflow models DNN accelerator dataflows — the loop
+// ordering and spatial unrolling choices of §II-B — and constructs
+// concrete mappings (dataflow + tile/fold sizes) of a layer onto a PE
+// array.
+//
+// Three fixed dataflow styles from the paper are provided:
+//
+//   - NVDLA style: weight-stationary; parallelizes across input and
+//     output channels (pfor k0, pfor c0 in Fig. 4a) with a spatial
+//     adder-tree reduction across input channels.
+//   - Shi-diannao style: output-stationary; parallelizes across output
+//     activation rows and columns (pfor y0, pfor x0 in Fig. 4b) with
+//     temporal partial-sum accumulation inside each PE.
+//   - Eyeriss style: row-stationary; parallelizes filter rows × output
+//     rows, replicating PE sets across filters/channels to fill the
+//     array.
+//
+// All three share the same inner-loop order in our mappings, matching
+// the paper's choice that eliminates data-layout conversion between
+// sub-accelerators (§IV-A).
+package dataflow
+
+import "fmt"
+
+// Style identifies a fixed dataflow style.
+type Style int
+
+const (
+	// NVDLA is the weight-stationary, channel-parallel style of the
+	// NVIDIA Deep Learning Accelerator.
+	NVDLA Style = iota
+	// ShiDiannao is the output-stationary, activation-parallel style of
+	// Du et al.'s ShiDianNao.
+	ShiDiannao
+	// Eyeriss is the row-stationary style of Chen et al.'s Eyeriss.
+	Eyeriss
+	numStyles = iota
+)
+
+var styleNames = [...]string{"NVDLA", "Shi-diannao", "Eyeriss"}
+
+// String returns the style's name as used in the paper's figures.
+func (s Style) String() string {
+	if s < 0 || int(s) >= len(styleNames) {
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+	return styleNames[s]
+}
+
+// Valid reports whether s is a defined style.
+func (s Style) Valid() bool { return s >= 0 && s < numStyles }
+
+// AllStyles returns the dataflow styles evaluated in the paper, in a
+// stable order.
+func AllStyles() []Style { return []Style{NVDLA, ShiDiannao, Eyeriss} }
+
+// ParseStyle maps common spellings to a Style.
+func ParseStyle(name string) (Style, error) {
+	switch normalize(name) {
+	case "nvdla":
+		return NVDLA, nil
+	case "shidiannao", "shi", "shidianao":
+		return ShiDiannao, nil
+	case "eyeriss":
+		return Eyeriss, nil
+	}
+	return 0, fmt.Errorf("dataflow: unknown style %q (want nvdla, shi-diannao or eyeriss)", name)
+}
+
+func normalize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,229 @@
+// Package dnn provides the DNN workload substrate for the Herald/HDA
+// reproduction: an analytical representation of neural-network layers
+// (shapes and operator types, no weights) and generators for the nine
+// networks the paper evaluates (Table I and Table II).
+//
+// A Layer records the six canonical convolution dimensions used by the
+// paper's loop-nest notation (Fig. 4): K output channels, C input
+// channels, Y×X input activation, R×S filter. All derived quantities
+// (output shape, MAC count, tensor footprints, the channel-activation
+// size ratio of Table I) are computed analytically.
+package dnn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op enumerates the layer operator types that appear in the paper's
+// workloads (Table I: CONV2D, PWCONV, DWCONV, FC, UPCONV; GNMT adds
+// recurrent cells which are modeled as repeated FC/GEMM layers).
+type Op int
+
+const (
+	// Conv2D is a standard 2D convolution accumulating across input
+	// channels.
+	Conv2D Op = iota
+	// PWConv is a point-wise (1×1) convolution.
+	PWConv
+	// DWConv is a depth-wise convolution: one filter per channel, no
+	// accumulation across input channels (K == C).
+	DWConv
+	// FC is a fully-connected (GEMM) layer; Y=X=R=S=1.
+	FC
+	// UpConv is an up-scale (transposed / fractionally-strided)
+	// convolution that multiplies spatial resolution by Stride.
+	UpConv
+)
+
+var opNames = [...]string{"CONV2D", "PWCONV", "DWCONV", "FC", "UPCONV"}
+
+// String returns the paper's name for the operator.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Layer is the shape of one DNN layer. Dimension names follow the
+// paper's loop-nest notation (Fig. 4).
+type Layer struct {
+	Name string
+	Op   Op
+
+	K int // output channels (number of filters)
+	C int // input channels
+	Y int // input activation height (rows)
+	X int // input activation width (columns)
+	R int // filter height
+	S int // filter width
+
+	// Stride is the convolution stride for Conv2D/PWConv/DWConv, or the
+	// up-scaling factor for UpConv. Must be >= 1.
+	Stride int
+
+	// Pad is the symmetric spatial padding applied on each border.
+	// Classification networks typically use "same" padding (Pad=R/2);
+	// UNet famously uses valid convolutions (Pad=0).
+	Pad int
+
+	// Repeat is the number of sequential invocations of the layer with
+	// identical shape (used for RNN timesteps in GNMT). The invocations
+	// are serially dependent, so Repeat scales compute, traffic and
+	// latency but does not expose extra spatial parallelism. Zero is
+	// treated as 1.
+	Repeat int
+}
+
+// reps returns the effective repeat count (>= 1).
+func (l *Layer) reps() int64 {
+	if l.Repeat <= 1 {
+		return 1
+	}
+	return int64(l.Repeat)
+}
+
+// OutY returns the output activation height.
+func (l *Layer) OutY() int { return outDim(l.Op, l.Y, l.R, l.Stride, l.Pad) }
+
+// OutX returns the output activation width.
+func (l *Layer) OutX() int { return outDim(l.Op, l.X, l.S, l.Stride, l.Pad) }
+
+func outDim(op Op, in, filt, stride, pad int) int {
+	if stride < 1 {
+		stride = 1
+	}
+	if op == UpConv {
+		return in * stride
+	}
+	o := (in+2*pad-filt)/stride + 1
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// MACs returns the number of multiply-accumulate operations performed
+// by the layer (including Repeat). Depth-wise convolution does not
+// accumulate across input channels, so its MAC count omits the C
+// factor. Up-scale convolution is counted input-centrically (each input
+// pixel is multiplied by the full R×S kernel), which equals the
+// transposed-convolution arithmetic cost.
+func (l *Layer) MACs() int64 {
+	var m int64
+	switch l.Op {
+	case DWConv:
+		m = int64(l.K) * int64(l.OutY()) * int64(l.OutX()) * int64(l.R) * int64(l.S)
+	case UpConv:
+		m = int64(l.K) * int64(l.C) * int64(l.Y) * int64(l.X) * int64(l.R) * int64(l.S)
+	default:
+		m = int64(l.K) * int64(l.C) * int64(l.OutY()) * int64(l.OutX()) * int64(l.R) * int64(l.S)
+	}
+	return m * l.reps()
+}
+
+// InputElems returns the number of input activation elements (one
+// invocation, Repeat excluded: repeated invocations stream fresh
+// inputs, which callers account for via Repeat-aware traffic methods).
+func (l *Layer) InputElems() int64 { return int64(l.C) * int64(l.Y) * int64(l.X) }
+
+// WeightElems returns the number of filter weight elements.
+func (l *Layer) WeightElems() int64 {
+	if l.Op == DWConv {
+		return int64(l.K) * int64(l.R) * int64(l.S)
+	}
+	return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+}
+
+// OutputElems returns the number of output activation elements (one
+// invocation).
+func (l *Layer) OutputElems() int64 {
+	return int64(l.K) * int64(l.OutY()) * int64(l.OutX())
+}
+
+// TotalInputElems returns input elements across all Repeat invocations.
+func (l *Layer) TotalInputElems() int64 { return l.InputElems() * l.reps() }
+
+// TotalOutputElems returns output elements across all Repeat invocations.
+func (l *Layer) TotalOutputElems() int64 { return l.OutputElems() * l.reps() }
+
+// ChannelActivationRatio is the layer-shape abstraction used in
+// Table I: the number of input channels divided by the input activation
+// height. Large ratios indicate deep-channel, small-spatial layers (late
+// classification layers, FC); small ratios indicate shallow-channel,
+// large-spatial layers (early layers, segmentation decoders).
+func (l *Layer) ChannelActivationRatio() float64 {
+	y := l.Y
+	if y < 1 {
+		y = 1
+	}
+	return float64(l.C) / float64(y)
+}
+
+// Validate reports whether the layer dimensions are structurally
+// consistent.
+func (l *Layer) Validate() error {
+	switch {
+	case l.K < 1 || l.C < 1:
+		return fmt.Errorf("dnn: layer %q: channels must be >= 1 (K=%d C=%d)", l.Name, l.K, l.C)
+	case l.Y < 1 || l.X < 1:
+		return fmt.Errorf("dnn: layer %q: activation must be >= 1 (Y=%d X=%d)", l.Name, l.Y, l.X)
+	case l.R < 1 || l.S < 1:
+		return fmt.Errorf("dnn: layer %q: filter must be >= 1 (R=%d S=%d)", l.Name, l.R, l.S)
+	case l.Stride < 1:
+		return fmt.Errorf("dnn: layer %q: stride must be >= 1 (got %d)", l.Name, l.Stride)
+	case l.Pad < 0:
+		return fmt.Errorf("dnn: layer %q: pad must be >= 0 (got %d)", l.Name, l.Pad)
+	case l.Repeat < 0:
+		return fmt.Errorf("dnn: layer %q: repeat must be >= 0 (got %d)", l.Name, l.Repeat)
+	}
+	switch l.Op {
+	case DWConv:
+		if l.K != l.C {
+			return fmt.Errorf("dnn: layer %q: depth-wise convolution requires K == C (K=%d C=%d)", l.Name, l.K, l.C)
+		}
+	case PWConv:
+		if l.R != 1 || l.S != 1 {
+			return fmt.Errorf("dnn: layer %q: point-wise convolution requires 1x1 filter (R=%d S=%d)", l.Name, l.R, l.S)
+		}
+	case FC:
+		if l.Y != 1 || l.X != 1 || l.R != 1 || l.S != 1 {
+			return fmt.Errorf("dnn: layer %q: FC requires Y=X=R=S=1", l.Name)
+		}
+	}
+	if l.Op != UpConv && l.Y+2*l.Pad < l.R {
+		return fmt.Errorf("dnn: layer %q: filter rows exceed padded input (Y=%d Pad=%d R=%d)", l.Name, l.Y, l.Pad, l.R)
+	}
+	if l.Op != UpConv && l.X+2*l.Pad < l.S {
+		return fmt.Errorf("dnn: layer %q: filter cols exceed padded input (X=%d Pad=%d S=%d)", l.Name, l.X, l.Pad, l.S)
+	}
+	return nil
+}
+
+// String renders the layer in a compact, readable form.
+func (l *Layer) String() string {
+	return fmt.Sprintf("%s %s K%d C%d %dx%d f%dx%d s%d p%d -> %dx%d",
+		l.Name, l.Op, l.K, l.C, l.Y, l.X, l.R, l.S, l.Stride, l.Pad, l.OutY(), l.OutX())
+}
+
+// ShapeKey returns a canonical identity for the layer shape, ignoring
+// the name. Layers with equal ShapeKeys have identical cost on any
+// accelerator, which cost-model callers exploit for caching.
+type ShapeKey struct {
+	Op                  Op
+	K, C, Y, X, R, S    int
+	Stride, Pad, Repeat int
+}
+
+// Key returns the layer's ShapeKey.
+func (l *Layer) Key() ShapeKey {
+	rep := l.Repeat
+	if rep <= 1 {
+		rep = 1
+	}
+	return ShapeKey{l.Op, l.K, l.C, l.Y, l.X, l.R, l.S, l.Stride, l.Pad, rep}
+}
+
+// ErrEmptyModel is returned by Model.Validate for models with no layers.
+var ErrEmptyModel = errors.New("dnn: model has no layers")

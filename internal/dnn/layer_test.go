@@ -1,0 +1,222 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutDims(t *testing.T) {
+	tests := []struct {
+		name       string
+		l          Layer
+		outY, outX int
+	}{
+		{"same-pad stride1", Layer{Op: Conv2D, K: 8, C: 8, Y: 56, X: 56, R: 3, S: 3, Stride: 1, Pad: 1}, 56, 56},
+		{"same-pad stride2", Layer{Op: Conv2D, K: 8, C: 8, Y: 56, X: 56, R: 3, S: 3, Stride: 2, Pad: 1}, 28, 28},
+		{"valid conv", Layer{Op: Conv2D, K: 8, C: 8, Y: 580, X: 580, R: 3, S: 3, Stride: 1}, 578, 578},
+		{"7x7 stem", Layer{Op: Conv2D, K: 64, C: 3, Y: 224, X: 224, R: 7, S: 7, Stride: 2, Pad: 3}, 112, 112},
+		{"fc", Layer{Op: FC, K: 10, C: 100, Y: 1, X: 1, R: 1, S: 1, Stride: 1}, 1, 1},
+		{"upconv 2x", Layer{Op: UpConv, K: 8, C: 16, Y: 28, X: 28, R: 2, S: 2, Stride: 2}, 56, 56},
+		{"pw stride2", Layer{Op: PWConv, K: 8, C: 8, Y: 9, X: 9, R: 1, S: 1, Stride: 2}, 5, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.l.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := tc.l.OutY(); got != tc.outY {
+				t.Errorf("OutY = %d, want %d", got, tc.outY)
+			}
+			if got := tc.l.OutX(); got != tc.outX {
+				t.Errorf("OutX = %d, want %d", got, tc.outX)
+			}
+		})
+	}
+}
+
+func TestMACs(t *testing.T) {
+	conv := Layer{Op: Conv2D, K: 64, C: 32, Y: 56, X: 56, R: 3, S: 3, Stride: 1, Pad: 1}
+	want := int64(64) * 32 * 56 * 56 * 9
+	if got := conv.MACs(); got != want {
+		t.Errorf("conv MACs = %d, want %d", got, want)
+	}
+
+	dw := Layer{Op: DWConv, K: 32, C: 32, Y: 56, X: 56, R: 3, S: 3, Stride: 1, Pad: 1}
+	wantDW := int64(32) * 56 * 56 * 9
+	if got := dw.MACs(); got != wantDW {
+		t.Errorf("dwconv MACs = %d, want %d (no C accumulation)", got, wantDW)
+	}
+
+	fc := Layer{Op: FC, K: 1000, C: 2048, Y: 1, X: 1, R: 1, S: 1, Stride: 1}
+	if got := fc.MACs(); got != 1000*2048 {
+		t.Errorf("fc MACs = %d, want %d", got, 1000*2048)
+	}
+
+	rep := fc
+	rep.Repeat = 25
+	if got := rep.MACs(); got != 25*1000*2048 {
+		t.Errorf("repeated fc MACs = %d, want %d", got, 25*1000*2048)
+	}
+
+	up := Layer{Op: UpConv, K: 8, C: 16, Y: 10, X: 10, R: 2, S: 2, Stride: 2}
+	wantUp := int64(8) * 16 * 10 * 10 * 4
+	if got := up.MACs(); got != wantUp {
+		t.Errorf("upconv MACs = %d, want %d", got, wantUp)
+	}
+}
+
+func TestTensorSizes(t *testing.T) {
+	l := Layer{Op: Conv2D, K: 64, C: 32, Y: 56, X: 56, R: 3, S: 3, Stride: 2, Pad: 1}
+	if got := l.InputElems(); got != 32*56*56 {
+		t.Errorf("InputElems = %d", got)
+	}
+	if got := l.WeightElems(); got != 64*32*9 {
+		t.Errorf("WeightElems = %d", got)
+	}
+	if got := l.OutputElems(); got != int64(64)*28*28 {
+		t.Errorf("OutputElems = %d", got)
+	}
+
+	dw := Layer{Op: DWConv, K: 32, C: 32, Y: 56, X: 56, R: 3, S: 3, Stride: 1, Pad: 1}
+	if got := dw.WeightElems(); got != 32*9 {
+		t.Errorf("dw WeightElems = %d, want %d", got, 32*9)
+	}
+}
+
+func TestValidateRejectsBadLayers(t *testing.T) {
+	bad := []Layer{
+		{Op: Conv2D, K: 0, C: 3, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Op: Conv2D, K: 8, C: 3, Y: 0, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Op: Conv2D, K: 8, C: 3, Y: 8, X: 8, R: 3, S: 3, Stride: 0, Pad: 1},
+		{Op: Conv2D, K: 8, C: 3, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: -1},
+		{Op: DWConv, K: 16, C: 8, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1}, // K != C
+		{Op: PWConv, K: 8, C: 8, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},  // not 1x1
+		{Op: FC, K: 8, C: 8, Y: 2, X: 1, R: 1, S: 1, Stride: 1},              // spatial FC
+		{Op: Conv2D, K: 8, C: 8, Y: 2, X: 2, R: 5, S: 5, Stride: 1, Pad: 0},  // filter > input
+		{Op: Conv2D, K: 8, C: 8, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Repeat: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted invalid layer", i, l)
+		}
+	}
+}
+
+func TestChannelActivationRatio(t *testing.T) {
+	stem := Layer{Op: Conv2D, K: 64, C: 3, Y: 224, X: 224, R: 7, S: 7, Stride: 2, Pad: 3}
+	if r := stem.ChannelActivationRatio(); r < 0.013 || r > 0.014 {
+		t.Errorf("stem ratio = %f, want ~0.0134 (Table I ResNet50 min)", r)
+	}
+	fc := Layer{Op: FC, K: 1000, C: 1280, Y: 1, X: 1, R: 1, S: 1, Stride: 1}
+	if r := fc.ChannelActivationRatio(); r != 1280 {
+		t.Errorf("fc ratio = %f, want 1280 (Table I MobileNetV2 max)", r)
+	}
+}
+
+func TestShapeKeyIdentity(t *testing.T) {
+	a := Layer{Name: "a", Op: Conv2D, K: 8, C: 3, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1}
+	b := a
+	b.Name = "b"
+	if a.Key() != b.Key() {
+		t.Error("same shape with different names should share a ShapeKey")
+	}
+	c := a
+	c.Stride = 2
+	if a.Key() == c.Key() {
+		t.Error("different strides must produce distinct ShapeKeys")
+	}
+	// Repeat 0 and 1 are the same shape.
+	d, e := a, a
+	d.Repeat = 0
+	e.Repeat = 1
+	if d.Key() != e.Key() {
+		t.Error("Repeat 0 and 1 must normalize to the same ShapeKey")
+	}
+}
+
+// genLayer produces a random valid layer for property tests.
+func genLayer(r *rand.Rand) Layer {
+	ops := []Op{Conv2D, PWConv, DWConv, FC, UpConv}
+	op := ops[r.Intn(len(ops))]
+	l := Layer{Op: op, Stride: 1 + r.Intn(2), Repeat: 1}
+	switch op {
+	case FC:
+		l.K, l.C = 1+r.Intn(4096), 1+r.Intn(4096)
+		l.Y, l.X, l.R, l.S, l.Stride = 1, 1, 1, 1, 1
+	case PWConv:
+		l.K, l.C = 1+r.Intn(512), 1+r.Intn(512)
+		l.Y = 1 + r.Intn(128)
+		l.X = 1 + r.Intn(128)
+		l.R, l.S = 1, 1
+	case DWConv:
+		ch := 1 + r.Intn(512)
+		l.K, l.C = ch, ch
+		l.R, l.S = 3, 3
+		l.Y = 3 + r.Intn(128)
+		l.X = 3 + r.Intn(128)
+		l.Pad = 1
+	case UpConv:
+		l.K, l.C = 1+r.Intn(256), 1+r.Intn(256)
+		l.R, l.S = 2, 2
+		l.Stride = 2
+		l.Y = 1 + r.Intn(64)
+		l.X = 1 + r.Intn(64)
+	default:
+		l.K, l.C = 1+r.Intn(256), 1+r.Intn(256)
+		l.R, l.S = 3, 3
+		l.Pad = 1
+		l.Y = 3 + r.Intn(128)
+		l.X = 3 + r.Intn(128)
+	}
+	return l
+}
+
+// TestLayerInvariants property-checks structural invariants over random
+// valid layers: positive outputs and MACs, MACs consistent with a
+// direct loop-nest product, and DWConv never exceeding the equivalent
+// CONV2D cost.
+func TestLayerInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := genLayer(r)
+		if err := l.Validate(); err != nil {
+			t.Logf("generated invalid layer: %v", err)
+			return false
+		}
+		if l.OutY() < 1 || l.OutX() < 1 {
+			return false
+		}
+		if l.MACs() < 1 {
+			return false
+		}
+		// MACs must match the loop-nest product.
+		var want int64
+		switch l.Op {
+		case DWConv:
+			want = int64(l.K) * int64(l.OutY()) * int64(l.OutX()) * int64(l.R) * int64(l.S)
+		case UpConv:
+			want = int64(l.K) * int64(l.C) * int64(l.Y) * int64(l.X) * int64(l.R) * int64(l.S)
+		default:
+			want = int64(l.K) * int64(l.C) * int64(l.OutY()) * int64(l.OutX()) * int64(l.R) * int64(l.S)
+		}
+		if l.MACs() != want {
+			return false
+		}
+		// Footprints are positive.
+		return l.InputElems() > 0 && l.WeightElems() > 0 && l.OutputElems() > 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Conv2D.String() != "CONV2D" || DWConv.String() != "DWCONV" || UpConv.String() != "UPCONV" {
+		t.Error("Op names must match the paper's spelling")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("out-of-range Op should degrade gracefully")
+	}
+}

@@ -1,0 +1,233 @@
+package dnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is an ordered list of layers forming one DNN. Layer execution
+// follows the paper's dependence heuristic (§IV-D): layers within a
+// model form a (mostly) linear dependence chain; layers of different
+// models are independent. Skip connections and concatenations are
+// recorded in SkipEdges for documentation and validation but do not
+// add scheduling freedom beyond the linear chain (they only ever point
+// backwards).
+type Model struct {
+	Name   string
+	Layers []Layer
+
+	// SkipEdges records non-linear dataflow edges (residual additions,
+	// UNet concatenations) as (from, to) layer-index pairs with
+	// from < to. They are informational: the linear chain already
+	// subsumes their ordering constraints.
+	SkipEdges [][2]int
+}
+
+// Validate checks every layer and the structural consistency of skip
+// edges.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("%w (model %q)", ErrEmptyModel, m.Name)
+	}
+	for i := range m.Layers {
+		if err := m.Layers[i].Validate(); err != nil {
+			return fmt.Errorf("model %q layer %d: %w", m.Name, i, err)
+		}
+	}
+	for _, e := range m.SkipEdges {
+		if e[0] < 0 || e[1] >= len(m.Layers) || e[0] >= e[1] {
+			return fmt.Errorf("dnn: model %q: invalid skip edge %v", m.Name, e)
+		}
+	}
+	return nil
+}
+
+// NumLayers returns the number of layers.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// MACs returns the total multiply-accumulate count of the model.
+func (m *Model) MACs() int64 {
+	var t int64
+	for i := range m.Layers {
+		t += m.Layers[i].MACs()
+	}
+	return t
+}
+
+// WeightElems returns the total number of weight elements.
+func (m *Model) WeightElems() int64 {
+	var t int64
+	for i := range m.Layers {
+		t += m.Layers[i].WeightElems()
+	}
+	return t
+}
+
+// Ops returns the set of distinct operator types used by the model, in
+// ascending Op order (mirrors Table I's "Layer Operations" column).
+func (m *Model) Ops() []Op {
+	seen := map[Op]bool{}
+	for i := range m.Layers {
+		seen[m.Layers[i].Op] = true
+	}
+	ops := make([]Op, 0, len(seen))
+	for o := range seen {
+		ops = append(ops, o)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// RatioStats summarizes the channel-activation size ratio distribution
+// of a model, as reported per model in Table I.
+type RatioStats struct {
+	Min, Median, Max float64
+}
+
+// RatioStats computes the Table I shape-heterogeneity statistics over
+// the model's layers.
+func (m *Model) RatioStats() RatioStats {
+	if len(m.Layers) == 0 {
+		return RatioStats{}
+	}
+	rs := make([]float64, len(m.Layers))
+	for i := range m.Layers {
+		rs[i] = m.Layers[i].ChannelActivationRatio()
+	}
+	sort.Float64s(rs)
+	med := rs[len(rs)/2]
+	if len(rs)%2 == 0 {
+		med = (rs[len(rs)/2-1] + rs[len(rs)/2]) / 2
+	}
+	return RatioStats{Min: rs[0], Median: med, Max: rs[len(rs)-1]}
+}
+
+// MaxChannelParallelism returns the largest K*C product over the
+// model's layers that accumulate across channels (the paper's §V-B
+// "maximum channel parallelism": the parallelism an NVDLA-style
+// dataflow could theoretically exploit).
+func (m *Model) MaxChannelParallelism() int64 {
+	var best int64
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		var p int64
+		if l.Op == DWConv {
+			p = int64(l.K)
+		} else {
+			p = int64(l.K) * int64(l.C)
+		}
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// MaxActivationParallelism returns the largest OutY*OutX product over
+// the model's layers (the paper's "maximum activation parallelism":
+// what a Shi-diannao-style dataflow could exploit).
+func (m *Model) MaxActivationParallelism() int64 {
+	var best int64
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		p := int64(l.OutY()) * int64(l.OutX())
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// builder accumulates layers while tracking the running activation
+// shape, so zoo definitions read like network definitions.
+type builder struct {
+	name   string
+	layers []Layer
+	skips  [][2]int
+	c      int // current channels
+	y, x   int // current activation shape
+}
+
+func newBuilder(name string, channels, y, x int) *builder {
+	return &builder{name: name, c: channels, y: y, x: x}
+}
+
+func (b *builder) idx() int { return len(b.layers) - 1 }
+
+func (b *builder) push(l Layer) {
+	l.Name = fmt.Sprintf("%s/%02d-%s", b.name, len(b.layers), l.Name)
+	b.layers = append(b.layers, l)
+	b.c = l.K
+	b.y = l.OutY()
+	b.x = l.OutX()
+}
+
+// conv adds a standard convolution with "same" padding.
+func (b *builder) conv(name string, k, r, stride int) {
+	b.push(Layer{Name: name, Op: Conv2D, K: k, C: b.c, Y: b.y, X: b.x, R: r, S: r, Stride: stride, Pad: r / 2})
+}
+
+// convValid adds a convolution with no padding (UNet-style).
+func (b *builder) convValid(name string, k, r, stride int) {
+	b.push(Layer{Name: name, Op: Conv2D, K: k, C: b.c, Y: b.y, X: b.x, R: r, S: r, Stride: stride, Pad: 0})
+}
+
+// pw adds a 1×1 point-wise convolution.
+func (b *builder) pw(name string, k, stride int) {
+	b.push(Layer{Name: name, Op: PWConv, K: k, C: b.c, Y: b.y, X: b.x, R: 1, S: 1, Stride: stride})
+}
+
+// dw adds a depth-wise convolution with "same" padding.
+func (b *builder) dw(name string, r, stride int) {
+	b.push(Layer{Name: name, Op: DWConv, K: b.c, C: b.c, Y: b.y, X: b.x, R: r, S: r, Stride: stride, Pad: r / 2})
+}
+
+// fc adds a fully-connected layer, flattening the current activation.
+func (b *builder) fc(name string, k int) {
+	in := b.c * b.y * b.x
+	b.push(Layer{Name: name, Op: FC, K: k, C: in, Y: 1, X: 1, R: 1, S: 1, Stride: 1})
+}
+
+// fcRepeat adds a fully-connected layer executed `rep` sequential times
+// (RNN timesteps).
+func (b *builder) fcRepeat(name string, k, rep int) {
+	in := b.c * b.y * b.x
+	b.push(Layer{Name: name, Op: FC, K: k, C: in, Y: 1, X: 1, R: 1, S: 1, Stride: 1, Repeat: rep})
+}
+
+// up adds an up-scale (transposed) convolution that multiplies spatial
+// resolution by `factor`.
+func (b *builder) up(name string, k, r, factor int) {
+	b.push(Layer{Name: name, Op: UpConv, K: k, C: b.c, Y: b.y, X: b.x, R: r, S: r, Stride: factor})
+}
+
+// pool downsamples the running activation shape without adding a layer
+// (pooling is excluded from the paper's layer counts; its compute is
+// negligible).
+func (b *builder) pool(factor int) {
+	b.y /= factor
+	b.x /= factor
+	if b.y < 1 {
+		b.y = 1
+	}
+	if b.x < 1 {
+		b.x = 1
+	}
+}
+
+// globalPool collapses the activation to 1×1.
+func (b *builder) globalPool() { b.y, b.x = 1, 1 }
+
+// setShape overrides the running activation shape (used after concat or
+// crop operations that change channels without a compute layer).
+func (b *builder) setShape(c, y, x int) { b.c, b.y, b.x = c, y, x }
+
+// skip records a skip edge from layer index `from` to the next layer to
+// be pushed.
+func (b *builder) skipFrom(from int) {
+	b.skips = append(b.skips, [2]int{from, len(b.layers)})
+}
+
+func (b *builder) model() *Model {
+	return &Model{Name: b.name, Layers: b.layers, SkipEdges: b.skips}
+}

@@ -1,0 +1,114 @@
+package dnn
+
+import (
+	"testing"
+)
+
+func TestModelValidate(t *testing.T) {
+	empty := &Model{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty model should fail validation")
+	}
+
+	bad := &Model{Name: "bad", Layers: []Layer{
+		{Op: Conv2D, K: 8, C: 3, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+	}, SkipEdges: [][2]int{{0, 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range skip edge should fail validation")
+	}
+
+	badOrder := &Model{Name: "bad2", Layers: []Layer{
+		{Op: Conv2D, K: 8, C: 3, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Op: Conv2D, K: 8, C: 8, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+	}, SkipEdges: [][2]int{{1, 1}}}
+	if err := badOrder.Validate(); err == nil {
+		t.Error("non-forward skip edge should fail validation")
+	}
+}
+
+func TestModelAggregates(t *testing.T) {
+	m := &Model{Name: "m", Layers: []Layer{
+		{Op: Conv2D, K: 4, C: 2, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Op: FC, K: 10, C: 4 * 8 * 8, Y: 1, X: 1, R: 1, S: 1, Stride: 1},
+	}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantMACs := int64(4*2*8*8*9) + int64(10*4*8*8)
+	if got := m.MACs(); got != wantMACs {
+		t.Errorf("MACs = %d, want %d", got, wantMACs)
+	}
+	wantW := int64(4*2*9) + int64(10*4*8*8)
+	if got := m.WeightElems(); got != wantW {
+		t.Errorf("WeightElems = %d, want %d", got, wantW)
+	}
+	ops := m.Ops()
+	if len(ops) != 2 || ops[0] != Conv2D || ops[1] != FC {
+		t.Errorf("Ops = %v, want [CONV2D FC]", ops)
+	}
+}
+
+func TestRatioStatsOddEven(t *testing.T) {
+	mk := func(cs ...int) *Model {
+		m := &Model{Name: "r"}
+		for _, c := range cs {
+			m.Layers = append(m.Layers, Layer{Op: PWConv, K: 8, C: c, Y: 1, X: 1, R: 1, S: 1, Stride: 1})
+		}
+		return m
+	}
+	odd := mk(1, 2, 4) // ratios 1,2,4 (Y=1)
+	if st := odd.RatioStats(); st.Min != 1 || st.Median != 2 || st.Max != 4 {
+		t.Errorf("odd stats = %+v", st)
+	}
+	even := mk(1, 2, 4, 8)
+	if st := even.RatioStats(); st.Median != 3 {
+		t.Errorf("even median = %f, want 3 (midpoint)", st.Median)
+	}
+	var none Model
+	if st := none.RatioStats(); st != (RatioStats{}) {
+		t.Errorf("empty stats = %+v, want zero", st)
+	}
+}
+
+func TestBuilderShapeTracking(t *testing.T) {
+	b := newBuilder("t", 3, 32, 32)
+	b.conv("c1", 16, 3, 2) // -> 16x16
+	if b.y != 16 || b.c != 16 {
+		t.Fatalf("after conv: c=%d y=%d", b.c, b.y)
+	}
+	b.pool(2) // -> 8x8
+	if b.y != 8 {
+		t.Fatalf("after pool: y=%d", b.y)
+	}
+	b.dw("d1", 3, 1)
+	if b.c != 16 {
+		t.Fatalf("dw should preserve channels, c=%d", b.c)
+	}
+	b.up("u1", 8, 2, 2) // -> 16x16
+	if b.y != 16 || b.c != 8 {
+		t.Fatalf("after up: c=%d y=%d", b.c, b.y)
+	}
+	b.globalPool()
+	b.fc("f1", 10)
+	m := b.model()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Layers[len(m.Layers)-1]
+	if fc.C != 8 {
+		t.Errorf("fc input channels = %d, want 8 (flattened 8x1x1)", fc.C)
+	}
+}
+
+func TestMaxParallelismHelpers(t *testing.T) {
+	m := &Model{Name: "p", Layers: []Layer{
+		{Op: Conv2D, K: 8, C: 4, Y: 32, X: 32, R: 3, S: 3, Stride: 1, Pad: 1}, // ch par 32, act par 1024
+		{Op: DWConv, K: 512, C: 512, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1},
+	}}
+	if got := m.MaxChannelParallelism(); got != 512 {
+		t.Errorf("MaxChannelParallelism = %d, want 512 (dwconv counts K only)", got)
+	}
+	if got := m.MaxActivationParallelism(); got != 1024 {
+		t.Errorf("MaxActivationParallelism = %d, want 1024", got)
+	}
+}

@@ -1,0 +1,65 @@
+package dnn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// zooBuilders maps canonical model names to their generators. Names
+// follow the paper's spelling (Tables I & II).
+var zooBuilders = map[string]func() *Model{
+	"resnet50":        ResNet50,
+	"mobilenetv1":     MobileNetV1,
+	"mobilenetv2":     MobileNetV2,
+	"unet":            UNet,
+	"brq-handpose":    BrQHandposeNet,
+	"fl-depthnet":     FocalLengthDepthNet,
+	"ssd-resnet34":    SSDResNet34,
+	"ssd-mobilenetv1": SSDMobileNetV1,
+	"gnmt":            GNMT,
+}
+
+var (
+	zooMu    sync.Mutex
+	zooCache = map[string]*Model{}
+)
+
+// ByName returns the named model from the zoo. Models are built once
+// and cached; callers must treat the returned model as immutable.
+func ByName(name string) (*Model, error) {
+	zooMu.Lock()
+	defer zooMu.Unlock()
+	if m, ok := zooCache[name]; ok {
+		return m, nil
+	}
+	build, ok := zooBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("dnn: unknown model %q (have %v)", name, Names())
+	}
+	m := build()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("dnn: zoo model %q failed validation: %w", name, err)
+	}
+	zooCache[name] = m
+	return m, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown models.
+func MustByName(name string) *Model {
+	m, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names returns the sorted list of model names in the zoo.
+func Names() []string {
+	names := make([]string, 0, len(zooBuilders))
+	for n := range zooBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

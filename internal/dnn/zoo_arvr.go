@@ -1,0 +1,80 @@
+package dnn
+
+// BrQHandposeNet builds the hand-pose estimation network named "Br-Q
+// HandposeNet" in Table I (after Madadi et al., end-to-end global-to-
+// local CNN hand pose recovery from depth). A single-channel 64×64
+// depth crop passes through a five-stage convolutional encoder and a
+// deep fully-connected regressor of 1024-unit layers predicting 21 3D
+// joints. 11 compute layers.
+//
+// The shape statistics reproduce Table I's row: minimum
+// channel-activation ratio 1/64 ≈ 0.016 at the input, median and
+// maximum 1024 from the FC trunk.
+func BrQHandposeNet() *Model {
+	b := newBuilder("brq-handpose", 1, 64, 64)
+	b.conv("enc1", 32, 3, 1)
+	b.conv("enc2", 64, 3, 2)
+	b.conv("enc3", 128, 3, 2)
+	b.conv("enc4", 256, 3, 2)
+	b.conv("enc5", 256, 3, 2)
+	b.pool(2) // 4×4 → 2×2: flatten to 1024 features
+	for i := 1; i <= 5; i++ {
+		b.fc("fc"+itoa(i), 1024)
+	}
+	b.fc("joints", 63) // 21 joints × (x,y,z)
+	return b.model()
+}
+
+// FocalLengthDepthNet builds the monocular depth-estimation network of
+// Table I (after He, Wang & Hu, "learning depth from single images with
+// deep neural network embedding focal length"): a VGG-16-style encoder
+// on a 224×224×3 image, a 4096-unit fully-connected middle embedding
+// the focal length, and an up-convolutional decoder restoring the
+// 224×224 depth map. 25 compute layers.
+//
+// The middle's second FC layer is 4096→4096: its K·C = 16.8M is the
+// "maximum channel parallelism (FC layer 2, Focal Length DepthNet)"
+// quoted in §V-B, and its channel-activation ratio of 4096 is the
+// Table I maximum for this model. The first encoder convolution gives
+// the minimum 3/224 ≈ 0.013.
+func FocalLengthDepthNet() *Model {
+	b := newBuilder("fl-depthnet", 3, 224, 224)
+	// VGG-16 encoder (13 convolutions).
+	b.conv("enc1a", 64, 3, 1)
+	b.conv("enc1b", 64, 3, 1)
+	b.pool(2)
+	b.conv("enc2a", 128, 3, 1)
+	b.conv("enc2b", 128, 3, 1)
+	b.pool(2)
+	b.conv("enc3a", 256, 3, 1)
+	b.conv("enc3b", 256, 3, 1)
+	b.conv("enc3c", 256, 3, 1)
+	b.pool(2)
+	b.conv("enc4a", 512, 3, 1)
+	b.conv("enc4b", 512, 3, 1)
+	b.conv("enc4c", 512, 3, 1)
+	b.pool(2)
+	b.conv("enc5a", 512, 3, 1)
+	b.conv("enc5b", 512, 3, 1)
+	b.conv("enc5c", 512, 3, 1)
+	b.pool(2)
+
+	// FC middle. fc1 is realized as a 7×7 valid convolution (the
+	// standard "FC-as-conv" formulation), fc2 is the 4096×4096 GEMM.
+	b.convValid("fc1-conv", 4096, 7, 1)
+	b.fc("fc2", 4096)
+	b.fc("fc3", 64*7*7)
+	b.setShape(64, 7, 7)
+
+	// Up-convolutional decoder back to 224×224.
+	b.up("up1", 512, 2, 2) // 14×14
+	b.conv("dec1", 512, 3, 1)
+	b.up("up2", 256, 2, 2) // 28×28
+	b.conv("dec2", 256, 3, 1)
+	b.up("up3", 128, 2, 2) // 56×56
+	b.conv("dec3", 128, 3, 1)
+	b.up("up4", 64, 2, 2) // 112×112
+	b.up("up5", 32, 2, 2) // 224×224
+	b.pw("depth", 1, 1)
+	return b.model()
+}

@@ -1,0 +1,38 @@
+package dnn
+
+// gnmtSeqLen is the sequence length used to model GNMT translation
+// (MLPerf inference uses variable-length sentences; 25 tokens is the
+// benchmark's average-scale operating point).
+const gnmtSeqLen = 25
+
+// GNMT builds the Google Neural Machine Translation model used by the
+// MLPerf workload, following the standard MAESTRO treatment of RNNs:
+// each LSTM layer is a fully-connected GEMM over the concatenated
+// (input, hidden) vector producing the four gate pre-activations, and
+// executes once per timestep (Repeat = sequence length). Timesteps are
+// serially dependent, so the Repeat field scales compute and traffic
+// without exposing spatial parallelism — which is exactly why GNMT
+// strongly prefers channel-parallel (NVDLA-style) dataflows in the
+// paper's MLPerf results.
+//
+// Structure: 8 encoder LSTM layers, 8 decoder LSTM layers (hidden size
+// 1024), a 2-layer attention MLP, and the 32K-vocabulary projection.
+// 19 compute layers.
+func GNMT() *Model {
+	const hidden = 1024
+	const vocab = 32000
+	b := newBuilder("gnmt", 2*hidden, 1, 1)
+	for i := 1; i <= 8; i++ {
+		b.fcRepeat("enc-lstm"+itoa(i), 4*hidden, gnmtSeqLen)
+		b.setShape(2*hidden, 1, 1) // next layer consumes (input, hidden)
+	}
+	for i := 1; i <= 8; i++ {
+		b.fcRepeat("dec-lstm"+itoa(i), 4*hidden, gnmtSeqLen)
+		b.setShape(2*hidden, 1, 1)
+	}
+	b.setShape(hidden, 1, 1)
+	b.fcRepeat("attn-score", hidden, gnmtSeqLen)
+	b.fcRepeat("attn-mix", hidden, gnmtSeqLen)
+	b.fcRepeat("vocab-proj", vocab, gnmtSeqLen)
+	return b.model()
+}

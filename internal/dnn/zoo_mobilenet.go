@@ -1,0 +1,98 @@
+package dnn
+
+// MobileNetV2 builds the MobileNet-V2 classification network (Sandler
+// et al.) at 224×224×3 input: a 3×3 stem, 17 inverted-residual blocks,
+// a final 1×1 expansion to 1280 channels, and a 1000-way classifier.
+// 53 compute layers, ~310 MMACs. The Table I object-detection backbone
+// with the extreme channel-activation ratio spread (3/224 ≈ 0.013 at
+// the stem, 1280/1 at the classifier input) and depth-wise layers that
+// punish channel-parallel dataflows.
+func MobileNetV2() *Model {
+	b := newBuilder("mobilenetv2", 3, 224, 224)
+	b.conv("stem", 32, 3, 2)
+
+	// First block: no expansion (t=1).
+	b.dw("dw-b1", 3, 1)
+	b.pw("proj-b1", 16, 1)
+
+	type group struct {
+		n, out, stride int
+	}
+	// (repeat count, output channels, first-block stride) per the
+	// MobileNetV2 paper's Table 2, expansion factor t=6 throughout.
+	groups := []group{
+		{2, 24, 2}, {3, 32, 2}, {4, 64, 2},
+		{3, 96, 1}, {3, 160, 2}, {1, 320, 1},
+	}
+	blk := 1
+	for _, g := range groups {
+		for i := 0; i < g.n; i++ {
+			blk++
+			stride := 1
+			if i == 0 {
+				stride = g.stride
+			}
+			entry := b.idx()
+			residual := stride == 1 && b.c == g.out
+			b.pw("expand-b"+itoa(blk), b.c*6, 1)
+			b.dw("dw-b"+itoa(blk), 3, stride)
+			b.pw("proj-b"+itoa(blk), g.out, 1)
+			if residual {
+				b.skipFrom(entry)
+			}
+		}
+	}
+	b.pw("head", 1280, 1)
+	b.globalPool()
+	b.fc("fc1000", 1000)
+	return b.model()
+}
+
+// MobileNetV1 builds the MobileNet-V1 classification network (Howard et
+// al.) at 224×224×3: a 3×3 stem, 13 depth-wise-separable blocks
+// (DW + PW each), and a 1000-way classifier. 28 compute layers,
+// ~569 MMACs. Used by the MLPerf workload (Table II).
+func MobileNetV1() *Model {
+	b := newBuilder("mobilenetv1", 3, 224, 224)
+	b.conv("stem", 32, 3, 2)
+
+	type block struct {
+		out, stride int
+	}
+	blocks := []block{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, bl := range blocks {
+		b.dw("dw-b"+itoa(i+1), 3, bl.stride)
+		b.pw("pw-b"+itoa(i+1), bl.out, 1)
+	}
+	b.globalPool()
+	b.fc("fc1000", 1000)
+	return b.model()
+}
+
+// mobileNetV1Backbone builds the MobileNet-V1 trunk (no classifier) at
+// the given input resolution, for the SSD-MobileNetV1 detector.
+func mobileNetV1Backbone(name string, input int) *builder {
+	b := newBuilder(name, 3, input, input)
+	b.conv("stem", 32, 3, 2)
+	type block struct {
+		out, stride int
+	}
+	blocks := []block{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, bl := range blocks {
+		b.dw("dw-b"+itoa(i+1), 3, bl.stride)
+		b.pw("pw-b"+itoa(i+1), bl.out, 1)
+	}
+	return b
+}

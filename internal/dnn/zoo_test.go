@@ -1,0 +1,258 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZooAllModelsValidate(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m.MACs() <= 0 {
+			t.Errorf("%s: non-positive MAC count", name)
+		}
+	}
+}
+
+func TestZooByNameUnknown(t *testing.T) {
+	if _, err := ByName("not-a-model"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestZooCachesModels(t *testing.T) {
+	a := MustByName("resnet50")
+	b := MustByName("resnet50")
+	if a != b {
+		t.Error("zoo should cache and return the same model instance")
+	}
+}
+
+func TestZooLayerCounts(t *testing.T) {
+	// The paper's per-instance layer counts: ResNet50 has 54 compute
+	// layers, UNet 23 (§V, Table VII layer accounting). Our other
+	// models use the canonical published layer structure.
+	counts := map[string]int{
+		"resnet50":        54,
+		"unet":            23,
+		"mobilenetv1":     28,
+		"mobilenetv2":     53,
+		"brq-handpose":    11,
+		"fl-depthnet":     25,
+		"gnmt":            19,
+		"ssd-resnet34":    53,
+		"ssd-mobilenetv1": 47,
+	}
+	for name, want := range counts {
+		m := MustByName(name)
+		if got := m.NumLayers(); got != want {
+			t.Errorf("%s: %d layers, want %d", name, got, want)
+		}
+	}
+}
+
+func TestZooMACBallparks(t *testing.T) {
+	// Published MAC counts for the classification networks; the zoo
+	// must land within 15% (structural fidelity check).
+	ballparks := map[string]struct {
+		want int64
+		tol  float64
+	}{
+		"resnet50":    {4_100_000_000, 0.15},
+		"mobilenetv1": {569_000_000, 0.15},
+		"mobilenetv2": {310_000_000, 0.20},
+	}
+	for name, bp := range ballparks {
+		m := MustByName(name)
+		got := float64(m.MACs())
+		lo := float64(bp.want) * (1 - bp.tol)
+		hi := float64(bp.want) * (1 + bp.tol)
+		if got < lo || got > hi {
+			t.Errorf("%s: %.0f MACs, want within [%.0f, %.0f]", name, got, lo, hi)
+		}
+	}
+	// UNet at 580x580 with valid convolutions is tens of GMACs — the
+	// workload-size asymmetry behind Figure 2's axis scales.
+	if unet := MustByName("unet"); unet.MACs() < 10*MustByName("resnet50").MACs() {
+		t.Errorf("unet MACs (%d) should dwarf resnet50 (%d)", unet.MACs(), MustByName("resnet50").MACs())
+	}
+}
+
+// TestTableIRatios verifies the channel-activation size ratio
+// statistics of Table I for each AR/VR model. Minima are engineered to
+// match exactly (input-layer shapes); maxima and medians must land on
+// the values the paper reports (within rounding) or their documented
+// neighborhoods.
+func TestTableIRatios(t *testing.T) {
+	type want struct {
+		min, max     float64
+		minTol       float64
+		maxTol       float64
+		medianWithin [2]float64
+	}
+	wants := map[string]want{
+		// Table I: MobileNetV2 min 0.013, max 1280.
+		"mobilenetv2": {min: 3.0 / 224, max: 1280, minTol: 0.001, maxTol: 0, medianWithin: [2]float64{1, 40}},
+		// Table I reports ResNet50 max 292.571 (2048/7, the last conv
+		// stage); our stats additionally see the 2048-channel FC
+		// classifier input (ratio 2048), so the model max is 2048. The
+		// 2048/7 conv-stage ratio is asserted separately below.
+		"resnet50": {min: 3.0 / 224, max: 2048, minTol: 0.001, maxTol: 0, medianWithin: [2]float64{4, 40}},
+		// Table I: UNet min 0.002 (1/580), max 34.133 (1024/30).
+		"unet": {min: 1.0 / 580, max: 1024.0 / 30, minTol: 0.0005, maxTol: 0.1, medianWithin: [2]float64{0.5, 6}},
+		// Table I: Br-Q Handpose min 0.016 (1/64), median and max 1024.
+		"brq-handpose": {min: 1.0 / 64, max: 1024, minTol: 0.0005, maxTol: 0, medianWithin: [2]float64{1023, 1025}},
+		// Table I: Focal-Length DepthNet min 0.013, max 4096.
+		"fl-depthnet": {min: 3.0 / 224, max: 4096, minTol: 0.001, maxTol: 0, medianWithin: [2]float64{1, 40}},
+	}
+	for name, w := range wants {
+		m := MustByName(name)
+		st := m.RatioStats()
+		if diff := st.Min - w.min; diff < -w.minTol || diff > w.minTol {
+			t.Errorf("%s: min ratio %.4f, want %.4f (Table I)", name, st.Min, w.min)
+		}
+		if w.maxTol == 0 {
+			if st.Max != w.max {
+				t.Errorf("%s: max ratio %.3f, want %.3f (Table I)", name, st.Max, w.max)
+			}
+		} else if st.Max < w.max*(1-w.maxTol) || st.Max > w.max*(1+w.maxTol) {
+			t.Errorf("%s: max ratio %.3f, want ~%.3f (Table I)", name, st.Max, w.max)
+		}
+		if st.Median < w.medianWithin[0] || st.Median > w.medianWithin[1] {
+			t.Errorf("%s: median ratio %.3f outside expected band %v", name, st.Median, w.medianWithin)
+		}
+	}
+
+	// Table I's ResNet50 maximum of 292.571 = 2048/7: the deepest conv
+	// stage must see 2048 input channels on a 7-row activation.
+	resnet := MustByName("resnet50")
+	var found bool
+	for i := range resnet.Layers {
+		l := &resnet.Layers[i]
+		if l.Op != FC && l.C == 2048 && l.Y == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("resnet50 lacks the 2048-channel 7-row conv stage behind Table I's 292.571 ratio")
+	}
+}
+
+// TestTableIOperators verifies each model uses the operator families
+// Table I lists for it.
+func TestTableIOperators(t *testing.T) {
+	has := func(ops []Op, o Op) bool {
+		for _, x := range ops {
+			if x == o {
+				return true
+			}
+		}
+		return false
+	}
+	mobv2 := MustByName("mobilenetv2").Ops()
+	for _, o := range []Op{Conv2D, PWConv, DWConv} {
+		if !has(mobv2, o) {
+			t.Errorf("mobilenetv2 missing %s (Table I)", o)
+		}
+	}
+	resnet := MustByName("resnet50").Ops()
+	for _, o := range []Op{Conv2D, FC} {
+		if !has(resnet, o) {
+			t.Errorf("resnet50 missing %s (Table I)", o)
+		}
+	}
+	unet := MustByName("unet").Ops()
+	for _, o := range []Op{Conv2D, UpConv} {
+		if !has(unet, o) {
+			t.Errorf("unet missing %s (Table I)", o)
+		}
+	}
+	depth := MustByName("fl-depthnet").Ops()
+	for _, o := range []Op{Conv2D, FC, UpConv} {
+		if !has(depth, o) {
+			t.Errorf("fl-depthnet missing %s (Table I)", o)
+		}
+	}
+	hand := MustByName("brq-handpose").Ops()
+	for _, o := range []Op{Conv2D, FC} {
+		if !has(hand, o) {
+			t.Errorf("brq-handpose missing %s (Table I)", o)
+		}
+	}
+}
+
+// TestSectionVBParallelismQuotes verifies the two workload-wide
+// parallelism extremes quoted in §V-B: maximum channel parallelism
+// 16.8M from Focal-Length DepthNet's FC layer 2, and maximum activation
+// parallelism 334.1K from UNet's first convolution.
+func TestSectionVBParallelismQuotes(t *testing.T) {
+	depth := MustByName("fl-depthnet")
+	if got := depth.MaxChannelParallelism(); got != 4096*4096 {
+		t.Errorf("fl-depthnet max channel parallelism = %d, want %d (16.8M, FC layer 2)", got, 4096*4096)
+	}
+	unet := MustByName("unet")
+	if got := unet.MaxActivationParallelism(); got != 578*578 {
+		t.Errorf("unet max activation parallelism = %d, want %d (334.1K, CONV layer 1)", got, 578*578)
+	}
+	// And the FC-layer-2 identification: the 4096x4096 GEMM.
+	var found bool
+	for i := range depth.Layers {
+		l := &depth.Layers[i]
+		if l.Op == FC && l.K == 4096 && l.C == 4096 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fl-depthnet should contain the 4096x4096 FC layer")
+	}
+}
+
+func TestModelStructuralDetails(t *testing.T) {
+	unet := MustByName("unet")
+	first := &unet.Layers[0]
+	if first.OutY() != 578 || first.OutX() != 578 {
+		t.Errorf("unet conv1 output = %dx%d, want 578x578", first.OutY(), first.OutX())
+	}
+	if len(unet.SkipEdges) != 4 {
+		t.Errorf("unet should have 4 concat skip edges, got %d", len(unet.SkipEdges))
+	}
+
+	resnet := MustByName("resnet50")
+	last := &resnet.Layers[len(resnet.Layers)-1]
+	if last.Op != FC || last.K != 1000 || last.C != 2048 {
+		t.Errorf("resnet50 classifier = %v, want FC 2048->1000", last)
+	}
+	if len(resnet.SkipEdges) != 12 {
+		t.Errorf("resnet50 should have 12 identity skip edges, got %d", len(resnet.SkipEdges))
+	}
+
+	gnmt := MustByName("gnmt")
+	for i := range gnmt.Layers {
+		if gnmt.Layers[i].Repeat != gnmtSeqLen {
+			t.Errorf("gnmt layer %d Repeat = %d, want %d", i, gnmt.Layers[i].Repeat, gnmtSeqLen)
+		}
+	}
+}
+
+func TestLayerNamesUnique(t *testing.T) {
+	for _, name := range Names() {
+		m := MustByName(name)
+		seen := map[string]bool{}
+		for i := range m.Layers {
+			ln := m.Layers[i].Name
+			if seen[ln] {
+				t.Errorf("%s: duplicate layer name %q", name, ln)
+			}
+			seen[ln] = true
+			if !strings.HasPrefix(ln, m.Name+"/") {
+				t.Errorf("%s: layer name %q not namespaced by model", name, ln)
+			}
+		}
+	}
+}

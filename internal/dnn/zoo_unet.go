@@ -1,0 +1,53 @@
+package dnn
+
+// UNet builds the U-Net segmentation network (Ronneberger et al.) with
+// valid (unpadded) 3×3 convolutions at 580×580×1 input: a four-stage
+// contracting path, a 1024-channel bottleneck, a four-stage expanding
+// path with 2×2 up-convolutions and skip concatenations, and a final
+// 1×1 segmentation head. 23 compute layers (matching the paper's
+// per-instance UNet layer count), ~65 GMACs.
+//
+// The 580×580 input makes the first convolution's output 578×578 =
+// 334,084 activations — the "maximum activation parallelism 334.1K
+// (CONV layer 1, UNet)" quoted in §V-B. The bottleneck's 1024 channels
+// at 30 rows give the Table I maximum channel-activation ratio of
+// 1024/30 ≈ 34.13; the 1-channel input at 580 rows gives the minimum
+// ≈ 0.002.
+func UNet() *Model {
+	b := newBuilder("unet", 1, 580, 580)
+
+	// Contracting path. Each stage: two valid 3×3 convs, then 2×2 pool.
+	// Skip sources (the second conv of each stage) feed the expanding
+	// path concatenations.
+	encOut := make([]int, 0, 4)
+	encC := make([]int, 0, 4)
+	for i, ch := range []int{64, 128, 256, 512} {
+		b.convValid("enc"+itoa(i+1)+"a", ch, 3, 1)
+		b.convValid("enc"+itoa(i+1)+"b", ch, 3, 1)
+		encOut = append(encOut, b.idx())
+		encC = append(encC, ch)
+		b.pool(2)
+	}
+
+	// Bottleneck.
+	b.convValid("bott-a", 1024, 3, 1)
+	b.convValid("bott-b", 1024, 3, 1)
+
+	// Expanding path. Each stage: 2×2 up-convolution halving channels,
+	// concatenation with the (cropped) encoder feature map, then two
+	// valid 3×3 convs.
+	for i := 3; i >= 0; i-- {
+		ch := encC[i]
+		b.up("up"+itoa(i+1), ch, 2, 2)
+		// Concatenate with encoder skip: channels double; spatial shape
+		// stays at the up-convolution output (encoder map is cropped).
+		b.skipFrom(encOut[i])
+		b.setShape(2*ch, b.y, b.x)
+		b.convValid("dec"+itoa(i+1)+"a", ch, 3, 1)
+		b.convValid("dec"+itoa(i+1)+"b", ch, 3, 1)
+	}
+
+	// 1×1 segmentation head (2 classes in the original U-Net).
+	b.pw("head", 2, 1)
+	return b.model()
+}

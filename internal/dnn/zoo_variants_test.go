@@ -1,0 +1,101 @@
+package dnn
+
+import "testing"
+
+func TestVariantZooModelsValidate(t *testing.T) {
+	names := []string{"resnet18", "resnet34", "vgg16",
+		"mobilenetv1-0.5", "mobilenetv1-0.25", "mobilenetv2-0.5"}
+	for _, name := range names {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVariantLayerCounts(t *testing.T) {
+	counts := map[string]int{
+		"resnet18": 18, // 17 convs + fc
+		"resnet34": 34, // 33 convs + fc
+		"vgg16":    16, // 13 convs + 3 fc
+	}
+	for name, want := range counts {
+		if got := MustByName(name).NumLayers(); got != want {
+			t.Errorf("%s: %d layers, want %d", name, got, want)
+		}
+	}
+}
+
+func TestVariantMACBallparks(t *testing.T) {
+	// Published MAC counts: ResNet18 ~1.8G, ResNet34 ~3.6G, VGG16
+	// ~15.5G, MobileNetV1-0.5 ~150M.
+	ballparks := map[string]struct {
+		want int64
+		tol  float64
+	}{
+		"resnet18":        {1_800_000_000, 0.15},
+		"resnet34":        {3_600_000_000, 0.15},
+		"vgg16":           {15_500_000_000, 0.15},
+		"mobilenetv1-0.5": {150_000_000, 0.25},
+	}
+	for name, bp := range ballparks {
+		got := float64(MustByName(name).MACs())
+		lo, hi := float64(bp.want)*(1-bp.tol), float64(bp.want)*(1+bp.tol)
+		if got < lo || got > hi {
+			t.Errorf("%s: %.0f MACs, want within [%.0f, %.0f]", name, got, lo, hi)
+		}
+	}
+}
+
+func TestWidthScalingMonotone(t *testing.T) {
+	full := MobileNetV1Width(1.0)
+	half := MobileNetV1Width(0.5)
+	quarter := MobileNetV1Width(0.25)
+	if !(quarter.MACs() < half.MACs() && half.MACs() < full.MACs()) {
+		t.Errorf("width scaling not monotone: %d, %d, %d",
+			quarter.MACs(), half.MACs(), full.MACs())
+	}
+	// Width 1.0 must be the canonical model.
+	if full.MACs() != MustByName("mobilenetv1").MACs() {
+		t.Error("width-1.0 variant diverges from the canonical MobileNetV1")
+	}
+	if full.Name != "mobilenetv1" {
+		t.Errorf("width-1.0 name = %q", full.Name)
+	}
+}
+
+func TestScaleChannels(t *testing.T) {
+	cases := []struct {
+		ch    int
+		width float64
+		want  int
+	}{
+		{64, 1.0, 64}, {64, 0.5, 32}, {64, 0.25, 16},
+		{1024, 0.5, 512}, {32, 0.25, 8}, {8, 0.25, 8}, // floor at 8
+	}
+	for _, c := range cases {
+		if got := scaleChannels(c.ch, c.width); got != c.want {
+			t.Errorf("scaleChannels(%d, %g) = %d, want %d", c.ch, c.width, got, c.want)
+		}
+	}
+}
+
+func TestVariantsComposeIntoWorkloads(t *testing.T) {
+	// The variants exist to compose custom workloads: check one ratio
+	// property — a half-width network has ~4x fewer MACs per pw layer
+	// but identical spatial shapes.
+	full := MustByName("mobilenetv2")
+	half := MustByName("mobilenetv2-0.5")
+	if full.NumLayers() != half.NumLayers() {
+		t.Fatalf("layer counts differ: %d vs %d", full.NumLayers(), half.NumLayers())
+	}
+	for i := range full.Layers {
+		f, h := &full.Layers[i], &half.Layers[i]
+		if f.Y != h.Y || f.X != h.X || f.Stride != h.Stride {
+			t.Errorf("layer %d: spatial shape diverged", i)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package dse implements Herald's hardware-resource-partitioning
+// design space exploration (§IV-C): given an accelerator class, a set
+// of sub-accelerator dataflow styles, and a workload, it enumerates PE
+// and bandwidth partitions (Definition 1), schedules the workload on
+// each point with Herald's scheduler, and reports the full design
+// cloud, the latency-energy Pareto front, and the best-EDP design.
+// Exhaustive search at user-set granularity is the default; binary
+// sampling and random search trade optimality for speed, as in the
+// paper.
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/maestro"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Strategy selects how the partition space is sampled.
+type Strategy int
+
+const (
+	// Exhaustive enumerates every partition at the configured
+	// granularity (the paper's default).
+	Exhaustive Strategy = iota
+	// Binary restricts each share to power-of-two unit counts,
+	// "which significantly reduces the search time at the cost of
+	// possible loss of globally optimal design points" (§IV-C).
+	Binary
+	// Random samples a fixed number of partitions uniformly (seeded,
+	// reproducible).
+	Random
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Exhaustive:
+		return "exhaustive"
+	case Binary:
+		return "binary"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Space describes the searchable HDA design space for one class and
+// one style combination.
+type Space struct {
+	Class  accel.Class
+	Styles []dataflow.Style
+
+	// PEUnits and BWUnits set the search granularity: the class's PEs
+	// (bandwidth) are divided into this many equal units distributed
+	// across sub-accelerators, each receiving at least one. Zero
+	// selects the defaults (16 PE units, 8 BW units).
+	PEUnits int
+	BWUnits int
+}
+
+// Defaults fills zero-valued granularities.
+func (sp Space) withDefaults() Space {
+	if sp.PEUnits == 0 {
+		sp.PEUnits = 16
+	}
+	if sp.BWUnits == 0 {
+		sp.BWUnits = 8
+	}
+	return sp
+}
+
+// Validate reports whether the space is searchable.
+func (sp Space) Validate() error {
+	if err := sp.Class.Validate(); err != nil {
+		return err
+	}
+	if len(sp.Styles) < 1 {
+		return fmt.Errorf("dse: space needs at least one sub-accelerator style")
+	}
+	sp = sp.withDefaults()
+	if len(sp.Styles) > sp.PEUnits || len(sp.Styles) > sp.BWUnits {
+		return fmt.Errorf("dse: %d sub-accelerators exceed the %d PE / %d BW units",
+			len(sp.Styles), sp.PEUnits, sp.BWUnits)
+	}
+	if sp.Class.PEs%sp.PEUnits != 0 {
+		return fmt.Errorf("dse: class PEs %d not divisible into %d units", sp.Class.PEs, sp.PEUnits)
+	}
+	for _, st := range sp.Styles {
+		if !st.Valid() {
+			return fmt.Errorf("dse: invalid style in space")
+		}
+	}
+	return nil
+}
+
+// Objective selects what Result.Best minimizes (§IV-D: "users can
+// select the metric (e.g., EDP, energy, latency, and so on)").
+type Objective int
+
+const (
+	// ObjectiveEDP minimizes the energy-delay product (default).
+	ObjectiveEDP Objective = iota
+	// ObjectiveLatency minimizes the schedule makespan.
+	ObjectiveLatency
+	// ObjectiveEnergy minimizes total energy.
+	ObjectiveEnergy
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveLatency:
+		return "latency"
+	case ObjectiveEnergy:
+		return "energy"
+	default:
+		return "edp"
+	}
+}
+
+// value extracts the objective from a point.
+func (o Objective) value(p Point) float64 {
+	switch o {
+	case ObjectiveLatency:
+		return p.LatencySec
+	case ObjectiveEnergy:
+		return p.EnergyMJ
+	default:
+		return p.EDP
+	}
+}
+
+// Options configures a search.
+type Options struct {
+	Strategy  Strategy
+	Objective Objective
+	Samples   int   // number of random samples (Random strategy); 0 = 32
+	Seed      int64 // random-search seed
+
+	Sched sched.Options
+
+	// Workers bounds the scheduling goroutines; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns an exhaustive search with Herald's default
+// scheduler.
+func DefaultOptions() Options {
+	return Options{Strategy: Exhaustive, Sched: sched.DefaultOptions()}
+}
+
+// Point is one evaluated design: a concrete HDA partition with its
+// optimized schedule and aggregate costs (one dot in Fig. 6 / Fig. 11).
+type Point struct {
+	HDA      *accel.HDA
+	Schedule *sched.Schedule
+
+	LatencySec float64
+	EnergyMJ   float64
+	EDP        float64 // joule-seconds at 1 GHz
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Space  Space
+	Points []Point // in deterministic enumeration order
+	Best   Point   // minimum EDP
+	Pareto []Point // latency-energy non-dominated set, by latency
+}
+
+// Search explores the space, scheduling workload w on every candidate
+// partition, and returns the evaluated design cloud.
+func Search(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options) (*Result, error) {
+	if w == nil || len(w.Instances) == 0 {
+		return nil, fmt.Errorf("dse: nil or empty workload")
+	}
+	sp = sp.withDefaults()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Sched.Validate(); err != nil {
+		return nil, err
+	}
+
+	parts := enumerate(sp, opts)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dse: empty partition set for %s", sp.Class.Name)
+	}
+
+	points := make([]Point, len(parts))
+	errs := make([]error, len(parts))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				points[i], errs[i] = evaluate(cache, sp, w, opts, parts[i], i)
+			}
+		}()
+	}
+	for i := range parts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Space: sp, Points: points}
+	res.Best = points[0]
+	for _, p := range points[1:] {
+		if opts.Objective.value(p) < opts.Objective.value(res.Best) {
+			res.Best = p
+		}
+	}
+	res.Pareto = ParetoFront(points)
+	return res, nil
+}
+
+// evaluate builds the HDA for one partition and schedules the workload
+// on it.
+func evaluate(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options, part []int, idx int) (Point, error) {
+	peUnit := sp.Class.PEs / sp.PEUnits
+	bwUnit := sp.Class.BWGBps / float64(sp.BWUnits)
+	n := len(sp.Styles)
+	ps := make([]accel.Partition, n)
+	for i := 0; i < n; i++ {
+		ps[i] = accel.Partition{
+			Style:  sp.Styles[i],
+			PEs:    part[i] * peUnit,
+			BWGBps: float64(part[n+i]) * bwUnit,
+		}
+	}
+	h, err := accel.New(fmt.Sprintf("hda-%d", idx), sp.Class, ps)
+	if err != nil {
+		return Point{}, err
+	}
+	s := sched.MustNew(cache, opts.Sched)
+	schd, err := s.Schedule(h, w)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		HDA:        h,
+		Schedule:   schd,
+		LatencySec: schd.LatencySeconds(1.0),
+		EnergyMJ:   schd.EnergyMJ(),
+		EDP:        schd.EDP(1.0),
+	}, nil
+}
+
+// ParetoFront returns the latency-energy non-dominated subset of the
+// points, sorted by latency ascending.
+func ParetoFront(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].LatencySec != sorted[j].LatencySec {
+			return sorted[i].LatencySec < sorted[j].LatencySec
+		}
+		return sorted[i].EnergyMJ < sorted[j].EnergyMJ
+	})
+	var front []Point
+	bestE := 0.0
+	for _, p := range sorted {
+		if len(front) == 0 || p.EnergyMJ < bestE {
+			front = append(front, p)
+			bestE = p.EnergyMJ
+		}
+	}
+	return front
+}
+
+// enumerate lists partitions as unit-count vectors: part[0:n] are PE
+// units per sub-accelerator, part[n:2n] are BW units; each entry >= 1,
+// sums equal the unit totals.
+func enumerate(sp Space, opts Options) [][]int {
+	n := len(sp.Styles)
+	peComps := compositions(sp.PEUnits, n)
+	bwComps := compositions(sp.BWUnits, n)
+
+	switch opts.Strategy {
+	case Binary:
+		peComps = filterPow2(peComps)
+		bwComps = filterPow2(bwComps)
+	case Random:
+		k := opts.Samples
+		if k <= 0 {
+			k = 32
+		}
+		return randomPartitions(sp, k, opts.Seed)
+	}
+
+	out := make([][]int, 0, len(peComps)*len(bwComps))
+	for _, pe := range peComps {
+		for _, bw := range bwComps {
+			part := make([]int, 2*n)
+			copy(part, pe)
+			copy(part[n:], bw)
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// compositions enumerates all ways to write `total` as an ordered sum
+// of n parts, each >= 1.
+func compositions(total, n int) [][]int {
+	if n == 1 {
+		return [][]int{{total}}
+	}
+	var out [][]int
+	cur := make([]int, n)
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if pos == n-1 {
+			cur[pos] = left
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := 1; v <= left-(n-1-pos); v++ {
+			cur[pos] = v
+			rec(pos+1, left-v)
+		}
+	}
+	rec(0, total)
+	return out
+}
+
+// filterPow2 keeps compositions whose entries are all powers of two.
+func filterPow2(comps [][]int) [][]int {
+	var out [][]int
+	for _, c := range comps {
+		ok := true
+		for _, v := range c {
+			if v&(v-1) != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// randomPartitions samples k unit-count vectors uniformly from the
+// composition space (with replacement; deterministic for a seed).
+func randomPartitions(sp Space, k int, seed int64) [][]int {
+	n := len(sp.Styles)
+	r := rand.New(rand.NewSource(seed))
+	sample := func(total int) []int {
+		// Stars-and-bars: choose n-1 distinct cut points.
+		cuts := r.Perm(total - 1)[: n-1 : n-1]
+		sort.Ints(cuts)
+		parts := make([]int, n)
+		prev := 0
+		for i, c := range cuts {
+			parts[i] = c + 1 - prev
+			prev = c + 1
+		}
+		parts[n-1] = total - prev
+		return parts
+	}
+	out := make([][]int, k)
+	for i := 0; i < k; i++ {
+		part := make([]int, 2*n)
+		copy(part, sample(sp.PEUnits))
+		copy(part[n:], sample(sp.BWUnits))
+		out[i] = part
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/energy"
+	"repro/internal/maestro"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func testCache() *maestro.Cache { return maestro.NewCache(energy.Default28nm()) }
+
+func smallWorkload() *workload.Workload {
+	return workload.MustNew("dse-test", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 2},
+		{Model: "brq-handpose", Batches: 2},
+	})
+}
+
+func edgeSpace() Space {
+	return Space{
+		Class:   accel.Edge,
+		Styles:  []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao},
+		PEUnits: 8,
+		BWUnits: 4,
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	cases := []struct {
+		total, n, count int
+	}{
+		{8, 2, 7}, // (1,7)...(7,1)
+		{16, 2, 15},
+		{8, 3, 21}, // C(7,2)
+		{4, 1, 1},
+		{3, 3, 1},
+	}
+	for _, c := range cases {
+		got := compositions(c.total, c.n)
+		if len(got) != c.count {
+			t.Errorf("compositions(%d,%d) = %d entries, want %d", c.total, c.n, len(got), c.count)
+		}
+		for _, comp := range got {
+			sum := 0
+			for _, v := range comp {
+				if v < 1 {
+					t.Errorf("composition %v has part < 1", comp)
+				}
+				sum += v
+			}
+			if sum != c.total {
+				t.Errorf("composition %v sums to %d, want %d", comp, sum, c.total)
+			}
+		}
+	}
+}
+
+func TestFilterPow2(t *testing.T) {
+	in := compositions(8, 2)
+	out := filterPow2(in)
+	// valid: (4,4) plus pairs with a non-pow2 partner excluded:
+	// (1,7)x (2,6)x (3,5)x (4,4)ok (5,3)x (6,2)x (7,1)x
+	if len(out) != 1 || out[0][0] != 4 {
+		t.Errorf("filterPow2(8,2) = %v, want [[4 4]]", out)
+	}
+	out16 := filterPow2(compositions(16, 2))
+	// (8,8) only? (4,12)x (12,4)x (2,14)x (16,0) not enumerated.
+	if len(out16) != 1 {
+		t.Errorf("filterPow2(16,2) = %v", out16)
+	}
+}
+
+func TestSearchExhaustive(t *testing.T) {
+	res, err := Search(testCache(), edgeSpace(), smallWorkload(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 7 * 3; len(res.Points) != want {
+		t.Errorf("explored %d points, want %d (7 PE splits x 3 BW splits)", len(res.Points), want)
+	}
+	for i, p := range res.Points {
+		if p.HDA == nil || p.Schedule == nil {
+			t.Fatalf("point %d incomplete", i)
+		}
+		if err := p.Schedule.Validate(); err != nil {
+			t.Errorf("point %d: %v", i, err)
+		}
+		if p.EDP <= 0 || p.LatencySec <= 0 || p.EnergyMJ <= 0 {
+			t.Errorf("point %d: non-positive metrics %+v", i, p)
+		}
+		if p.EDP < res.Best.EDP {
+			t.Errorf("Best is not minimal: point %d EDP %g < best %g", i, p.EDP, res.Best.EDP)
+		}
+	}
+	if len(res.Pareto) < 1 {
+		t.Fatal("empty Pareto front")
+	}
+	// Pareto front must be sorted by latency with strictly decreasing
+	// energy, and must contain the best-EDP point... not necessarily;
+	// but every front point must be non-dominated.
+	for i := 1; i < len(res.Pareto); i++ {
+		if res.Pareto[i].LatencySec < res.Pareto[i-1].LatencySec {
+			t.Error("Pareto front not sorted by latency")
+		}
+		if res.Pareto[i].EnergyMJ >= res.Pareto[i-1].EnergyMJ {
+			t.Error("Pareto front energy not strictly decreasing")
+		}
+	}
+	for _, fp := range res.Pareto {
+		for _, p := range res.Points {
+			if p.LatencySec < fp.LatencySec && p.EnergyMJ < fp.EnergyMJ {
+				t.Errorf("front point (%.4g,%.4g) dominated by (%.4g,%.4g)",
+					fp.LatencySec, fp.EnergyMJ, p.LatencySec, p.EnergyMJ)
+			}
+		}
+	}
+}
+
+func TestSearchBinarySubsetOfExhaustive(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	ex, err := Search(cache, edgeSpace(), w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Strategy = Binary
+	bin, err := Search(cache, edgeSpace(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Points) >= len(ex.Points) {
+		t.Errorf("binary (%d) should explore fewer points than exhaustive (%d)", len(bin.Points), len(ex.Points))
+	}
+	// The binary best can't beat the exhaustive best.
+	if bin.Best.EDP < ex.Best.EDP*0.999999 {
+		t.Errorf("binary best %g beats exhaustive best %g", bin.Best.EDP, ex.Best.EDP)
+	}
+}
+
+func TestSearchRandomDeterministic(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	opts := DefaultOptions()
+	opts.Strategy = Random
+	opts.Samples = 6
+	opts.Seed = 42
+	a, err := Search(cache, edgeSpace(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != 6 {
+		t.Errorf("random explored %d, want 6", len(a.Points))
+	}
+	b, err := Search(cache, edgeSpace(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].EDP != b.Points[i].EDP {
+			t.Error("random search not reproducible for a fixed seed")
+		}
+	}
+}
+
+func TestSearchRejectsBadInputs(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	if _, err := Search(cache, edgeSpace(), nil, DefaultOptions()); err == nil {
+		t.Error("nil workload accepted")
+	}
+	bad := edgeSpace()
+	bad.Styles = nil
+	if _, err := Search(cache, bad, w, DefaultOptions()); err == nil {
+		t.Error("empty styles accepted")
+	}
+	bad = edgeSpace()
+	bad.PEUnits = 3 // 1024 % 3 != 0
+	if _, err := Search(cache, bad, w, DefaultOptions()); err == nil {
+		t.Error("non-divisible granularity accepted")
+	}
+	bad = edgeSpace()
+	bad.Styles = []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao, dataflow.Eyeriss}
+	bad.BWUnits = 2
+	if _, err := Search(cache, bad, w, DefaultOptions()); err == nil {
+		t.Error("more subs than BW units accepted")
+	}
+	o := DefaultOptions()
+	o.Sched.LoadBalanceFactor = 0
+	if _, err := Search(cache, edgeSpace(), w, o); err == nil {
+		t.Error("invalid sched options accepted")
+	}
+}
+
+// TestFigure6Shape reproduces Figure 6's headline: on a 2-way
+// NVDLA+Shi-diannao HDA, the even PE split is not the optimum — a
+// skewed partition has lower EDP.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DSE sweep in -short mode")
+	}
+	cache := testCache()
+	// Edge class keeps the sweep fast; Fig. 6 uses cloud but the
+	// non-trivial-partition property is scale-independent.
+	sp := Space{
+		Class:   accel.Edge,
+		Styles:  []dataflow.Style{dataflow.ShiDiannao, dataflow.NVDLA},
+		PEUnits: 8,
+		BWUnits: 2, // naive bandwidth halving, as in Fig. 6
+	}
+	opts := DefaultOptions()
+	res, err := Search(cache, sp, workload.ARVRA(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the even-PE point (4/4 units with the even BW split).
+	var even *Point
+	for i := range res.Points {
+		h := res.Points[i].HDA
+		if h.Subs[0].HW.PEs == h.Subs[1].HW.PEs && h.Subs[0].HW.BWGBps == h.Subs[1].HW.BWGBps {
+			even = &res.Points[i]
+		}
+	}
+	if even == nil {
+		t.Fatal("even split missing from exhaustive sweep")
+	}
+	if res.Best.EDP >= even.EDP {
+		t.Errorf("even PE split should be sub-optimal: best %.4g vs even %.4g (Fig. 6)", res.Best.EDP, even.EDP)
+	}
+	best := res.Best.HDA
+	if best.Subs[0].HW.PEs == best.Subs[1].HW.PEs {
+		t.Error("best partition is the even split; Fig. 6 expects a skewed optimum")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Exhaustive.String() != "exhaustive" || Binary.String() != "binary" || Random.String() != "random" {
+		t.Error("strategy names")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should stringify")
+	}
+}
+
+// TestSearchThreeWay exercises the 3-sub-accelerator composition space
+// (the paper's NVDLA+Shi+Eyeriss HDA).
+func TestSearchThreeWay(t *testing.T) {
+	sp := Space{
+		Class:   accel.Edge,
+		Styles:  []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao, dataflow.Eyeriss},
+		PEUnits: 4,
+		BWUnits: 3,
+	}
+	res, err := Search(testCache(), sp, smallWorkload(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compositions(4,3) = C(3,2) = 3; compositions(3,3) = 1.
+	if len(res.Points) != 3 {
+		t.Errorf("points = %d, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.HDA.NumSubs() != 3 {
+			t.Error("not a 3-way HDA")
+		}
+		if err := p.Schedule.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestSearchSingleWorker: Workers=1 must produce identical results to
+// the parallel default (determinism across worker counts).
+func TestSearchSingleWorker(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	par, err := Search(cache, edgeSpace(), w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = 1
+	seq, err := Search(cache, edgeSpace(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Points) != len(seq.Points) {
+		t.Fatal("point counts differ")
+	}
+	for i := range par.Points {
+		if par.Points[i].EDP != seq.Points[i].EDP {
+			t.Fatalf("point %d differs across worker counts", i)
+		}
+	}
+}
+
+var _ = sched.DefaultOptions // keep import if unused in some builds

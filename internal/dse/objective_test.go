@@ -1,0 +1,40 @@
+package dse
+
+import "testing"
+
+// TestObjectiveSelection: the Best point must minimize the configured
+// objective, and the three objectives must be able to disagree (the
+// Pareto trade-off exists).
+func TestObjectiveSelection(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	bests := map[Objective]Point{}
+	for _, obj := range []Objective{ObjectiveEDP, ObjectiveLatency, ObjectiveEnergy} {
+		opts := DefaultOptions()
+		opts.Objective = obj
+		res, err := Search(cache, edgeSpace(), w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if obj.value(p) < obj.value(res.Best) {
+				t.Errorf("%v: best not minimal (%g < %g)", obj, obj.value(p), obj.value(res.Best))
+			}
+		}
+		bests[obj] = res.Best
+	}
+	// The latency-optimal point cannot have lower latency than itself
+	// but the energy winner should not beat it on latency.
+	if bests[ObjectiveEnergy].LatencySec < bests[ObjectiveLatency].LatencySec {
+		t.Error("energy-optimal point beats the latency-optimal point on latency")
+	}
+	if bests[ObjectiveLatency].EnergyMJ < bests[ObjectiveEnergy].EnergyMJ {
+		t.Error("latency-optimal point beats the energy-optimal point on energy")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if ObjectiveEDP.String() != "edp" || ObjectiveLatency.String() != "latency" || ObjectiveEnergy.String() != "energy" {
+		t.Error("objective names")
+	}
+}

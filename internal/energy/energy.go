@@ -1,0 +1,52 @@
+// Package energy provides the per-access energy model used by the cost
+// estimator. The paper analyzed energy with CAD tools on a 28 nm
+// library; we substitute the well-established Eyeriss energy hierarchy
+// (register file 1×, inter-PE/NoC 2×, global buffer 6×, DRAM 200× the
+// cost of a MAC) scaled to 28 nm picojoule magnitudes. The hierarchy's
+// ratios — not its absolute values — drive every qualitative result in
+// the paper's evaluation.
+package energy
+
+import "fmt"
+
+// Table holds per-event energies in picojoules for 8-bit words.
+type Table struct {
+	MAC    float64 // one multiply-accumulate
+	RF     float64 // one PE-local register-file access
+	NoC    float64 // one word traversing the global NoC (per delivery)
+	Buffer float64 // one global (L2) scratchpad access
+	DRAM   float64 // one word transferred from/to DRAM
+}
+
+// Default28nm returns the reference energy table: a 0.28 pJ MAC at
+// 28 nm with the Eyeriss-normalized memory-hierarchy ratios.
+func Default28nm() Table {
+	const mac = 0.28
+	return Table{
+		MAC:    mac,
+		RF:     mac * 1.0,
+		NoC:    mac * 2.0,
+		Buffer: mac * 6.0,
+		DRAM:   mac * 200.0,
+	}
+}
+
+// Validate reports whether all entries are positive and the hierarchy
+// is ordered (RF <= NoC <= Buffer <= DRAM), which the cost model's
+// reuse reasoning assumes.
+func (t Table) Validate() error {
+	if t.MAC <= 0 || t.RF <= 0 || t.NoC <= 0 || t.Buffer <= 0 || t.DRAM <= 0 {
+		return fmt.Errorf("energy: table entries must be positive: %+v", t)
+	}
+	if t.RF > t.NoC || t.NoC > t.Buffer || t.Buffer > t.DRAM {
+		return fmt.Errorf("energy: hierarchy must satisfy RF <= NoC <= Buffer <= DRAM: %+v", t)
+	}
+	return nil
+}
+
+// Scale returns a copy of the table with every entry multiplied by f
+// (used to model e.g. the RDA's reconfigurable-fabric overhead on
+// specific components).
+func (t Table) Scale(f float64) Table {
+	return Table{MAC: t.MAC * f, RF: t.RF * f, NoC: t.NoC * f, Buffer: t.Buffer * f, DRAM: t.DRAM * f}
+}

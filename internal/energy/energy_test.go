@@ -1,0 +1,57 @@
+package energy
+
+import "testing"
+
+func TestDefault28nmHierarchy(t *testing.T) {
+	e := Default28nm()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Eyeriss-published ratios: RF 1x, NoC 2x, buffer 6x, DRAM
+	// 200x the MAC energy.
+	ratios := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"RF", e.RF / e.MAC, 1},
+		{"NoC", e.NoC / e.MAC, 2},
+		{"Buffer", e.Buffer / e.MAC, 6},
+		{"DRAM", e.DRAM / e.MAC, 200},
+	}
+	for _, r := range ratios {
+		if r.got < r.want*0.999 || r.got > r.want*1.001 {
+			t.Errorf("%s ratio = %.3f, want %.0f", r.name, r.got, r.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	bad := []Table{
+		{}, // zeros
+		{MAC: 1, RF: 2, NoC: 1, Buffer: 6, DRAM: 200},       // RF > NoC
+		{MAC: 1, RF: 1, NoC: 2, Buffer: 1, DRAM: 200},       // NoC > Buffer
+		{MAC: 1, RF: 1, NoC: 2, Buffer: 6, DRAM: 3},         // Buffer > DRAM
+		{MAC: -1, RF: 1, NoC: 2, Buffer: 6, DRAM: 200},      // negative
+		{MAC: 1, RF: 0.5, NoC: 0.4, Buffer: 0.3, DRAM: 0.2}, // inverted
+	}
+	for i, tb := range bad {
+		if err := tb.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, tb)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	e := Default28nm()
+	s := e.Scale(1.117) // the MAERI flexibility overhead
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MAC/e.MAC < 1.116 || s.MAC/e.MAC > 1.118 {
+		t.Errorf("scale factor = %f", s.MAC/e.MAC)
+	}
+	if s.DRAM/e.DRAM < 1.116 || s.DRAM/e.DRAM > 1.118 {
+		t.Error("scale must apply uniformly")
+	}
+}

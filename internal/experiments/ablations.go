@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/dse"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// This file holds ablation studies for the design choices DESIGN.md
+// calls out: the load-balancing factor, the post-processing look-ahead
+// depth, the layer-ordering heuristic, the per-layer context-change
+// penalty the paper's §IV-A mentions, and the search-strategy
+// quality/time trade-off of §IV-C.
+
+// LbFPoint is one load-balance-factor setting.
+type LbFPoint struct {
+	LbF      float64
+	Latency  float64
+	EnergyMJ float64
+	EDP      float64
+}
+
+// LbFAblation sweeps the maximum allowed load-unbalancing factor on a
+// fixed Maelstrom edge design with AR/VR-B (the knob of §IV-D).
+// +Inf disables balancing entirely (pure dataflow preference).
+func (c *Config) LbFAblation() ([]LbFPoint, error) {
+	hda, err := edgeMaelstrom()
+	if err != nil {
+		return nil, err
+	}
+	w := workload.ARVRB()
+	var out []LbFPoint
+	for _, lbf := range []float64{1.0, 1.25, 1.5, 2, 4, 8, math.Inf(1)} {
+		opts := sched.DefaultOptions()
+		opts.LoadBalanceFactor = lbf
+		s := sched.MustNew(c.H.Cache(), opts)
+		sch, err := s.Schedule(hda, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LbFPoint{
+			LbF: lbf, Latency: sch.LatencySeconds(1.0),
+			EnergyMJ: sch.EnergyMJ(), EDP: sch.EDP(1.0),
+		})
+	}
+	return out, nil
+}
+
+// LookAheadPoint is one post-processing depth setting.
+type LookAheadPoint struct {
+	LookAhead int
+	EDP       float64
+	SchedTime time.Duration
+}
+
+// LookAheadAblation sweeps the Fig. 9 look-ahead depth (0 disables the
+// post-processing pass).
+func (c *Config) LookAheadAblation() ([]LookAheadPoint, error) {
+	hda, err := edgeMaelstrom()
+	if err != nil {
+		return nil, err
+	}
+	w := workload.ARVRB()
+	var out []LookAheadPoint
+	for _, la := range []int{0, 1, 2, 4, 8, 16} {
+		opts := sched.DefaultOptions()
+		opts.LookAhead = la
+		opts.PostProcess = la > 0
+		s := sched.MustNew(c.H.Cache(), opts)
+		sch, err := s.Schedule(hda, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LookAheadPoint{LookAhead: la, EDP: sch.EDP(1.0), SchedTime: sch.SchedulingTime})
+	}
+	return out, nil
+}
+
+// OrderingPoint compares breadth-first vs depth-first initial layer
+// ordering (§IV-D's two heuristics) on one scenario.
+type OrderingPoint struct {
+	Ordering sched.Ordering
+	Latency  float64
+	EDP      float64
+}
+
+// OrderingAblation runs both orderings on the fixed edge Maelstrom.
+func (c *Config) OrderingAblation() ([]OrderingPoint, error) {
+	hda, err := edgeMaelstrom()
+	if err != nil {
+		return nil, err
+	}
+	w := workload.ARVRB()
+	var out []OrderingPoint
+	for _, ord := range []sched.Ordering{sched.BreadthFirst, sched.DepthFirst} {
+		opts := sched.DefaultOptions()
+		opts.Ordering = ord
+		s := sched.MustNew(c.H.Cache(), opts)
+		sch, err := s.Schedule(hda, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OrderingPoint{Ordering: ord, Latency: sch.LatencySeconds(1.0), EDP: sch.EDP(1.0)})
+	}
+	return out, nil
+}
+
+// ContextPenaltyPoint is one per-layer context-change penalty setting.
+type ContextPenaltyPoint struct {
+	PenaltyCycles int64
+	Latency       float64
+	EDP           float64
+}
+
+// ContextPenaltyAblation charges every layer a per-layer context
+// penalty (the §IV-A data-layout / context-change option) and measures
+// the schedule degradation. The paper argues HDAs avoid this cost by
+// keeping a common inner-loop order across sub-accelerators; this
+// quantifies what is avoided.
+func (c *Config) ContextPenaltyAblation() ([]ContextPenaltyPoint, error) {
+	w := workload.ARVRB()
+	var out []ContextPenaltyPoint
+	for _, pen := range []int64{0, 1_000, 10_000, 100_000} {
+		hda, err := edgeMaelstrom()
+		if err != nil {
+			return nil, err
+		}
+		for i := range hda.Subs {
+			hda.Subs[i].HW.ContextCycles = pen
+			hda.Subs[i].HW.ContextPJ = float64(pen) * 100 // 100 pJ per penalty cycle
+		}
+		s := sched.MustNew(c.H.Cache(), sched.DefaultOptions())
+		sch, err := s.Schedule(hda, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ContextPenaltyPoint{PenaltyCycles: pen, Latency: sch.LatencySeconds(1.0), EDP: sch.EDP(1.0)})
+	}
+	return out, nil
+}
+
+// StrategyPoint compares DSE strategies (§IV-C): search quality vs the
+// number of evaluated points.
+type StrategyPoint struct {
+	Strategy dse.Strategy
+	Points   int
+	BestEDP  float64
+	Elapsed  time.Duration
+}
+
+// StrategyAblation runs exhaustive, binary and random searches of the
+// same Maelstrom space (MLPerf on edge) and compares best-EDP quality.
+func (c *Config) StrategyAblation() ([]StrategyPoint, error) {
+	sp := dse.Space{Class: accel.Edge, Styles: MaelstromStyles(), PEUnits: 16, BWUnits: 8}
+	w := workload.MLPerf(1)
+	var out []StrategyPoint
+	for _, strat := range []dse.Strategy{dse.Exhaustive, dse.Binary, dse.Random} {
+		opts := dse.DefaultOptions()
+		opts.Strategy = strat
+		opts.Samples = 12
+		opts.Seed = 7
+		t0 := time.Now()
+		r, err := dse.Search(c.H.Cache(), sp, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StrategyPoint{
+			Strategy: strat, Points: len(r.Points),
+			BestEDP: r.Best.EDP, Elapsed: time.Since(t0),
+		})
+	}
+	return out, nil
+}
+
+// edgeMaelstrom returns the fixed Table V edge partition used by the
+// scheduler-side ablations.
+func edgeMaelstrom() (*accel.HDA, error) {
+	return accel.New("maelstrom-edge", accel.Edge, []accel.Partition{
+		{Style: MaelstromStyles()[0], PEs: 128, BWGBps: 4},
+		{Style: MaelstromStyles()[1], PEs: 896, BWGBps: 12},
+	})
+}
+
+// AblationsReport renders all five ablations as one text report.
+func (c *Config) AblationsReport() (string, error) {
+	var b strings.Builder
+	b.WriteString("Design-choice ablations (fixed Maelstrom edge design, AR/VR-B unless noted)\n\n")
+
+	lbf, err := c.LbFAblation()
+	if err != nil {
+		return "", err
+	}
+	t := &table{header: []string{"load-balance factor", "latency", "energy", "EDP"}}
+	for _, p := range lbf {
+		name := fmt.Sprintf("%.2f", p.LbF)
+		if math.IsInf(p.LbF, 1) {
+			name = "disabled (+Inf)"
+		}
+		t.add(name, ms(p.Latency), mj(p.EnergyMJ), f3(p.EDP))
+	}
+	b.WriteString(t.String() + "\n")
+
+	la, err := c.LookAheadAblation()
+	if err != nil {
+		return "", err
+	}
+	t = &table{header: []string{"look-ahead depth", "EDP", "sched time"}}
+	for _, p := range la {
+		t.add(fmt.Sprintf("%d", p.LookAhead), f3(p.EDP), p.SchedTime.String())
+	}
+	b.WriteString(t.String() + "\n")
+
+	ords, err := c.OrderingAblation()
+	if err != nil {
+		return "", err
+	}
+	t = &table{header: []string{"initial ordering", "latency", "EDP"}}
+	for _, p := range ords {
+		t.add(p.Ordering.String(), ms(p.Latency), f3(p.EDP))
+	}
+	b.WriteString(t.String() + "\n")
+
+	pens, err := c.ContextPenaltyAblation()
+	if err != nil {
+		return "", err
+	}
+	t = &table{header: []string{"context penalty (cycles/layer)", "latency", "EDP"}}
+	for _, p := range pens {
+		t.add(fmt.Sprintf("%d", p.PenaltyCycles), ms(p.Latency), f3(p.EDP))
+	}
+	b.WriteString(t.String() + "\n")
+
+	strats, err := c.StrategyAblation()
+	if err != nil {
+		return "", err
+	}
+	t = &table{header: []string{"search strategy", "points", "best EDP", "time"}}
+	for _, p := range strats {
+		t.add(p.Strategy.String(), fmt.Sprintf("%d", p.Points), f3(p.BestEDP), p.Elapsed.Round(time.Millisecond).String())
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dse"
+)
+
+func TestLbFAblation(t *testing.T) {
+	c := NewQuick()
+	pts, err := c.LbFAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Disabled balancing (pure greedy preference) must not beat the
+	// best balanced setting — the feedback loop earns its keep.
+	var bestBalanced, disabled float64
+	for _, p := range pts {
+		if math.IsInf(p.LbF, 1) {
+			disabled = p.EDP
+		} else if bestBalanced == 0 || p.EDP < bestBalanced {
+			bestBalanced = p.EDP
+		}
+	}
+	if disabled < bestBalanced {
+		t.Errorf("disabled balancing EDP %.4g beats best balanced %.4g", disabled, bestBalanced)
+	}
+}
+
+func TestLookAheadAblation(t *testing.T) {
+	c := NewQuick()
+	pts, err := c.LookAheadAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-processing must never regress EDP relative to depth 0.
+	base := pts[0].EDP
+	for _, p := range pts[1:] {
+		if p.EDP > base*1.0001 {
+			t.Errorf("look-ahead %d regressed EDP: %.4g > %.4g", p.LookAhead, p.EDP, base)
+		}
+	}
+}
+
+func TestOrderingAblation(t *testing.T) {
+	c := NewQuick()
+	pts, err := c.OrderingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.EDP <= 0 {
+			t.Error("bad ordering point")
+		}
+	}
+}
+
+func TestContextPenaltyAblation(t *testing.T) {
+	c := NewQuick()
+	pts, err := c.ContextPenaltyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-layer costs are monotone in the penalty, but the *scheduled*
+	// makespan need not be (a cost perturbation can nudge the greedy
+	// assignment into a better global schedule), so we assert only the
+	// meaningful end-to-end property: a large per-layer penalty must
+	// make the schedule strictly worse than no penalty.
+	first, last := pts[0], pts[len(pts)-1]
+	if last.Latency <= first.Latency {
+		t.Errorf("penalty %d should raise latency: %.4g <= %.4g",
+			last.PenaltyCycles, last.Latency, first.Latency)
+	}
+	if last.EDP <= first.EDP {
+		t.Errorf("penalty %d should raise EDP: %.4g <= %.4g",
+			last.PenaltyCycles, last.EDP, first.EDP)
+	}
+}
+
+func TestStrategyAblation(t *testing.T) {
+	c := NewQuick()
+	pts, err := c.StrategyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex, bin, rnd StrategyPoint
+	for _, p := range pts {
+		switch p.Strategy {
+		case dse.Exhaustive:
+			ex = p
+		case dse.Binary:
+			bin = p
+		case dse.Random:
+			rnd = p
+		}
+	}
+	if bin.Points >= ex.Points || rnd.Points >= ex.Points {
+		t.Error("sampling strategies should evaluate fewer points than exhaustive")
+	}
+	// Sampled strategies cannot beat the exhaustive optimum.
+	if bin.BestEDP < ex.BestEDP*0.9999 || rnd.BestEDP < ex.BestEDP*0.9999 {
+		t.Errorf("sampled best beats exhaustive: ex %.4g bin %.4g rnd %.4g",
+			ex.BestEDP, bin.BestEDP, rnd.BestEDP)
+	}
+}
+
+func TestAblationsReport(t *testing.T) {
+	c := NewQuick()
+	rep, err := c.AblationsReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"load-balance factor", "look-ahead depth", "initial ordering", "context penalty", "search strategy"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// The driver tests below run at NewQuick granularity; their assertions
+// are the paper's directional claims, which must hold even with coarse
+// DSE.
+
+func TestFigure11Full(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine-scenario sweep")
+	}
+	c := NewQuick()
+	r, err := c.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 9 {
+		t.Fatalf("scenarios = %d", len(r.Scenarios))
+	}
+	if r.HDABeatsFDACount < 8 {
+		t.Errorf("HDA beats FDA in only %d/9 scenarios", r.HDABeatsFDACount)
+	}
+	if r.BestHDAOnPareto < 8 {
+		t.Errorf("best HDA on Pareto in only %d/9 scenarios", r.BestHDAOnPareto)
+	}
+	for _, se := range r.Scenarios {
+		// Every scenario's RDA must cost more energy than its
+		// Maelstrom (the flexibility tax).
+		if se.RDA.EnergyMJ <= se.Maelstrom.Eval.EnergyMJ {
+			t.Errorf("%s/%s: RDA energy %.4g <= Maelstrom %.4g",
+				se.Workload.Name, se.Class.Name, se.RDA.EnergyMJ, se.Maelstrom.Eval.EnergyMJ)
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 11") {
+		t.Error("render")
+	}
+
+	// CSV export round-trip.
+	var buf bytes.Buffer
+	if err := WriteFigure11CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + 9*(3+3+4+1) // header + scenarios x organizations
+	if len(recs) != wantRows {
+		t.Errorf("csv rows = %d, want %d", len(recs), wantRows)
+	}
+}
+
+func TestTableVClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine co-designs")
+	}
+	c := NewQuick()
+	r, err := c.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.NonTrivialCount < 5 {
+		t.Errorf("only %d/9 non-trivial partitions", r.NonTrivialCount)
+	}
+	// §V-B: cloud leans harder toward NVDLA than the edge class.
+	var edgeShare, cloudShare float64
+	var edgeN, cloudN int
+	for _, row := range r.Rows {
+		share := float64(row.NVDLAPEs) / float64(row.NVDLAPEs+row.ShiPEs)
+		switch row.Class {
+		case "edge":
+			edgeShare += share
+			edgeN++
+		case "cloud":
+			cloudShare += share
+			cloudN++
+		}
+	}
+	if cloudShare/float64(cloudN) <= edgeShare/float64(edgeN) {
+		t.Errorf("cloud NVDLA share %.2f should exceed edge %.2f",
+			cloudShare/float64(cloudN), edgeShare/float64(edgeN))
+	}
+	if !strings.Contains(r.String(), "Table V") {
+		t.Error("render")
+	}
+}
+
+func TestFigure12Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cloud co-designs")
+	}
+	c := NewQuick()
+	r, err := c.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != 2 {
+		t.Fatalf("cases = %d", len(r.Cases))
+	}
+	for _, cs := range r.Cases {
+		// Maelstrom still beats the best monolithic design in the
+		// single-DNN batch-4 case (paper: 26.4% / 48.1%).
+		if cs.MaelstromEDPGainPct <= 0 {
+			t.Errorf("%s: Maelstrom EDP gain %.1f%% should be positive", cs.Model, cs.MaelstromEDPGainPct)
+		}
+		// And the RDA costs more energy than Maelstrom.
+		if cs.RDAEnergyCostPct <= 0 {
+			t.Errorf("%s: RDA energy cost %.1f%% should be positive", cs.Model, cs.RDAEnergyCostPct)
+		}
+	}
+	_ = r.String()
+}
+
+func TestTableVIClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six co-designs incl. batch 8")
+	}
+	c := NewQuick()
+	r, err := c.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The HDA must beat the best FDA's latency at every class and
+		// batch size on MLPerf (paper: all Table VI latency gains
+		// positive).
+		if row.LatencyGainVsFDA <= 0 {
+			t.Errorf("%s b%d: latency gain vs FDA %.1f%% should be positive",
+				row.Class, row.Batch, row.LatencyGainVsFDA)
+		}
+		// And cost less energy than the RDA.
+		if row.EnergyGainVsRDA <= 0 {
+			t.Errorf("%s b%d: energy gain vs RDA %.1f%% should be positive",
+				row.Class, row.Batch, row.EnergyGainVsRDA)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFigure13Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-workload compiles")
+	}
+	c := NewQuick()
+	r, err := c.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workloads x (FDA + SFDA + RDA + 3 HDAs) cells.
+	if len(r.Cells) != 3*6 {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	// The energy-robustness claim: mismatched designs cost little
+	// energy (paper 0.1%; we allow a few percent).
+	if r.AvgMismatchEnergyPct > 5 {
+		t.Errorf("mismatch energy penalty %.1f%% too large", r.AvgMismatchEnergyPct)
+	}
+	_ = r.String()
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario matrix")
+	}
+	c := NewQuick()
+	r, err := c.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenarios != 9 {
+		t.Fatalf("scenarios = %d", r.Scenarios)
+	}
+	// Directional claims that must survive coarse granularity:
+	if r.VsFDALatencyPct <= 0 {
+		t.Errorf("Maelstrom should cut latency vs best FDA (got %+.1f%%)", r.VsFDALatencyPct)
+	}
+	if r.EDPImprovementPct <= 0 {
+		t.Errorf("best HDA should cut EDP vs best FDA (got %+.1f%%)", r.EDPImprovementPct)
+	}
+	if r.VsRDAEnergyPct <= 0 {
+		t.Errorf("Maelstrom should cut energy vs RDA (got %+.1f%%)", r.VsRDAEnergyPct)
+	}
+	_ = r.String()
+}
+
+func TestSchedulerAblationClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine scheduling comparisons")
+	}
+	c := NewQuick()
+	r, err := c.SchedulerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.AvgEDPReductionPct <= 0 {
+		t.Errorf("Herald should beat greedy on average (got %.1f%%)", r.AvgEDPReductionPct)
+	}
+	for _, row := range r.Rows {
+		if row.HeraldEDP > row.GreedyEDP*1.001 {
+			t.Errorf("%s/%s: Herald EDP %.4g worse than greedy %.4g",
+				row.Workload, row.Class, row.HeraldEDP, row.GreedyEDP)
+		}
+	}
+	_ = r.String()
+}
+
+func TestPreferenceReport(t *testing.T) {
+	c := NewQuick()
+	rows, err := c.PreferenceReport(16384, 256, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		var layerSum, macSum float64
+		for _, s := range dataflow.AllStyles() {
+			layerSum += row.LayerShare[s]
+			macSum += row.MACShare[s]
+		}
+		if layerSum < 0.999 || layerSum > 1.001 || macSum < 0.999 || macSum > 1.001 {
+			t.Errorf("%s: shares do not sum to 1 (%.3f layers, %.3f MACs)", row.Workload, layerSum, macSum)
+		}
+		// GNMT/FC-heavy MLPerf must have an NVDLA layer majority on
+		// the cloud substrate.
+		if row.Workload == "MLPerf-b1" && row.LayerShare[dataflow.NVDLA] < 0.4 {
+			t.Errorf("MLPerf NVDLA layer share %.2f suspiciously low", row.LayerShare[dataflow.NVDLA])
+		}
+	}
+	s, err := c.PreferenceReportString()
+	if err != nil || !strings.Contains(s, "census") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V). Each driver returns a structured result and
+// renders a text table that places our measured values next to the
+// values the paper reports, so EXPERIMENTS.md can record the
+// comparison. Absolute numbers are not expected to match (our cost
+// model is a reimplementation, not the authors' testbed); orderings
+// and rough factors are.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dse"
+	"repro/internal/workload"
+)
+
+// Config carries the shared Herald instance, search granularities, and
+// a memo of co-designed HDAs so the many drivers that need "the best
+// Maelstrom for scenario X" pay for each search once.
+type Config struct {
+	H *core.Herald
+
+	// DSE granularity for 2-way and 3-way HDAs.
+	PEUnits2, BWUnits2 int
+	PEUnits3, BWUnits3 int
+
+	mu      sync.Mutex
+	designs map[string]*core.Design
+}
+
+// New returns the full-fidelity configuration used by cmd/experiments
+// and the benchmarks.
+func New() *Config {
+	return &Config{
+		H:        core.Default(),
+		PEUnits2: 16, BWUnits2: 8,
+		PEUnits3: 8, BWUnits3: 4,
+		designs: map[string]*core.Design{},
+	}
+}
+
+// NewQuick returns a coarse-granularity configuration for unit tests.
+func NewQuick() *Config {
+	return &Config{
+		H:        core.Default(),
+		PEUnits2: 8, BWUnits2: 4,
+		PEUnits3: 4, BWUnits3: 3,
+		designs: map[string]*core.Design{},
+	}
+}
+
+// StyleCombo names one HDA style combination of Table III.
+type StyleCombo struct {
+	Name   string
+	Styles []dataflow.Style
+}
+
+// HDACombos returns the four HDA architectures of Table III, with the
+// paper's name for the NVDLA+Shi-diannao pair.
+func HDACombos() []StyleCombo {
+	return []StyleCombo{
+		{"NVDLA+Shi (Maelstrom)", []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao}},
+		{"Shi+Eyeriss", []dataflow.Style{dataflow.ShiDiannao, dataflow.Eyeriss}},
+		{"Eyeriss+NVDLA", []dataflow.Style{dataflow.Eyeriss, dataflow.NVDLA}},
+		{"NVDLA+Shi+Eyeriss", []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao, dataflow.Eyeriss}},
+	}
+}
+
+// MaelstromStyles is the dataflow pair of the paper's identified
+// architecture.
+func MaelstromStyles() []dataflow.Style {
+	return []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao}
+}
+
+// Workloads returns the three Table II workloads at main-evaluation
+// batch sizes.
+func Workloads() []*workload.Workload { return workload.Evaluated() }
+
+// Design co-designs (and memoizes) the best HDA for a style combo on a
+// workload and class.
+func (c *Config) Design(class accel.Class, styles []dataflow.Style, w *workload.Workload) (*core.Design, error) {
+	key := class.Name + "|" + w.Name + "|" + comboKey(styles)
+	c.mu.Lock()
+	d, ok := c.designs[key]
+	c.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	pe, bw := c.PEUnits2, c.BWUnits2
+	if len(styles) >= 3 {
+		pe, bw = c.PEUnits3, c.BWUnits3
+	}
+	d, err := c.H.CoDesign(class, styles, w, pe, bw, dse.Exhaustive)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.designs[key] = d
+	c.mu.Unlock()
+	return d, nil
+}
+
+// Maelstrom co-designs the NVDLA+Shi-diannao HDA for a scenario.
+func (c *Config) Maelstrom(class accel.Class, w *workload.Workload) (*core.Design, error) {
+	return c.Design(class, MaelstromStyles(), w)
+}
+
+func comboKey(styles []dataflow.Style) string {
+	parts := make([]string, len(styles))
+	for i, s := range styles {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// pct renders a relative difference (a vs b) as "x% lower/higher".
+func pct(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	d := (b - a) / b * 100
+	if d >= 0 {
+		return fmt.Sprintf("%.1f%% lower", d)
+	}
+	return fmt.Sprintf("%.1f%% higher", -d)
+}
+
+// pctVal returns the relative reduction of a vs b in percent (positive
+// means a is lower than b).
+func pctVal(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (b - a) / b * 100
+}
+
+// table is a minimal aligned-text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+func ms(sec float64) string { return fmt.Sprintf("%.2f ms", sec*1e3) }
+
+func mj(v float64) string { return fmt.Sprintf("%.1f mJ", v) }

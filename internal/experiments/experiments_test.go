@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/workload"
+)
+
+func TestTableI(t *testing.T) {
+	r, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The spread is the paper's qualitative point: several orders of
+	// magnitude of shape heterogeneity.
+	if r.MaxSpreadFactor < 1e5 {
+		t.Errorf("spread factor %.0f, want > 1e5", r.MaxSpreadFactor)
+	}
+	if !strings.Contains(r.String(), "Table I") {
+		t.Error("render")
+	}
+}
+
+func TestFigure2Claims(t *testing.T) {
+	c := NewQuick()
+	r, err := c.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NVDLABestOnResNet {
+		t.Error("Fig. 2a claim failed: NVDLA not best on ResNet50")
+	}
+	if !r.NVDLAWorstOnUNet {
+		t.Error("Fig. 2b claim failed: NVDLA not worst on UNet")
+	}
+	if !r.ShiBestOnUNet {
+		t.Error("Fig. 2b claim failed: Shi-diannao not best on UNet")
+	}
+	if len(r.Points) != 6 {
+		t.Errorf("points = %d, want 6", len(r.Points))
+	}
+	_ = r.String()
+}
+
+func TestFigure5Claims(t *testing.T) {
+	c := NewQuick()
+	r, err := c.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.UtilizationsMatch {
+		t.Error("Fig. 5 utilizations do not match the paper exactly")
+	}
+	if !r.PreferenceSigns {
+		t.Error("Fig. 5 EDP preference signs do not match")
+	}
+	_ = r.String()
+}
+
+func TestFigure6Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cloud sweep")
+	}
+	c := NewQuick()
+	r, err := c.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpreadFactor < 1.3 {
+		t.Errorf("Fig. 6: partition choice should matter (spread %.2fx, want > 1.3x)", r.SpreadFactor)
+	}
+	if len(r.Points) != 15 {
+		t.Errorf("Fig. 6: %d sweep points, want 15", len(r.Points))
+	}
+	_ = r.String()
+}
+
+func TestScenarioEvalEdgeMLPerf(t *testing.T) {
+	c := NewQuick()
+	se, err := c.EvalScenario(accel.Edge, workload.MLPerf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(se.FDAs) != 3 || len(se.SMFDAs) != 3 || len(se.HDAs) != 4 {
+		t.Fatalf("incomplete scenario: %d FDAs %d SMFDAs %d HDAs", len(se.FDAs), len(se.SMFDAs), len(se.HDAs))
+	}
+	// Paper sign: the best HDA beats the best FDA on EDP.
+	if se.BestHDA.Eval.EDP >= se.BestFDA.EDP {
+		t.Errorf("best HDA EDP %.4g should beat best FDA %.4g", se.BestHDA.Eval.EDP, se.BestFDA.EDP)
+	}
+	// Paper sign: RDA is latency-lean, energy-expensive vs Maelstrom.
+	if se.RDA.EnergyMJ <= se.Maelstrom.Eval.EnergyMJ {
+		t.Errorf("RDA energy %.4g should exceed Maelstrom's %.4g", se.RDA.EnergyMJ, se.Maelstrom.Eval.EnergyMJ)
+	}
+}
+
+func TestDesignMemoized(t *testing.T) {
+	c := NewQuick()
+	w := workload.MLPerf(1)
+	d1, err := c.Maelstrom(accel.Edge, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Maelstrom(accel.Edge, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("co-designs should be memoized")
+	}
+}
+
+func TestTableVIIFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full DSE")
+	}
+	c := NewQuick()
+	r, err := c.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 workloads x 2 sub-acc counts)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SchedulingTime <= 0 {
+			t.Errorf("%s/%d: no scheduling time recorded", row.Workload, row.SubAccs)
+		}
+	}
+	if r.AvgMsPerLayer <= 0 {
+		t.Error("ms/layer not computed")
+	}
+	_ = r.String()
+}
+
+func TestInventoryRenders(t *testing.T) {
+	if !strings.Contains(TableII(), "AR/VR-A") {
+		t.Error("Table II render")
+	}
+	if !strings.Contains(TableIV(), "cloud") {
+		t.Error("Table IV render")
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteFigure11CSV exports every design point of the Figure 11 space
+// as CSV (one row per organization per scenario), ready for external
+// plotting of the latency-energy planes.
+func WriteFigure11CSV(w io.Writer, r *Fig11Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "class", "organization", "kind",
+		"latency_s", "energy_mj", "edp_js", "partition"}); err != nil {
+		return err
+	}
+	for _, se := range r.Scenarios {
+		write := func(kind, name, partition string, lat, e, edp float64) error {
+			return cw.Write([]string{
+				se.Workload.Name, se.Class.Name, name, kind,
+				fmt.Sprintf("%.6g", lat), fmt.Sprintf("%.6g", e), fmt.Sprintf("%.6g", edp),
+				partition,
+			})
+		}
+		for _, ev := range se.FDAs {
+			if err := write("fda", ev.Name, "", ev.LatencySec, ev.EnergyMJ, ev.EDP); err != nil {
+				return err
+			}
+		}
+		for _, ev := range se.SMFDAs {
+			if err := write("sm-fda", ev.Name, "", ev.LatencySec, ev.EnergyMJ, ev.EDP); err != nil {
+				return err
+			}
+		}
+		for _, h := range se.HDAs {
+			part := ""
+			for i, sub := range h.Design.HDA.Subs {
+				if i > 0 {
+					part += " + "
+				}
+				part += fmt.Sprintf("%s:%dPE/%gGBps", sub.Style, sub.HW.PEs, sub.HW.BWGBps)
+			}
+			if err := write("hda", h.Combo, part, h.Eval.LatencySec, h.Eval.EnergyMJ, h.Eval.EDP); err != nil {
+				return err
+			}
+		}
+		if err := write("rda", se.RDA.Name, "", se.RDA.LatencySec, se.RDA.EnergyMJ, se.RDA.EDP); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+	"repro/internal/maestro"
+)
+
+// Fig2Point is one bar of Figure 2: a dataflow style running a model
+// on the 256-PE / 32 GB/s accelerator.
+type Fig2Point struct {
+	Model      string
+	Style      dataflow.Style
+	LatencySec float64
+	EnergyMJ   float64
+	EDP        float64 // joule-seconds
+}
+
+// Fig2Result holds both plots of Figure 2.
+type Fig2Result struct {
+	Points []Fig2Point
+
+	// The figure's qualitative claims.
+	NVDLABestOnResNet bool // Fig. 2a: NVDLA lowest EDP on ResNet50
+	NVDLAWorstOnUNet  bool // Fig. 2b: NVDLA highest EDP on UNet
+	ShiBestOnUNet     bool // Fig. 2b: Shi-diannao lowest EDP on UNet
+}
+
+// Figure2 reproduces Figure 2: the EDP of ShiDianNao-, NVDLA- and
+// Eyeriss-style FDAs on ResNet50 and UNet at 256 PEs and 32 GB/s NoC
+// bandwidth, modeled within the common MAESTRO-style framework.
+func (c *Config) Figure2() (*Fig2Result, error) {
+	hw := maestro.HW{PEs: 256, BWGBps: 32, L2Bytes: 4 << 20}
+	res := &Fig2Result{}
+	edp := map[string]map[dataflow.Style]float64{}
+	for _, model := range []string{"resnet50", "unet"} {
+		m, err := dnn.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		edp[model] = map[dataflow.Style]float64{}
+		for _, s := range dataflow.AllStyles() {
+			mc := maestro.EstimateModel(m, s, hw, c.H.Cache().Table())
+			p := Fig2Point{
+				Model:      model,
+				Style:      s,
+				LatencySec: mc.Seconds(1.0),
+				EnergyMJ:   mc.EnergyPJ * 1e-9,
+				EDP:        mc.EDP(1.0),
+			}
+			res.Points = append(res.Points, p)
+			edp[model][s] = p.EDP
+		}
+	}
+	rn := edp["resnet50"]
+	un := edp["unet"]
+	res.NVDLABestOnResNet = rn[dataflow.NVDLA] < rn[dataflow.ShiDiannao] && rn[dataflow.NVDLA] < rn[dataflow.Eyeriss]
+	res.NVDLAWorstOnUNet = un[dataflow.NVDLA] > un[dataflow.ShiDiannao] && un[dataflow.NVDLA] > un[dataflow.Eyeriss]
+	res.ShiBestOnUNet = un[dataflow.ShiDiannao] < un[dataflow.NVDLA] && un[dataflow.ShiDiannao] < un[dataflow.Eyeriss]
+	return res, nil
+}
+
+// String renders the figure as a table with the paper's claims.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — FDA style EDP on ResNet50 and UNet (256 PEs, 32 GB/s)\n")
+	t := &table{header: []string{"model", "style", "latency", "energy", "EDP (J*s)"}}
+	for _, p := range r.Points {
+		t.add(p.Model, p.Style.String(), ms(p.LatencySec), mj(p.EnergyMJ), f3(p.EDP))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "paper: NVDLA best on ResNet50            -> measured: %v\n", r.NVDLABestOnResNet)
+	fmt.Fprintf(&b, "paper: NVDLA worst on UNet (by far)      -> measured: %v\n", r.NVDLAWorstOnUNet)
+	fmt.Fprintf(&b, "paper: Shi-diannao best on UNet          -> measured: %v\n", r.ShiBestOnUNet)
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package maestro
+
+import (
+	"sync"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+)
+
+// cacheKey identifies a cost query: layer shape × style × substrate.
+// Multi-batch workloads re-evaluate identical layer shapes constantly
+// and the DSE re-schedules the same workload across hundreds of
+// partition points, so memoization is what keeps full-paper runs in
+// seconds.
+type cacheKey struct {
+	shape dnn.ShapeKey
+	style dataflow.Style
+	hw    HW
+}
+
+// Cache memoizes Estimate results for a fixed energy table. It is safe
+// for concurrent use.
+type Cache struct {
+	table energy.Table
+
+	mu sync.RWMutex
+	m  map[cacheKey]Cost
+}
+
+// NewCache returns an empty cost cache bound to the given energy table.
+func NewCache(et energy.Table) *Cache {
+	return &Cache{table: et, m: make(map[cacheKey]Cost)}
+}
+
+// Table returns the energy table this cache is bound to.
+func (c *Cache) Table() energy.Table { return c.table }
+
+// Estimate returns the (possibly memoized) cost of layer l under style
+// on substrate hw.
+func (c *Cache) Estimate(l *dnn.Layer, style dataflow.Style, hw HW) Cost {
+	key := cacheKey{shape: l.Key(), style: style, hw: hw}
+	c.mu.RLock()
+	cost, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return cost
+	}
+	cost = Estimate(l, style, hw, c.table)
+	c.mu.Lock()
+	c.m[key] = cost
+	c.mu.Unlock()
+	return cost
+}
+
+// Len returns the number of memoized entries (diagnostics).
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// ModelCost aggregates the sequential execution of a whole model on a
+// single monolithic substrate (the FDA execution model: one layer
+// after another).
+type ModelCost struct {
+	Cycles   int64
+	EnergyPJ float64
+	PerLayer []Cost
+}
+
+// Seconds converts the total latency to seconds.
+func (mc ModelCost) Seconds(clockGHz float64) float64 {
+	if clockGHz <= 0 {
+		clockGHz = 1.0
+	}
+	return float64(mc.Cycles) / (clockGHz * 1e9)
+}
+
+// EDP returns the model-level energy-delay product in joule-seconds.
+func (mc ModelCost) EDP(clockGHz float64) float64 {
+	return mc.EnergyPJ * 1e-12 * mc.Seconds(clockGHz)
+}
+
+// EstimateModel runs every layer of m sequentially under one style on
+// one substrate, as a fixed dataflow accelerator would (Fig. 2's
+// experiment shape).
+func EstimateModel(m *dnn.Model, style dataflow.Style, hw HW, et energy.Table) ModelCost {
+	mc := ModelCost{PerLayer: make([]Cost, len(m.Layers))}
+	for i := range m.Layers {
+		cost := Estimate(&m.Layers[i], style, hw, et)
+		mc.PerLayer[i] = cost
+		mc.Cycles += cost.Cycles
+		mc.EnergyPJ += cost.EnergyPJ()
+	}
+	return mc
+}

@@ -1,0 +1,132 @@
+package maestro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+)
+
+// TestTinyAndDegenerateLayers: 1x1x1 shapes, single-PE arrays and
+// minimum buffers must all produce positive, consistent costs.
+func TestTinyAndDegenerateLayers(t *testing.T) {
+	layers := []dnn.Layer{
+		{Op: dnn.FC, K: 1, C: 1, Y: 1, X: 1, R: 1, S: 1, Stride: 1},
+		{Op: dnn.PWConv, K: 1, C: 1, Y: 1, X: 1, R: 1, S: 1, Stride: 1},
+		{Op: dnn.Conv2D, K: 1, C: 1, Y: 3, X: 3, R: 3, S: 3, Stride: 1},
+		{Op: dnn.DWConv, K: 1, C: 1, Y: 3, X: 3, R: 3, S: 3, Stride: 1},
+	}
+	hws := []HW{
+		{PEs: 1, BWGBps: 0.5, L2Bytes: 1024},
+		{PEs: 2, BWGBps: 1, L2Bytes: 2048},
+		{PEs: 16384, BWGBps: 256, L2Bytes: 16 << 20},
+	}
+	for _, l := range layers {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		for _, hw := range hws {
+			for _, s := range dataflow.AllStyles() {
+				c := Estimate(&l, s, hw, et())
+				if c.Cycles < 1 {
+					t.Errorf("%v on %v @%dPE: zero-cycle cost", s, l, hw.PEs)
+				}
+				if c.EnergyPJ() <= 0 {
+					t.Errorf("%v on %v: zero energy", s, l)
+				}
+				if c.OccupancyBytes < 1 || c.OccupancyBytes > hw.L2Bytes {
+					t.Errorf("%v on %v: occupancy %d out of range", s, l, c.OccupancyBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestNoOverflowOnHugeLayers: GNMT-scale repeats and the largest
+// workload layers must not overflow int64 cycle or byte accounting.
+func TestNoOverflowOnHugeLayers(t *testing.T) {
+	huge := dnn.Layer{Op: dnn.FC, K: 32000, C: 4096, Y: 1, X: 1, R: 1, S: 1, Stride: 1, Repeat: 1000}
+	hw := HW{PEs: 64, BWGBps: 1, L2Bytes: 1 << 20}
+	c := Estimate(&huge, dataflow.ShiDiannao, hw, et())
+	if c.Cycles <= 0 || c.DRAMBytes <= 0 || c.ArrayBytes <= 0 {
+		t.Errorf("overflow suspected: %+v", c)
+	}
+	// 32000*4096*1000 = 1.31e11 MACs on one PE.
+	if c.ComputeCycles < 1e11 {
+		t.Errorf("compute cycles %d implausibly small", c.ComputeCycles)
+	}
+}
+
+// TestCacheConcurrentAccess hammers one cache from many goroutines;
+// run under -race this validates the locking discipline the parallel
+// DSE relies on.
+func TestCacheConcurrentAccess(t *testing.T) {
+	cache := NewCache(et())
+	m := dnn.MustByName("mobilenetv1")
+	hws := []HW{
+		{PEs: 256, BWGBps: 16, L2Bytes: 4 << 20},
+		{PEs: 512, BWGBps: 16, L2Bytes: 4 << 20},
+		{PEs: 1024, BWGBps: 16, L2Bytes: 4 << 20},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l := &m.Layers[(seed+i)%len(m.Layers)]
+				hw := hws[(seed+i)%len(hws)]
+				style := dataflow.AllStyles()[(seed+i)%3]
+				if c := cache.Estimate(l, style, hw); c.Cycles <= 0 {
+					t.Errorf("bad concurrent estimate")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every distinct (shape, style, hw) key estimated once.
+	if cache.Len() == 0 || cache.Len() > m.NumLayers()*3*len(hws) {
+		t.Errorf("cache size %d out of expected range", cache.Len())
+	}
+}
+
+// TestCostConsistentWithCacheBypass: the cache must return bitwise the
+// same cost as a direct estimate.
+func TestCostConsistentWithCacheBypass(t *testing.T) {
+	cache := NewCache(et())
+	l := dnn.Layer{Op: dnn.Conv2D, K: 96, C: 48, Y: 30, X: 30, R: 3, S: 3, Stride: 1, Pad: 1}
+	hw := HW{PEs: 896, BWGBps: 12, L2Bytes: 4 << 20}
+	for _, s := range dataflow.AllStyles() {
+		direct := Estimate(&l, s, hw, et())
+		cached := cache.Estimate(&l, s, hw)
+		if direct != cached {
+			t.Errorf("%v: cached cost differs from direct", s)
+		}
+	}
+}
+
+// TestL1DefaultRule pins the local-buffer sizing rule the calibration
+// depends on (Fig. 2 relies on 1 MiB at a 4 MiB global buffer).
+func TestL1DefaultRule(t *testing.T) {
+	cases := []struct {
+		l2   int64
+		want int64
+	}{
+		{4 << 20, 1 << 20},
+		{8 << 20, 2 << 20},
+		{16 << 20, 2 << 20}, // capped
+		{2 << 10, 1 << 10},  // floored
+	}
+	for _, c := range cases {
+		hw := HW{PEs: 1, BWGBps: 1, L2Bytes: c.l2}
+		if got := hw.L1(); got != c.want {
+			t.Errorf("L1(L2=%d) = %d, want %d", c.l2, got, c.want)
+		}
+	}
+	explicit := HW{PEs: 1, BWGBps: 1, L2Bytes: 4 << 20, L1Bytes: 3 << 20}
+	if explicit.L1() != 3<<20 {
+		t.Error("explicit L1 not honored")
+	}
+}

@@ -1,0 +1,306 @@
+// Package maestro reimplements the MAESTRO-style analytical cost model
+// the paper uses (§IV-B): given a layer, a dataflow style, and the
+// hardware parameters of one (sub-)accelerator, it estimates latency
+// and energy from data-reuse-derived access counts, exactly at the
+// altitude of the original model — no cycle-accurate simulation, pure
+// arithmetic over the mapping's fold/multicast structure.
+//
+// The pipeline is:
+//
+//	layer + style + PEs  ──dataflow.Map──▶  Mapping (folds, multicast)
+//	Mapping + HW + energy.Table ──Estimate──▶ Cost (cycles, pJ, bytes)
+//
+// Latency follows the paper's execution model (§IV-A): compute and
+// data movement overlap via double buffering, so steady-state latency
+// is max(computeCycles, memoryCycles), plus a non-overlapped prologue
+// for the first tile fill, plus an optional per-layer context-change
+// penalty (§IV-A gives Herald an option to charge data-layout and
+// context-switch costs).
+package maestro
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+)
+
+// HW describes the hardware resources of one (sub-)accelerator
+// substrate: a PE array, its share of global NoC/memory bandwidth,
+// and its share of the global scratchpad.
+type HW struct {
+	PEs      int     // number of processing elements
+	BWGBps   float64 // global NoC + DRAM bandwidth share, GB/s
+	L2Bytes  int64   // global buffer share, bytes
+	L1Bytes  int64   // sub-accelerator local buffer; 0 = min(512 KiB, L2/4)
+	ClockGHz float64 // PE clock; 0 defaults to 1 GHz
+
+	// ContextCycles and ContextPJ are charged once per layer executed
+	// on this substrate, modeling layer-switch reconfiguration or
+	// data-layout adjustment (zero for FDA/HDA sub-accelerators with a
+	// shared inner-loop order; nonzero for RDAs that reconfigure per
+	// layer).
+	ContextCycles int64
+	ContextPJ     float64
+}
+
+// Clock returns the effective clock in GHz.
+func (h HW) Clock() float64 {
+	if h.ClockGHz <= 0 {
+		return 1.0
+	}
+	return h.ClockGHz
+}
+
+// bytesPerCycle converts the bandwidth share into bytes per PE clock
+// cycle (1 GB/s at 1 GHz = 1 byte/cycle).
+func (h HW) bytesPerCycle() float64 {
+	return h.BWGBps / h.Clock()
+}
+
+// L1 returns the effective local-buffer size: each sub-accelerator
+// carries its own buffer (Fig. 3c) that serves intra-layer tensor
+// re-streaming without touching the partitioned global NoC.
+func (h HW) L1() int64 {
+	if h.L1Bytes > 0 {
+		return h.L1Bytes
+	}
+	l1 := h.L2Bytes / 4
+	if l1 > 2<<20 {
+		l1 = 2 << 20
+	}
+	if l1 < 1024 {
+		l1 = 1024
+	}
+	return l1
+}
+
+// Validate reports whether the hardware description is usable.
+func (h HW) Validate() error {
+	if h.PEs < 1 {
+		return fmt.Errorf("maestro: PEs must be >= 1 (got %d)", h.PEs)
+	}
+	if h.BWGBps <= 0 {
+		return fmt.Errorf("maestro: bandwidth must be positive (got %g)", h.BWGBps)
+	}
+	if h.L2Bytes < 1024 {
+		return fmt.Errorf("maestro: L2 share must be >= 1 KiB (got %d)", h.L2Bytes)
+	}
+	if h.ContextCycles < 0 || h.ContextPJ < 0 {
+		return fmt.Errorf("maestro: context penalties must be >= 0")
+	}
+	return nil
+}
+
+// EnergyBreakdown itemizes layer energy by hierarchy level, in pJ.
+type EnergyBreakdown struct {
+	MAC, RF, NoC, Buffer, DRAM, Context float64
+}
+
+// Total returns the summed energy in pJ.
+func (b EnergyBreakdown) Total() float64 {
+	return b.MAC + b.RF + b.NoC + b.Buffer + b.DRAM + b.Context
+}
+
+// Cost is the estimated execution cost of one layer on one
+// (sub-)accelerator.
+type Cost struct {
+	Mapping dataflow.Mapping
+
+	ComputeCycles int64 // PE-array busy cycles
+	MemoryCycles  int64 // NoC/DRAM streaming cycles (overlapped)
+	FillCycles    int64 // non-overlapped first-tile prologue
+	Cycles        int64 // total latency: max(compute, memory) + fill + context
+
+	DRAMBytes   int64 // DRAM <-> global buffer traffic
+	GlobalBytes int64 // global buffer <-> sub-accelerator traffic (partitioned NoC)
+	ArrayBytes  int64 // local buffer <-> PE array traffic (local interconnect)
+
+	Energy EnergyBreakdown
+
+	// OccupancyBytes is the global-buffer footprint the layer holds
+	// while executing (its working set, capped at the substrate's L2
+	// share); the scheduler's memory-size constraint sums these across
+	// concurrently-running layers.
+	OccupancyBytes int64
+}
+
+// Seconds converts the latency to seconds at the given clock.
+func (c Cost) Seconds(clockGHz float64) float64 {
+	if clockGHz <= 0 {
+		clockGHz = 1.0
+	}
+	return float64(c.Cycles) / (clockGHz * 1e9)
+}
+
+// EnergyPJ returns total energy in picojoules.
+func (c Cost) EnergyPJ() float64 { return c.Energy.Total() }
+
+// EDP returns the energy-delay product in joule-seconds at the given
+// clock (the paper's primary efficiency metric).
+func (c Cost) EDP(clockGHz float64) float64 {
+	return c.EnergyPJ() * 1e-12 * c.Seconds(clockGHz)
+}
+
+// Estimate computes the cost of layer l under the given dataflow style
+// on substrate hw with energy table et. The layer must be valid.
+func Estimate(l *dnn.Layer, style dataflow.Style, hw HW, et energy.Table) Cost {
+	m := dataflow.Map(style, l, hw.PEs)
+	return estimate(l, m, hw, et)
+}
+
+// EstimateMapping is Estimate for a pre-computed mapping (callers that
+// cache mappings per layer shape).
+func EstimateMapping(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
+	return estimate(l, m, hw, et)
+}
+
+func estimate(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
+	reps := int64(1)
+	if l.Repeat > 1 {
+		reps = int64(l.Repeat)
+	}
+
+	// Tensor footprints in bytes (8-bit words: 1 element = 1 byte).
+	inBytes1 := l.InputElems()
+	wBytes := l.WeightElems()
+	outBytes1 := l.OutputElems()
+	inBytes := inBytes1 * reps
+	outBytes := outBytes1 * reps
+
+	// --- Global buffer <-> PE array traffic (execution-model steps 2
+	// and 4: distribute weight tiles, stream activation tiles). The
+	// mapping's stream-fold counts say how many times each tensor
+	// element re-enters the array; spatial multicast is already folded
+	// into them (a fold that feeds SpatK lanes streams each element
+	// once for all of them).
+	inArray := inBytes * m.InputStreamFolds
+	wArray := wBytes * m.WeightStreamFolds * reps
+	outArray := outBytes // outputs leave the array exactly once
+	array := inArray + wArray + outArray
+
+	// --- Traffic placement across the hierarchy. A tensor whose
+	// re-streamed working set fits the sub-accelerator's local buffer
+	// is fetched from the global side once and re-streamed locally;
+	// otherwise every re-stream crosses the global NoC. Likewise a
+	// tensor that fits the global-buffer share crosses DRAM once;
+	// otherwise its global-side streams spill to DRAM. This coupling is
+	// what makes weight-stationary dataflows (input re-streamed per
+	// output-channel fold) pay dearly on activation-dominated networks
+	// whose feature maps exceed the buffers (Fig. 2b), while
+	// output-stationary dataflows pay on weight-dominated ones.
+	l1res := hw.L1()
+	l2res := hw.L2Bytes
+	budget := hw.L2Bytes / 2 // streamed-tile budget under double buffering
+	if budget < 1 {
+		budget = 1
+	}
+	globalIn := inBytes
+	if inBytes1 > l1res {
+		globalIn = inArray
+	}
+	globalW := wBytes
+	if wBytes > l1res {
+		globalW = wArray
+	}
+	global := globalIn + globalW + outBytes
+
+	dramIn := inBytes
+	if inBytes1 > l2res {
+		dramIn = globalIn
+	}
+	dramW := wBytes
+	if wBytes > l2res {
+		dramW = globalW
+	}
+	dram := dramIn + dramW + outBytes
+
+	// --- Latency. The partitioned global NoC carries the global-side
+	// streams and the DRAM fills; local re-streaming is served by the
+	// sub-accelerator's own interconnect at array rate. Compulsory
+	// traffic overlaps with compute under double buffering, but spill
+	// re-streams (working sets that overflow the buffers) cannot be
+	// prefetched into buffer space that does not exist — they serialize
+	// with compute. This is the latency tax weight-stationary dataflows
+	// pay on activation-dominated layers.
+	bpc := hw.bytesPerCycle()
+	compulsory := inBytes + wBytes + outBytes
+	spill := global - compulsory
+	if spill < 0 {
+		spill = 0
+	}
+	memCycles := int64(float64(max64(global, dram)) / bpc)
+	spillCycles := int64(float64(spill) / bpc)
+	fill := int64(float64(min64(inBytes1+wBytes, budget)) / bpc)
+	steady := max64(m.ComputeCycles, int64(float64(compulsory)/bpc))
+	total := steady + spillCycles + fill + hw.ContextCycles
+
+	// --- Energy.
+	var e EnergyBreakdown
+	macs := l.MACs()
+	e.MAC = float64(macs) * et.MAC
+	// Each MAC reads its input and weight operands from the PE-local
+	// RF (2 events); partial sums cost a read+write per *accumulation
+	// step*, and spatial reduction (NVDLA's adder tree across c0,
+	// Eyeriss's row set across r0) combines PsumReduce MAC results per
+	// step. Output-stationary Shi-diannao accumulates every MAC
+	// temporally (PsumReduce = 1).
+	psumEvents := 2.0 // read + write per accumulation step
+	if m.PsumAccumulator {
+		psumEvents = 1.0 // in-place accumulator update
+	}
+	psumSteps := float64(macs) / float64(m.PsumReduce)
+	e.RF = (2*float64(macs) + psumEvents*psumSteps) * et.RF
+	// Every word entering or leaving the array traverses the local
+	// interconnect; global-side streams and DRAM fills each touch the
+	// global buffer.
+	e.NoC = float64(array) * et.NoC
+	e.Buffer = float64(global+dram) * et.Buffer
+	e.DRAM = float64(dram) * et.DRAM
+	e.Context = hw.ContextPJ
+
+	// --- Scheduler-visible occupancy: the slice of the shared global
+	// buffer a running layer holds. Tensors stream through in tiles
+	// (execution-model steps 2-6), so a layer pins at most a local-
+	// buffer-scale window of double-buffered tiles — not its full
+	// working set — in the global buffer at any instant.
+	occ := inBytes1 + outBytes1 + min64(wBytes, budget)
+	if l1 := hw.L1(); occ > l1 {
+		occ = l1
+	}
+
+	return Cost{
+		Mapping:        m,
+		ComputeCycles:  m.ComputeCycles,
+		MemoryCycles:   memCycles,
+		FillCycles:     fill,
+		Cycles:         total,
+		DRAMBytes:      dram,
+		GlobalBytes:    global,
+		ArrayBytes:     array,
+		Energy:         e,
+		OccupancyBytes: occ,
+	}
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

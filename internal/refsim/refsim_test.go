@@ -1,0 +1,175 @@
+package refsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+)
+
+// genLayer produces small-but-varied valid layers so the tile walk
+// stays fast while covering edge-clamping cases (bounds not divisible
+// by spatial extents, single-row maps, FC degeneracy, UpConv phases).
+func genLayer(r *rand.Rand) dnn.Layer {
+	ops := []dnn.Op{dnn.Conv2D, dnn.PWConv, dnn.DWConv, dnn.FC, dnn.UpConv}
+	op := ops[r.Intn(len(ops))]
+	l := dnn.Layer{Op: op, Stride: 1}
+	switch op {
+	case dnn.FC:
+		l.K, l.C, l.Y, l.X, l.R, l.S = 1+r.Intn(300), 1+r.Intn(300), 1, 1, 1, 1
+	case dnn.PWConv:
+		l.K, l.C, l.R, l.S = 1+r.Intn(130), 1+r.Intn(130), 1, 1
+		l.Y, l.X = 1+r.Intn(40), 1+r.Intn(40)
+	case dnn.DWConv:
+		ch := 1 + r.Intn(130)
+		l.K, l.C, l.R, l.S, l.Pad = ch, ch, 3, 3, 1
+		l.Y, l.X = 3+r.Intn(40), 3+r.Intn(40)
+	case dnn.UpConv:
+		l.K, l.C = 1+r.Intn(60), 1+r.Intn(60)
+		l.R, l.S = 2+r.Intn(2), 2+r.Intn(2) // 2 or 3 taps
+		l.Stride = 2
+		l.Y, l.X = 1+r.Intn(16), 1+r.Intn(16)
+	default:
+		l.K, l.C, l.R, l.S, l.Pad = 1+r.Intn(90), 1+r.Intn(90), 3, 3, 1
+		l.Y, l.X = 3+r.Intn(40), 3+r.Intn(40)
+		if r.Intn(2) == 0 {
+			l.Stride = 2
+		}
+	}
+	if r.Intn(10) == 0 {
+		l.Repeat = 1 + r.Intn(4)
+	}
+	return l
+}
+
+// TestAnalyticalCyclesMatchSimulation is the cost model's validation
+// centerpiece: for every dataflow style over random layers and array
+// sizes, the closed-form ComputeCycles must equal the tile-walk count
+// exactly.
+func TestAnalyticalCyclesMatchSimulation(t *testing.T) {
+	pesChoices := []int{4, 16, 64, 128, 256, 1024}
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := genLayer(r)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		pes := pesChoices[r.Intn(len(pesChoices))]
+		for _, style := range dataflow.AllStyles() {
+			m := dataflow.Map(style, &l, pes)
+			sim := Simulate(style, &l, pes)
+			if sim.ComputeCycles != m.ComputeCycles {
+				t.Logf("%v on %s @%dPE: analytical %d cycles, simulated %d",
+					style, l.String(), pes, m.ComputeCycles, sim.ComputeCycles)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBusySlotsCoverExactWork: the busy-PE integral must equal the
+// exact MAC count for every operator whose effective taps are not
+// phase-rounded (everything except UpConv with stride∤taps), proving
+// the mapping neither skips nor duplicates work.
+func TestBusySlotsCoverExactWork(t *testing.T) {
+	pesChoices := []int{4, 16, 64, 256}
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := genLayer(r)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		pes := pesChoices[r.Intn(len(pesChoices))]
+		for _, style := range dataflow.AllStyles() {
+			sim := Simulate(style, &l, pes)
+			if l.Op == dnn.UpConv {
+				// Phase rounding makes slots an upper bound.
+				if sim.BusySlots < sim.ExactMACs {
+					t.Logf("%v upconv: slots %d < MACs %d", style, sim.BusySlots, sim.ExactMACs)
+					return false
+				}
+				continue
+			}
+			if sim.BusySlots != sim.ExactMACs {
+				t.Logf("%v on %s: busy slots %d != exact MACs %d",
+					style, l.String(), sim.BusySlots, sim.ExactMACs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPeakOccupancyMatchesMapping: the simulator's peak per-step
+// occupancy must equal the mapping's ActivePEs (the first tile is
+// always full by construction of the spatial extents).
+func TestPeakOccupancyMatchesMapping(t *testing.T) {
+	pesChoices := []int{4, 16, 64, 256}
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := genLayer(r)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		pes := pesChoices[r.Intn(len(pesChoices))]
+		for _, style := range dataflow.AllStyles() {
+			m := dataflow.Map(style, &l, pes)
+			sim := Simulate(style, &l, pes)
+			if sim.PeakActivePEs != m.ActivePEs {
+				t.Logf("%v on %s: peak %d != ActivePEs %d", style, l.String(), sim.PeakActivePEs, m.ActivePEs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactMACsAgreesWithLayer: the simulator's independent MAC count
+// must agree with dnn.Layer.MACs (two independently-written formulas).
+func TestExactMACsAgreesWithLayer(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := genLayer(r)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		return exactMACs(&l) == l.MACs()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKnownTiles pins a hand-computed case: a 6x6 conv (K=2,C=3,3x3)
+// on a 16-PE NVDLA array (Fig. 5 layer 1). Spatial extents are
+// (K2,C3); the walk covers 1x1 k,c tiles over 4x4 outputs x 3 filter
+// rows x 3 columns = 144 steps, busy 6 PEs each.
+func TestKnownTiles(t *testing.T) {
+	l := dnn.Layer{Op: dnn.Conv2D, K: 2, C: 3, Y: 6, X: 6, R: 3, S: 3, Stride: 1}
+	sim := Simulate(dataflow.NVDLA, &l, 16)
+	if sim.ComputeCycles != 4*4*3*3 {
+		t.Errorf("cycles = %d, want 144", sim.ComputeCycles)
+	}
+	if sim.PeakActivePEs != 6 {
+		t.Errorf("peak = %d, want 6", sim.PeakActivePEs)
+	}
+	if sim.BusySlots != l.MACs() {
+		t.Errorf("busy slots = %d, want %d", sim.BusySlots, l.MACs())
+	}
+}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPeriodicArrivalsRespected: instances of a periodic stream must
+// not start before their arrival cycle, and the schedule must stay
+// legal.
+func TestPeriodicArrivalsRespected(t *testing.T) {
+	h := maelstromEdge(t)
+	const period = 50_000_000 // 50 ms at 1 GHz
+	w := workload.MustNew("stream", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 4, PeriodCycles: period},
+	})
+	s := MustNew(newCache(), DefaultOptions())
+	sch, err := s.Schedule(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range sch.Assignments {
+		if a.Layer == 0 {
+			if arr := w.Instances[a.Instance].ArrivalCycle; a.Start < arr {
+				t.Errorf("instance %d layer 0 starts %d before arrival %d", a.Instance, a.Start, arr)
+			}
+		}
+	}
+	// The last frame arrives at 3x period; the makespan must reflect
+	// the stream (it cannot beat the last arrival).
+	if sch.MakespanCycles < 3*period {
+		t.Errorf("makespan %d below the last arrival %d", sch.MakespanCycles, 3*period)
+	}
+}
+
+// TestPeriodicVsBurst: a periodic stream with a generous period must
+// achieve per-frame latency close to the isolated single-frame
+// latency (no queueing), while a burst (period 0) of the same frames
+// queues and finishes later per frame on average.
+func TestPeriodicVsBurst(t *testing.T) {
+	h := maelstromEdge(t)
+	cache := newCache()
+	s := MustNew(cache, DefaultOptions())
+
+	single, err := s.Schedule(h, workload.MustNew("one", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := single.MakespanCycles
+
+	period := 4 * frame // no overlap pressure
+	stream, err := s.Schedule(h, workload.MustNew("stream", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 3, PeriodCycles: period},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each frame's response time (finish - arrival) stays near the
+	// isolated frame latency.
+	finish := make([]int64, 3)
+	for _, a := range stream.Assignments {
+		if a.End > finish[a.Instance] {
+			finish[a.Instance] = a.End
+		}
+	}
+	for i, f := range finish {
+		resp := f - stream.Workload.Instances[i].ArrivalCycle
+		if resp > frame*3/2 {
+			t.Errorf("frame %d response %d far above isolated latency %d", i, resp, frame)
+		}
+	}
+	if err := stream.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkloadRejectsNegativePeriod: input validation.
+func TestWorkloadRejectsNegativePeriod(t *testing.T) {
+	if _, err := workload.New("bad", []workload.Entry{
+		{Model: "unet", Batches: 2, PeriodCycles: -1},
+	}); err == nil {
+		t.Error("negative period accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/workload"
+)
+
+// extractSeqs converts a schedule into per-sub-accelerator item
+// sequences in start order (assignments are already in commit order,
+// which is start order per sub-accelerator).
+func extractSeqs(h *accel.HDA, sch *Schedule) [][]item {
+	seqs := make([][]item, len(h.Subs))
+	for _, a := range sch.Assignments {
+		seqs[a.SubAcc] = append(seqs[a.SubAcc], item{inst: a.Instance, layer: a.Layer})
+	}
+	return seqs
+}
+
+// simulate executes fixed per-sub-accelerator sequences and returns
+// the resulting schedule (no re-assignment decisions; used to evaluate
+// post-processing reorders). Each round it commits the sequence head
+// with the earliest feasible start time, respecting dependence, memory
+// and sub-accelerator serialization. Returns an error when the
+// sequences cross-block (which a reorder can introduce; callers then
+// revert).
+func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) (*Schedule, error) {
+	n := len(w.Instances)
+	free := make([]int64, len(h.Subs))
+	busy := make([]int64, len(h.Subs))
+	pos := make([]int, len(h.Subs))
+	nextLayer := make([]int, n)
+	ready := make([]int64, n)
+	for i, in := range w.Instances {
+		ready[i] = in.ArrivalCycle
+	}
+	var running []runSlot
+
+	total := 0
+	for a := range seqs {
+		total += len(seqs[a])
+	}
+	assignments := make([]Assignment, 0, total)
+	var energy float64
+
+	for committed := 0; committed < total; {
+		bestAcc := -1
+		var bestStart int64
+		for a := range seqs {
+			if pos[a] >= len(seqs[a]) {
+				continue
+			}
+			it := seqs[a][pos[a]]
+			if it.layer != nextLayer[it.inst] {
+				continue // blocked on a predecessor queued elsewhere
+			}
+			startT := max64(free[a], ready[it.inst])
+			cost := s.cache.Estimate(&w.Instances[it.inst].Model.Layers[it.layer], h.Subs[a].Style, h.Subs[a].HW)
+			startT, ok := memFeasibleStart(h, running, startT, cost.Cycles, cost.OccupancyBytes)
+			if !ok {
+				continue
+			}
+			if bestAcc < 0 || startT < bestStart {
+				bestAcc = a
+				bestStart = startT
+			}
+		}
+		if bestAcc < 0 {
+			return nil, fmt.Errorf("sched: simulate: sequences cross-block after %d of %d commits", committed, total)
+		}
+
+		a := bestAcc
+		it := seqs[a][pos[a]]
+		cost := s.cache.Estimate(&w.Instances[it.inst].Model.Layers[it.layer], h.Subs[a].Style, h.Subs[a].HW)
+		end := bestStart + cost.Cycles
+		pos[a]++
+		nextLayer[it.inst]++
+		free[a] = end
+		busy[a] += cost.Cycles
+		ready[it.inst] = end
+		energy += cost.EnergyPJ()
+		running = pruneSlots(running, bestStart)
+		running = append(running, runSlot{start: bestStart, end: end, occ: cost.OccupancyBytes})
+		assignments = append(assignments, Assignment{
+			Instance: it.inst, Layer: it.layer, SubAcc: a,
+			Start: bestStart, End: end, Cost: cost,
+		})
+		committed++
+	}
+
+	sch := &Schedule{
+		HDA: h, Workload: w,
+		Assignments:   assignments,
+		EnergyPJ:      energy,
+		SubBusyCycles: busy,
+	}
+	for i := range assignments {
+		if e := assignments[i].End; e > sch.MakespanCycles {
+			sch.MakespanCycles = e
+		}
+	}
+	sch.PeakOccupancyBytes = peakOccupancy(assignments)
+	return sch, nil
+}
+
+// pruneSlots drops slots that ended at or before t. Safe here because
+// simulate commits in non-decreasing start order (it always picks the
+// earliest feasible start).
+func pruneSlots(running []runSlot, t int64) []runSlot {
+	live := running[:0]
+	for _, r := range running {
+		if r.end > t {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// memFeasibleStart returns the earliest start >= startT at which the
+// occupancy fits the global buffer for the layer's whole duration,
+// delaying past running completions as needed.
+func memFeasibleStart(h *accel.HDA, running []runSlot, startT, dur, occ int64) (int64, bool) {
+	for iter := 0; iter <= len(running)+1; iter++ {
+		endT := startT + dur
+		var sum int64
+		var nextEnd int64
+		haveNext := false
+		for _, r := range running {
+			if r.end > startT {
+				if r.start < endT {
+					sum += r.occ
+				}
+				if !haveNext || r.end < nextEnd {
+					nextEnd, haveNext = r.end, true
+				}
+			}
+		}
+		if sum+occ <= h.Class.GlobalBufBytes {
+			return startT, true
+		}
+		if !haveNext {
+			return 0, false // cannot fit even alone (should not happen: occ <= buffer)
+		}
+		startT = nextEnd
+	}
+	return 0, false
+}
+
+// postProcess implements Fig. 9: walk each sub-accelerator's sequence;
+// wherever an idle gap follows an assignment, look ahead up to
+// LookAhead positions for a layer that could have started at the gap
+// and hoist it. A hoist is kept only if re-simulation confirms the
+// makespan does not regress (and never reorders layers of the same
+// instance, which would violate the dependence chain).
+func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedule) (*Schedule, error) {
+	if s.opts.LookAhead <= 0 {
+		return sch, nil
+	}
+	seqs := extractSeqs(h, sch)
+	cur := sch
+	moves := 0
+
+	timeline := func(sc *Schedule) map[item]Assignment {
+		m := make(map[item]Assignment, len(sc.Assignments))
+		for _, a := range sc.Assignments {
+			m[item{a.Instance, a.Layer}] = a
+		}
+		return m
+	}
+	tl := timeline(cur)
+
+	for a := range seqs {
+		for i := 0; i+1 < len(seqs[a]) && moves < s.opts.MaxPostMoves; i++ {
+			here := tl[seqs[a][i]]
+			next := tl[seqs[a][i+1]]
+			gap := next.Start - here.End
+			if gap <= 0 {
+				continue
+			}
+			// Search the look-ahead window for a hoistable layer.
+			for la := 2; la <= s.opts.LookAhead+1 && i+la < len(seqs[a]); la++ {
+				j := i + la
+				cand := seqs[a][j]
+				if sameInstanceBetween(seqs[a], i+1, j, cand.inst) {
+					break // a predecessor of cand sits in the window; stop
+				}
+				// Quick test: the candidate must be startable at the
+				// gap — its model predecessor complete (or, for a
+				// first layer, its instance arrived) by the gap start.
+				if cand.layer > 0 {
+					pred, ok := tl[item{cand.inst, cand.layer - 1}]
+					if !ok || pred.End > here.End {
+						continue
+					}
+				} else if w.Instances[cand.inst].ArrivalCycle > here.End {
+					continue
+				}
+				moves++
+				trial := hoist(seqs, a, i+1, j)
+				newSch, err := s.simulate(h, w, trial)
+				if err != nil || newSch.MakespanCycles > cur.MakespanCycles ||
+					flowTime(newSch) > flowTime(cur) {
+					continue // revert (seqs unchanged; trial was a copy)
+				}
+				seqs = trial
+				cur = newSch
+				tl = timeline(cur)
+				break
+			}
+		}
+	}
+	return cur, nil
+}
+
+// flowTime sums per-instance completion times — the guard that keeps
+// post-processing from trading one instance's response time for
+// another's idle slot without improving the makespan.
+func flowTime(s *Schedule) int64 {
+	finish := make(map[int]int64)
+	for _, a := range s.Assignments {
+		if a.End > finish[a.Instance] {
+			finish[a.Instance] = a.End
+		}
+	}
+	var sum int64
+	for _, f := range finish {
+		sum += f
+	}
+	return sum
+}
+
+// sameInstanceBetween reports whether seq[from:to] contains a layer of
+// the given instance (which would be an earlier layer — sequences
+// preserve per-instance order — and therefore a dependence blocker).
+func sameInstanceBetween(seq []item, from, to int, inst int) bool {
+	for k := from; k < to; k++ {
+		if seq[k].inst == inst {
+			return true
+		}
+	}
+	return false
+}
+
+// hoist returns a deep-copied sequence set with seq[acc][j] moved to
+// position `to` (shifting the window right by one).
+func hoist(seqs [][]item, acc, to, j int) [][]item {
+	out := make([][]item, len(seqs))
+	for a := range seqs {
+		out[a] = append([]item(nil), seqs[a]...)
+	}
+	moved := out[acc][j]
+	copy(out[acc][to+1:j+1], out[acc][to:j])
+	out[acc][to] = moved
+	return out
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// finishOf returns the completion cycle of the given instance.
+func finishOf(s *Schedule, inst int) int64 {
+	var f int64
+	for _, a := range s.Assignments {
+		if a.Instance == inst && a.End > f {
+			f = a.End
+		}
+	}
+	return f
+}
+
+// TestPrioritiesPullInstancesForward: with two identical UNet
+// instances competing for the same sub-accelerators, the prioritized
+// one must finish no later than it does with priorities reversed —
+// and strictly earlier than its twin in the same run.
+func TestPrioritiesPullInstancesForward(t *testing.T) {
+	h := maelstromEdge(t)
+	cache := newCache()
+	w := workload.MustNew("qos", []workload.Entry{{Model: "unet", Batches: 2}})
+
+	run := func(priorities []int) *Schedule {
+		opts := DefaultOptions()
+		opts.Priorities = priorities
+		s := MustNew(cache, opts)
+		sch, err := s.Schedule(h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return sch
+	}
+
+	favor0 := run([]int{10, 1})
+	if f0, f1 := finishOf(favor0, 0), finishOf(favor0, 1); f0 >= f1 {
+		t.Errorf("prioritized instance 0 finished at %d, twin at %d", f0, f1)
+	}
+	favor1 := run([]int{1, 10})
+	if f1, f0 := finishOf(favor1, 1), finishOf(favor1, 0); f1 >= f0 {
+		t.Errorf("prioritized instance 1 finished at %d, twin at %d", f1, f0)
+	}
+}
+
+// TestPrioritiesPreserveLegality: priorities change ordering, never
+// correctness; and nil priorities reproduce the default schedule.
+func TestPrioritiesPreserveLegality(t *testing.T) {
+	h := maelstromEdge(t)
+	cache := newCache()
+	w := workload.ARVRA()
+
+	opts := DefaultOptions()
+	opts.Priorities = []int{5, 5, 9, 9, 9, 9, 1, 1, 1, 1} // unet instances urgent
+	s := MustNew(cache, opts)
+	sch, err := s.Schedule(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	base := MustNew(cache, DefaultOptions())
+	bs, err := base.Schedule(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilPrio := DefaultOptions()
+	nilPrio.Priorities = nil
+	again, err := MustNew(cache, nilPrio).Schedule(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.MakespanCycles != again.MakespanCycles || bs.EnergyPJ != again.EnergyPJ {
+		t.Error("nil priorities should reproduce the default schedule")
+	}
+}
+
+// TestPrioritiesLengthMismatch: a wrong-length priority vector is a
+// caller bug and must be rejected.
+func TestPrioritiesLengthMismatch(t *testing.T) {
+	h := maelstromEdge(t)
+	w := workload.ARVRA() // 10 instances
+	opts := DefaultOptions()
+	opts.Priorities = []int{1, 2, 3}
+	s := MustNew(newCache(), opts)
+	if _, err := s.Schedule(h, w); err == nil {
+		t.Error("mismatched priority vector accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package sched implements Herald's layer execution scheduler
+// (§IV-D, Figs. 7–9): dataflow-preference-based assignment of layers
+// onto HDA sub-accelerators with load-balancing feedback, depth- or
+// breadth-first initial layer ordering, dependence and global-memory
+// constraints with deferred execution, and the look-ahead
+// post-processing pass that removes idle gaps. A naive greedy
+// scheduler (always the locally-best sub-accelerator, no balancing, no
+// post-processing) is provided as the baseline of the paper's
+// scheduler-efficacy study.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/maestro"
+	"repro/internal/workload"
+)
+
+// Metric selects the per-layer cost the scheduler minimizes when
+// ranking sub-accelerators (§IV-D: "users can select the metric").
+type Metric int
+
+const (
+	// MetricEDP ranks by per-layer energy-delay product (default).
+	MetricEDP Metric = iota
+	// MetricLatency ranks by per-layer latency.
+	MetricLatency
+	// MetricEnergy ranks by per-layer energy.
+	MetricEnergy
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricEDP:
+		return "edp"
+	case MetricLatency:
+		return "latency"
+	case MetricEnergy:
+		return "energy"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// value extracts the metric from a cost at a 1 GHz reference clock.
+func (m Metric) value(c maestro.Cost) float64 {
+	switch m {
+	case MetricLatency:
+		return float64(c.Cycles)
+	case MetricEnergy:
+		return c.EnergyPJ()
+	default:
+		return c.EDP(1.0)
+	}
+}
+
+// Ordering selects the initial layer ordering heuristic (§IV-D).
+type Ordering int
+
+const (
+	// BreadthFirst interleaves layer execution across models,
+	// maximizing the independent work available to sub-accelerators
+	// (default for multi-DNN workloads).
+	BreadthFirst Ordering = iota
+	// DepthFirst schedules all layers of one model before moving on.
+	DepthFirst
+)
+
+func (o Ordering) String() string {
+	if o == DepthFirst {
+		return "depth-first"
+	}
+	return "breadth-first"
+}
+
+// Options configures the Herald scheduler.
+type Options struct {
+	Metric   Metric
+	Ordering Ordering
+
+	// LoadBalanceFactor (LbF) is the maximum allowed load-unbalancing
+	// factor: the largest total busy time across sub-accelerators
+	// divided by the smallest (§IV-D). Assignments that would exceed
+	// it are diverted to the next-best sub-accelerator; if every
+	// alternative violates it, the best fit is used anyway (the
+	// feedback loop is a heuristic, not a hard constraint).
+	// +Inf disables balancing. Values < 1 are invalid.
+	LoadBalanceFactor float64
+
+	// LookAhead is the post-processing search depth of Fig. 9.
+	LookAhead int
+
+	// PostProcess enables the Fig. 9 idle-time-elimination pass.
+	PostProcess bool
+
+	// MaxPostMoves bounds the number of reorder attempts during
+	// post-processing (keeps DSE sweeps fast).
+	MaxPostMoves int
+
+	// Priorities optionally assigns a QoS priority to each workload
+	// instance (same indexing as Workload.Instances; higher is more
+	// urgent). When ready layers compete, higher-priority instances
+	// are served first; equal priorities follow the Ordering
+	// heuristic. Nil or all-equal priorities reduce to the paper's
+	// behavior. This extends the paper's per-subtask processing-rate
+	// modeling (§V-A assigns batch counts per sub-task) with
+	// latency-criticality, e.g. hand tracking ahead of classification
+	// in an AR/VR frame.
+	Priorities []int
+}
+
+// DefaultOptions returns Herald's standard configuration: EDP metric,
+// breadth-first ordering, load balancing at 1.5, post-processing with
+// look-ahead 4.
+func DefaultOptions() Options {
+	return Options{
+		Metric:            MetricEDP,
+		Ordering:          BreadthFirst,
+		LoadBalanceFactor: 1.5,
+		LookAhead:         4,
+		PostProcess:       true,
+		MaxPostMoves:      64,
+	}
+}
+
+// GreedyOptions returns the baseline greedy scheduler of §V-B's
+// scheduler-efficacy study: every layer goes to the sub-accelerator
+// with the least per-layer EDP, with no load balancing and no
+// post-processing.
+func GreedyOptions() Options {
+	return Options{
+		Metric:            MetricEDP,
+		Ordering:          DepthFirst,
+		LoadBalanceFactor: inf(),
+		LookAhead:         0,
+		PostProcess:       false,
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.LoadBalanceFactor < 1 {
+		return fmt.Errorf("sched: load-balance factor must be >= 1 (got %g)", o.LoadBalanceFactor)
+	}
+	if o.LookAhead < 0 || o.MaxPostMoves < 0 {
+		return fmt.Errorf("sched: look-ahead and max post moves must be >= 0")
+	}
+	return nil
+}
+
+// Assignment places one layer of one workload instance on one
+// sub-accelerator over [Start, End) cycles.
+type Assignment struct {
+	Instance int // index into Workload.Instances
+	Layer    int // index into the instance's model layers
+	SubAcc   int // index into HDA.Subs
+
+	Start, End int64
+	Cost       maestro.Cost
+}
+
+// Schedule is a complete layer execution schedule of a workload on an
+// HDA, with its aggregate cost metrics.
+type Schedule struct {
+	HDA      *accel.HDA
+	Workload *workload.Workload
+
+	// Assignments in commit order (non-decreasing Start).
+	Assignments []Assignment
+
+	MakespanCycles     int64
+	EnergyPJ           float64
+	SubBusyCycles      []int64
+	PeakOccupancyBytes int64
+
+	// SchedulingTime is the wall-clock time the scheduler itself took
+	// (Table VII's "Scheduling Time").
+	SchedulingTime time.Duration
+}
+
+// LatencySeconds converts the makespan to seconds at the given clock.
+func (s *Schedule) LatencySeconds(clockGHz float64) float64 {
+	if clockGHz <= 0 {
+		clockGHz = 1.0
+	}
+	return float64(s.MakespanCycles) / (clockGHz * 1e9)
+}
+
+// EnergyMJ returns total energy in millijoules.
+func (s *Schedule) EnergyMJ() float64 { return s.EnergyPJ * 1e-9 }
+
+// EDP returns the schedule's energy-delay product in joule-seconds.
+func (s *Schedule) EDP(clockGHz float64) float64 {
+	return s.EnergyPJ * 1e-12 * s.LatencySeconds(clockGHz)
+}
+
+// EnergyBreakdown aggregates the schedule's energy by memory-hierarchy
+// level (MAC, RF, local interconnect, global buffer, DRAM, context) —
+// the view that explains *why* an organization wins or loses energy
+// (e.g. the RDA's flexibility tax, or NVDLA's DRAM re-streaming on
+// activation-heavy layers).
+func (s *Schedule) EnergyBreakdown() maestro.EnergyBreakdown {
+	var b maestro.EnergyBreakdown
+	for _, a := range s.Assignments {
+		e := a.Cost.Energy
+		b.MAC += e.MAC
+		b.RF += e.RF
+		b.NoC += e.NoC
+		b.Buffer += e.Buffer
+		b.DRAM += e.DRAM
+		b.Context += e.Context
+	}
+	return b
+}
+
+// Utilization returns each sub-accelerator's busy fraction of the
+// makespan.
+func (s *Schedule) Utilization() []float64 {
+	out := make([]float64, len(s.SubBusyCycles))
+	if s.MakespanCycles == 0 {
+		return out
+	}
+	for i, b := range s.SubBusyCycles {
+		out[i] = float64(b) / float64(s.MakespanCycles)
+	}
+	return out
+}
+
+// item identifies one layer of one instance in per-sub-accelerator
+// sequences.
+type item struct {
+	inst, layer int
+}

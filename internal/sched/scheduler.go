@@ -1,0 +1,389 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/maestro"
+	"repro/internal/workload"
+)
+
+// Scheduler generates layer execution schedules for HDAs using a
+// shared cost-model cache.
+type Scheduler struct {
+	cache *maestro.Cache
+	opts  Options
+}
+
+// New returns a scheduler over the given cost cache.
+func New(cache *maestro.Cache, opts Options) (*Scheduler, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cache: cache, opts: opts}, nil
+}
+
+// MustNew is New for statically-valid options.
+func MustNew(cache *maestro.Cache, opts Options) *Scheduler {
+	s, err := New(cache, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Options returns the scheduler's configuration.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// Schedule runs the Fig. 8 layer assignment and ordering algorithm
+// followed (if enabled) by the Fig. 9 post-processing pass.
+func (s *Scheduler) Schedule(h *accel.HDA, w *workload.Workload) (*Schedule, error) {
+	if h == nil || len(h.Subs) == 0 {
+		return nil, fmt.Errorf("sched: nil or empty HDA")
+	}
+	if w == nil || len(w.Instances) == 0 {
+		return nil, fmt.Errorf("sched: nil or empty workload")
+	}
+	start := time.Now()
+
+	sch, err := s.assign(h, w)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.PostProcess && len(h.Subs) > 1 {
+		if improved, err := s.postProcess(h, w, sch); err == nil && improved != nil {
+			sch = improved
+		}
+	}
+	sch.SchedulingTime = time.Since(start)
+	return sch, nil
+}
+
+// runState is the mutable state of the Fig. 8 main loop.
+type runState struct {
+	free      []int64   // per sub-accelerator: next free cycle
+	busy      []int64   // per sub-accelerator: total busy cycles
+	nextLayer []int     // per instance: next unscheduled layer
+	ready     []int64   // per instance: completion time of its last layer
+	order     []int     // instance visitation order (rearranged per Ordering)
+	running   []runSlot // committed assignments not yet pruned (memory ledger)
+
+	assignments []Assignment
+	energyPJ    float64
+	remaining   int
+}
+
+type runSlot struct {
+	start, end int64
+	occ        int64
+}
+
+// assign is the direct codification of Fig. 8.
+func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error) {
+	n := len(w.Instances)
+	st := &runState{
+		free:      make([]int64, len(h.Subs)),
+		busy:      make([]int64, len(h.Subs)),
+		nextLayer: make([]int, n),
+		ready:     make([]int64, n),
+		order:     make([]int, n),
+	}
+	for i := range st.order {
+		st.order[i] = i
+	}
+	// QoS priorities: visit higher-priority instances first; the
+	// Ordering heuristic arbitrates within a priority band (stable
+	// sort preserves the initial index order).
+	if len(s.opts.Priorities) > 0 {
+		if len(s.opts.Priorities) != n {
+			return nil, fmt.Errorf("sched: %d priorities for %d instances", len(s.opts.Priorities), n)
+		}
+		sort.SliceStable(st.order, func(i, j int) bool {
+			return s.priority(st.order[i]) > s.priority(st.order[j])
+		})
+	}
+	for i, in := range w.Instances {
+		st.remaining += in.Model.NumLayers()
+		// Periodic streams: an instance's first layer is not ready
+		// before its arrival.
+		st.ready[i] = in.ArrivalCycle
+	}
+	st.assignments = make([]Assignment, 0, st.remaining)
+
+	var cycle int64
+	for st.remaining > 0 {
+		assignedInst := -1
+		for _, inst := range st.order {
+			li := st.nextLayer[inst]
+			if li >= w.Instances[inst].Model.NumLayers() {
+				continue
+			}
+			// Dependence condition: the previous layer of this model
+			// instance must be complete at the current cycle.
+			if st.ready[inst] > cycle {
+				continue
+			}
+			if s.tryAssign(h, w, st, cycle, inst, li) {
+				assignedInst = inst
+				break
+			}
+		}
+		if assignedInst >= 0 {
+			s.rearrange(st, assignedInst)
+			continue
+		}
+		// Failed to schedule anything at this cycle: defer execution to
+		// the next completion event (Fig. 8's nextLayerCompletionTime).
+		next, ok := s.nextEvent(st, cycle)
+		if !ok {
+			return nil, fmt.Errorf("sched: no schedulable layer and no pending event at cycle %d (memory deadlock?)", cycle)
+		}
+		cycle = next
+	}
+
+	return s.finalize(h, w, st), nil
+}
+
+// tryAssign evaluates the layer on every sub-accelerator, ranks them by
+// the configured metric, and assigns to the best candidate satisfying
+// the memory and load-balancing conditions (falling back to the best
+// memory-feasible candidate when balancing rejects all).
+func (s *Scheduler) tryAssign(h *accel.HDA, w *workload.Workload, st *runState, cycle int64, inst, li int) bool {
+	layer := &w.Instances[inst].Model.Layers[li]
+
+	type cand struct {
+		acc    int
+		cost   maestro.Cost
+		metric float64
+		finish int64
+	}
+	cands := make([]cand, len(h.Subs))
+	for a := range h.Subs {
+		c := s.cache.Estimate(layer, h.Subs[a].Style, h.Subs[a].HW)
+		cands[a] = cand{
+			acc: a, cost: c,
+			metric: s.opts.Metric.value(c),
+			finish: max64(cycle, st.free[a]) + c.Cycles,
+		}
+	}
+	// Dataflow-preference-based assignment by default; when the load
+	// across sub-accelerators is unbalanced, the feedback loop instead
+	// ranks by earliest completion time — the alternative assignment
+	// that reduces overall cost (§IV-D's global load-balancing).
+	if s.imbalanced(st, cycle) {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].finish != cands[j].finish {
+				return cands[i].finish < cands[j].finish
+			}
+			if cands[i].metric != cands[j].metric {
+				return cands[i].metric < cands[j].metric
+			}
+			return cands[i].acc < cands[j].acc
+		})
+	} else {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].metric != cands[j].metric {
+				return cands[i].metric < cands[j].metric
+			}
+			return cands[i].acc < cands[j].acc
+		})
+	}
+
+	commit := func(c cand) bool {
+		startT := max64(cycle, st.free[c.acc])
+		endT := startT + c.cost.Cycles
+		if !s.memOK(h, st, cycle, startT, endT, c.cost.OccupancyBytes) {
+			return false
+		}
+		st.free[c.acc] = endT
+		st.busy[c.acc] += c.cost.Cycles
+		st.ready[inst] = endT
+		st.nextLayer[inst]++
+		st.remaining--
+		st.energyPJ += c.cost.EnergyPJ()
+		st.running = append(st.running, runSlot{start: startT, end: endT, occ: c.cost.OccupancyBytes})
+		st.assignments = append(st.assignments, Assignment{
+			Instance: inst, Layer: li, SubAcc: c.acc,
+			Start: startT, End: endT, Cost: c.cost,
+		})
+		return true
+	}
+
+	for _, c := range cands {
+		if commit(c) {
+			return true
+		}
+	}
+	return false // no memory-feasible sub-accelerator at this cycle; defer
+}
+
+// imbalanced implements the unbalanced-load detector of §IV-D: the
+// largest *pending* work (queue depth beyond the current cycle) across
+// sub-accelerators divided by the smallest exceeds the user's maximum
+// allowed load-unbalancing factor. While balanced, assignment follows
+// pure dataflow preference; once unbalanced, the feedback loop
+// switches to completion-time-aware assignment. A sub-accelerator
+// sitting idle while another has a queue is the canonical imbalance.
+func (s *Scheduler) imbalanced(st *runState, cycle int64) bool {
+	lbf := s.opts.LoadBalanceFactor
+	if lbf >= inf() {
+		return false
+	}
+	var lo, hi int64
+	for i, f := range st.free {
+		d := f - cycle
+		if d < 0 {
+			d = 0
+		}
+		if i == 0 || d < lo {
+			lo = d
+		}
+		if i == 0 || d > hi {
+			hi = d
+		}
+	}
+	if hi == 0 {
+		return false // everything idle: pure preference
+	}
+	if lo <= 0 {
+		return true // someone idle while someone else queues
+	}
+	return float64(hi) > lbf*float64(lo)
+}
+
+// memOK checks the global-memory-size condition: the sum of buffer
+// occupancies of all assignments whose execution interval truly
+// overlaps the candidate's [startT, endT), plus the new layer's
+// occupancy, must fit the shared global buffer. Slots are pruned by
+// the monotonically-advancing scheduler cycle (startT of a later
+// commit may be smaller than a queued earlier one, so pruning by
+// startT would undercount).
+func (s *Scheduler) memOK(h *accel.HDA, st *runState, cycle, startT, endT, occ int64) bool {
+	live := st.running[:0]
+	var sum int64
+	for _, r := range st.running {
+		if r.end <= cycle {
+			continue // completed before the current cycle: prune
+		}
+		live = append(live, r)
+		if r.end > startT && r.start < endT {
+			sum += r.occ
+		}
+	}
+	st.running = live
+	return sum+occ <= h.Class.GlobalBufBytes
+}
+
+// priority returns the QoS priority of an instance (0 when none set).
+func (s *Scheduler) priority(inst int) int {
+	if inst < len(s.opts.Priorities) {
+		return s.opts.Priorities[inst]
+	}
+	return 0
+}
+
+// rearrange applies the layer-ordering strategy after a successful
+// assignment (Fig. 8's rearrange(MD)).
+func (s *Scheduler) rearrange(st *runState, inst int) {
+	if s.opts.Ordering == DepthFirst {
+		return // keep draining the same model
+	}
+	// Breadth-first: rotate the just-served instance to the back of
+	// its priority band (the global back when no priorities are set).
+	pos := -1
+	for i, v := range st.order {
+		if v == inst {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return
+	}
+	end := len(st.order) - 1
+	if len(s.opts.Priorities) > 0 {
+		p := s.priority(inst)
+		end = pos
+		for end+1 < len(st.order) && s.priority(st.order[end+1]) == p {
+			end++
+		}
+	}
+	copy(st.order[pos:end], st.order[pos+1:end+1])
+	st.order[end] = inst
+}
+
+// nextEvent returns the earliest completion or readiness event after
+// the given cycle.
+func (s *Scheduler) nextEvent(st *runState, cycle int64) (int64, bool) {
+	var next int64
+	found := false
+	consider := func(t int64) {
+		if t > cycle && (!found || t < next) {
+			next, found = t, true
+		}
+	}
+	for _, t := range st.free {
+		consider(t)
+	}
+	for _, t := range st.ready {
+		consider(t)
+	}
+	return next, found
+}
+
+// finalize converts run state into a Schedule with aggregate metrics.
+func (s *Scheduler) finalize(h *accel.HDA, w *workload.Workload, st *runState) *Schedule {
+	sch := &Schedule{
+		HDA:           h,
+		Workload:      w,
+		Assignments:   st.assignments,
+		EnergyPJ:      st.energyPJ,
+		SubBusyCycles: st.busy,
+	}
+	for i := range sch.Assignments {
+		if e := sch.Assignments[i].End; e > sch.MakespanCycles {
+			sch.MakespanCycles = e
+		}
+	}
+	sch.PeakOccupancyBytes = peakOccupancy(sch.Assignments)
+	return sch
+}
+
+// peakOccupancy sweeps assignment intervals and returns the maximum
+// concurrent global-buffer occupancy.
+func peakOccupancy(as []Assignment) int64 {
+	type ev struct {
+		t   int64
+		d   int64
+		end bool
+	}
+	evs := make([]ev, 0, 2*len(as))
+	for i := range as {
+		evs = append(evs,
+			ev{t: as[i].Start, d: as[i].Cost.OccupancyBytes},
+			ev{t: as[i].End, d: -as[i].Cost.OccupancyBytes, end: true})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].end && !evs[j].end // process releases before claims
+	})
+	var cur, peak int64
+	for _, e := range evs {
+		cur += e.d
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/energy"
+	"repro/internal/maestro"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func testSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	h, err := accel.New("t", accel.Edge, []accel.Partition{
+		{Style: dataflow.NVDLA, PEs: 512, BWGBps: 8},
+		{Style: dataflow.ShiDiannao, PEs: 512, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MustNew("trace", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 2},
+		{Model: "brq-handpose", Batches: 1},
+	})
+	s := sched.MustNew(maestro.NewCache(energy.Default28nm()), sched.DefaultOptions())
+	sch, err := s.Schedule(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestGantt(t *testing.T) {
+	sch := testSchedule(t)
+	g := Gantt(sch, 80)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	// header + one lane per sub-acc + legend
+	if len(lines) != 2+len(sch.HDA.Subs) {
+		t.Fatalf("gantt lines = %d, want %d:\n%s", len(lines), 2+len(sch.HDA.Subs), g)
+	}
+	if !strings.Contains(g, "acc1-NVDLA") || !strings.Contains(g, "acc2-Shi-diannao") {
+		t.Error("lane labels missing")
+	}
+	if !strings.Contains(g, "mobilenetv1#1") {
+		t.Error("legend missing instance names")
+	}
+	// Every instance mark should appear somewhere.
+	for i := range sch.Workload.Instances {
+		if !strings.ContainsRune(g, markFor(i)) {
+			t.Errorf("instance %d mark %c absent from gantt", i, markFor(i))
+		}
+	}
+	if out := Gantt(&sched.Schedule{HDA: sch.HDA, Workload: sch.Workload}, 40); !strings.Contains(out, "empty") {
+		t.Error("empty schedule should render a placeholder")
+	}
+}
+
+func TestOccupancyTimeline(t *testing.T) {
+	sch := testSchedule(t)
+	tl := OccupancyTimeline(sch)
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	var peak int64
+	prev := int64(-1)
+	for _, s := range tl {
+		if s.Cycle < prev {
+			t.Fatal("timeline not sorted")
+		}
+		prev = s.Cycle
+		if s.Bytes < 0 {
+			t.Fatalf("negative occupancy %d at %d", s.Bytes, s.Cycle)
+		}
+		if s.Bytes > peak {
+			peak = s.Bytes
+		}
+	}
+	if peak != sch.PeakOccupancyBytes {
+		t.Errorf("timeline peak %d != schedule peak %d", peak, sch.PeakOccupancyBytes)
+	}
+	if last := tl[len(tl)-1]; last.Bytes != 0 {
+		t.Errorf("occupancy should return to zero at the end, got %d", last.Bytes)
+	}
+}
+
+func TestInstances(t *testing.T) {
+	sch := testSchedule(t)
+	sums := Instances(sch)
+	if len(sums) != sch.Workload.NumInstances() {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	var layers int
+	var maxFinish int64
+	for i, s := range sums {
+		layers += s.Layers
+		if s.FinishedAt > maxFinish {
+			maxFinish = s.FinishedAt
+		}
+		if i > 0 && s.FinishedAt < sums[i-1].FinishedAt {
+			t.Error("summaries not sorted by finish time")
+		}
+		if s.BusyCycles <= 0 || s.EnergyMJ <= 0 {
+			t.Errorf("%s: empty summary", s.Instance)
+		}
+	}
+	if layers != sch.Workload.TotalLayers() {
+		t.Errorf("summary layers %d != workload %d", layers, sch.Workload.TotalLayers())
+	}
+	if maxFinish != sch.MakespanCycles {
+		t.Errorf("latest finish %d != makespan %d", maxFinish, sch.MakespanCycles)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sch := testSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sch); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+len(sch.Assignments) {
+		t.Fatalf("csv rows = %d, want %d", len(recs), 1+len(sch.Assignments))
+	}
+	if recs[0][0] != "instance" || len(recs[1]) != 10 {
+		t.Error("csv shape unexpected")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	sch := testSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sch); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Makespan    int64 `json:"makespan_cycles"`
+		Assignments []struct {
+			Instance string `json:"instance"`
+			End      int64  `json:"end"`
+		} `json:"assignments"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Makespan != sch.MakespanCycles {
+		t.Error("makespan mismatch in JSON")
+	}
+	if len(decoded.Assignments) != len(sch.Assignments) {
+		t.Error("assignment count mismatch in JSON")
+	}
+}

@@ -1,0 +1,153 @@
+// Package workload builds the heterogeneous multi-DNN workloads of
+// Table II: a set of model instances (model × batch count) whose
+// layers form independent linear dependence chains. Instances of the
+// same model share layer shapes (and therefore cost-model cache
+// entries) but are scheduled independently — the layer parallelism
+// HDAs exploit (§III-B).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// Entry requests a number of batch instances of one zoo model, as in
+// Table II's "# of batches" column.
+type Entry struct {
+	Model   string
+	Batches int
+
+	// PeriodCycles optionally staggers the instances as a periodic
+	// stream: batch i arrives at (i-1) × PeriodCycles. Zero means all
+	// instances are ready at cycle 0 (the paper's setting). This
+	// models the multi-stream MLPerf scenario more faithfully: frames
+	// of a sub-task arrive at its target processing rate rather than
+	// all at once.
+	PeriodCycles int64
+}
+
+// Instance is one independently-scheduled copy of a model.
+type Instance struct {
+	Model *dnn.Model
+	Batch int // 1-based batch index within the model
+
+	// ArrivalCycle is the earliest cycle the instance's first layer
+	// may start (0 = ready immediately).
+	ArrivalCycle int64
+}
+
+// Name identifies the instance, e.g. "unet#3".
+func (in Instance) Name() string { return fmt.Sprintf("%s#%d", in.Model.Name, in.Batch) }
+
+// Workload is a named multi-DNN workload.
+type Workload struct {
+	Name      string
+	Instances []Instance
+}
+
+// New builds a workload from zoo entries.
+func New(name string, entries []Entry) (*Workload, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: %q has no entries", name)
+	}
+	w := &Workload{Name: name}
+	for _, e := range entries {
+		if e.Batches < 1 {
+			return nil, fmt.Errorf("workload: %q: %s batches must be >= 1 (got %d)", name, e.Model, e.Batches)
+		}
+		if e.PeriodCycles < 0 {
+			return nil, fmt.Errorf("workload: %q: %s period must be >= 0 (got %d)", name, e.Model, e.PeriodCycles)
+		}
+		m, err := dnn.ByName(e.Model)
+		if err != nil {
+			return nil, fmt.Errorf("workload %q: %w", name, err)
+		}
+		for b := 1; b <= e.Batches; b++ {
+			w.Instances = append(w.Instances, Instance{
+				Model: m, Batch: b,
+				ArrivalCycle: int64(b-1) * e.PeriodCycles,
+			})
+		}
+	}
+	return w, nil
+}
+
+// MustNew is New for statically-known entries.
+func MustNew(name string, entries []Entry) *Workload {
+	w, err := New(name, entries)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NumInstances returns the number of model instances.
+func (w *Workload) NumInstances() int { return len(w.Instances) }
+
+// TotalLayers returns the total number of layers across all instances
+// (the paper's per-workload layer counts in Table VII).
+func (w *Workload) TotalLayers() int {
+	var n int
+	for _, in := range w.Instances {
+		n += in.Model.NumLayers()
+	}
+	return n
+}
+
+// TotalMACs returns the workload's total multiply-accumulate count.
+func (w *Workload) TotalMACs() int64 {
+	var n int64
+	for _, in := range w.Instances {
+		n += in.Model.MACs()
+	}
+	return n
+}
+
+// ARVRA returns the AR/VR-A workload of Table II:
+// ResNet50 ×2, UNet ×4, MobileNetV2 ×4.
+func ARVRA() *Workload {
+	return MustNew("AR/VR-A", []Entry{
+		{Model: "resnet50", Batches: 2},
+		{Model: "unet", Batches: 4},
+		{Model: "mobilenetv2", Batches: 4},
+	})
+}
+
+// ARVRB returns the AR/VR-B workload of Table II: ResNet50 ×2, UNet
+// ×2, MobileNetV2 ×4, Br-Q Handpose ×2, Focal-Length DepthNet ×2.
+func ARVRB() *Workload {
+	return MustNew("AR/VR-B", []Entry{
+		{Model: "resnet50", Batches: 2},
+		{Model: "unet", Batches: 2},
+		{Model: "mobilenetv2", Batches: 4},
+		{Model: "brq-handpose", Batches: 2},
+		{Model: "fl-depthnet", Batches: 2},
+	})
+}
+
+// MLPerf returns the MLPerf multi-stream inference workload of
+// Table II with the given per-model batch count (1 in the main
+// evaluation, 8 in the batch-size study of Table VI): ResNet50,
+// MobileNetV1, SSD-ResNet34, SSD-MobileNetV1 and GNMT.
+func MLPerf(batches int) *Workload {
+	return MustNew(fmt.Sprintf("MLPerf-b%d", batches), []Entry{
+		{Model: "resnet50", Batches: batches},
+		{Model: "mobilenetv1", Batches: batches},
+		{Model: "ssd-resnet34", Batches: batches},
+		{Model: "ssd-mobilenetv1", Batches: batches},
+		{Model: "gnmt", Batches: batches},
+	})
+}
+
+// SingleDNN returns a single-model workload with the given batch count
+// (the Fig. 12 single-DNN case study).
+func SingleDNN(model string, batches int) (*Workload, error) {
+	return New(model+"-single", []Entry{{Model: model, Batches: batches}})
+}
+
+// Evaluated returns the three Table II workloads at their main
+// evaluation batch sizes.
+func Evaluated() []*Workload {
+	return []*Workload{ARVRA(), ARVRB(), MLPerf(1)}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import "testing"
+
+func TestTableIIWorkloads(t *testing.T) {
+	a := ARVRA()
+	if a.Name != "AR/VR-A" || a.NumInstances() != 10 {
+		t.Errorf("AR/VR-A: %s, %d instances", a.Name, a.NumInstances())
+	}
+	b := ARVRB()
+	if b.NumInstances() != 12 {
+		t.Errorf("AR/VR-B instances = %d", b.NumInstances())
+	}
+	m := MLPerf(1)
+	if m.NumInstances() != 5 {
+		t.Errorf("MLPerf instances = %d", m.NumInstances())
+	}
+	if MLPerf(8).NumInstances() != 40 {
+		t.Error("MLPerf batch-8 instances")
+	}
+	if got := len(Evaluated()); got != 3 {
+		t.Errorf("Evaluated() = %d workloads", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	a := ARVRA()
+	if a.TotalLayers() != 2*54+4*23+4*53 {
+		t.Errorf("AR/VR-A layers = %d", a.TotalLayers())
+	}
+	if a.TotalMACs() <= 0 {
+		t.Error("MACs")
+	}
+	// UNet x4 dominates AR/VR-A's MACs.
+	var unet int64
+	for _, in := range a.Instances {
+		if in.Model.Name == "unet" {
+			unet += in.Model.MACs()
+		}
+	}
+	if float64(unet)/float64(a.TotalMACs()) < 0.8 {
+		t.Errorf("UNet share = %.2f, expected dominant", float64(unet)/float64(a.TotalMACs()))
+	}
+}
+
+func TestInstanceNaming(t *testing.T) {
+	w := MustNew("n", []Entry{{Model: "unet", Batches: 2}})
+	if w.Instances[0].Name() != "unet#1" || w.Instances[1].Name() != "unet#2" {
+		t.Errorf("names = %s, %s", w.Instances[0].Name(), w.Instances[1].Name())
+	}
+}
+
+func TestPeriodicArrivals(t *testing.T) {
+	w := MustNew("p", []Entry{{Model: "mobilenetv1", Batches: 3, PeriodCycles: 1000}})
+	for i, in := range w.Instances {
+		if want := int64(i) * 1000; in.ArrivalCycle != want {
+			t.Errorf("instance %d arrival = %d, want %d", i, in.ArrivalCycle, want)
+		}
+	}
+	if _, err := New("bad", []Entry{{Model: "unet", Batches: 1, PeriodCycles: -5}}); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New("e", nil); err == nil {
+		t.Error("empty entries accepted")
+	}
+	if _, err := New("e", []Entry{{Model: "unknown", Batches: 1}}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := New("e", []Entry{{Model: "unet", Batches: 0}}); err == nil {
+		t.Error("zero batches accepted")
+	}
+	if _, err := SingleDNN("resnet50", 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid input")
+		}
+	}()
+	MustNew("bad", nil)
+}
