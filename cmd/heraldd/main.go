@@ -1,0 +1,169 @@
+// Command heraldd is Herald's online serving daemon: the runtime
+// counterpart of cmd/herald's design-time search. At startup it fixes
+// an HDA — either the best point of a bootstrap dse.Search over a
+// representative workload, or an explicit -partition — then serves a
+// JSON-over-HTTP API that admits DNN inference requests at runtime,
+// extends the layer schedule incrementally, and reports per-request
+// latency/SLA statistics plus aggregate throughput.
+//
+// Examples:
+//
+//	go run ./cmd/heraldd -addr :8080 -class edge -bootstrap arvr-a
+//	go run ./cmd/heraldd -class mobile -styles nvdla,shi-diannao \
+//	    -pe-units 8 -bw-units 4 -objective latency
+//	go run ./cmd/heraldd -class edge -partition "nvdla:512:8,shi-diannao:512:8"
+//
+// API (see internal/serve):
+//
+//	POST /v1/requests      {"tenant":"arvr","model":"unet","wait":true}
+//	GET  /v1/requests/{id}
+//	GET  /v1/stats
+//	GET  /v1/schedule
+//	POST /v1/drain
+//	GET  /v1/models | /v1/hda | /v1/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	herald "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	className := flag.String("class", "edge", "accelerator class: edge, mobile, cloud")
+	stylesFlag := flag.String("styles", "nvdla,shi-diannao", "comma-separated sub-accelerator dataflow styles")
+	peUnits := flag.Int("pe-units", 8, "bootstrap DSE PE partitioning granularity")
+	bwUnits := flag.Int("bw-units", 4, "bootstrap DSE bandwidth partitioning granularity")
+	strategyFlag := flag.String("strategy", "exhaustive", "bootstrap search strategy: exhaustive, binary, random")
+	objectiveFlag := flag.String("objective", "edp", "bootstrap search objective: edp, latency, energy")
+	bootstrap := flag.String("bootstrap", "arvr-a", "bootstrap workload the DSE optimizes the HDA for: arvr-a, arvr-b, mlperf")
+	partitionFlag := flag.String("partition", "", "skip the DSE; serve on this fixed partition (style:pes:bw,...)")
+	clockGHz := flag.Float64("clock-ghz", 1.0, "accelerator clock for cycle<->seconds stats")
+	maxQueue := flag.Int("max-queue", 1024, "per-tenant pending-queue capacity")
+	maxBatch := flag.Int("max-batch", 8, "max admissions coalesced per scheduling round")
+	flag.Parse()
+
+	class, err := herald.ParseClass(*className)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+
+	var hda *herald.HDA
+	if *partitionFlag != "" {
+		parts, err := parsePartition(*partitionFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hda, err = herald.NewHDA("heraldd", class, parts); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving on fixed partition %v", hda)
+	} else {
+		hda, err = bootstrapHDA(cache, class, *stylesFlag, *peUnits, *bwUnits, *strategyFlag, *objectiveFlag, *bootstrap)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	opts := herald.DefaultServingOptions()
+	opts.ClockGHz = *clockGHz
+	opts.MaxQueue = *maxQueue
+	opts.MaxBatch = *maxBatch
+	engine, err := herald.NewServingEngine(cache, hda, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("heraldd listening on %s (HDA %v, clock %g GHz)", *addr, hda, *clockGHz)
+	log.Fatal(http.ListenAndServe(*addr, engine.Handler()))
+}
+
+// bootstrapHDA runs the deploy-time DSE: search the partition space
+// for the bootstrap workload and fix the best point as the serving
+// substrate.
+func bootstrapHDA(cache *herald.CostCache, class herald.Class, stylesCSV string, peUnits, bwUnits int, strategy, objective, bootstrap string) (*herald.HDA, error) {
+	var styles []herald.Style
+	for _, s := range strings.Split(stylesCSV, ",") {
+		st, err := herald.ParseStyle(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		styles = append(styles, st)
+	}
+	w, err := bootstrapWorkload(bootstrap)
+	if err != nil {
+		return nil, err
+	}
+	opts := herald.DefaultSearchOptions()
+	switch strategy {
+	case "exhaustive":
+		opts.Strategy = herald.Exhaustive
+	case "binary":
+		opts.Strategy = herald.Binary
+	case "random":
+		opts.Strategy = herald.Random
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	switch objective {
+	case "edp":
+		opts.Objective = herald.ObjectiveEDP
+	case "latency":
+		opts.Objective = herald.ObjectiveLatency
+	case "energy":
+		opts.Objective = herald.ObjectiveEnergy
+	default:
+		return nil, fmt.Errorf("unknown objective %q", objective)
+	}
+	sp := herald.SearchSpace{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
+	res, err := herald.Search(cache, sp, w, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap DSE: %w", err)
+	}
+	log.Printf("bootstrap DSE: %d points on %s, best (%s) %v",
+		len(res.Points), w.Name, objective, res.Best.HDA)
+	return res.Best.HDA, nil
+}
+
+func bootstrapWorkload(name string) (*herald.Workload, error) {
+	switch strings.ToLower(name) {
+	case "arvr-a", "arvra":
+		return herald.ARVRA(), nil
+	case "arvr-b", "arvrb":
+		return herald.ARVRB(), nil
+	case "mlperf":
+		return herald.MLPerf(1), nil
+	}
+	return nil, fmt.Errorf("unknown bootstrap workload %q (want arvr-a, arvr-b, mlperf)", name)
+}
+
+func parsePartition(s string) ([]herald.Partition, error) {
+	var parts []herald.Partition
+	for _, item := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(item), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("partition %q: want style:pes:bw", item)
+		}
+		st, err := herald.ParseStyle(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		pes, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("partition %q: bad PEs: %v", item, err)
+		}
+		bw, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("partition %q: bad bandwidth: %v", item, err)
+		}
+		parts = append(parts, herald.Partition{Style: st, PEs: pes, BWGBps: bw})
+	}
+	return parts, nil
+}

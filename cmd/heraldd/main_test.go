@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	herald "repro"
+)
+
+func TestBootstrapWorkload(t *testing.T) {
+	cases := map[string]int{"arvr-a": 10, "ARVR-B": 12, "mlperf": 5}
+	for name, want := range cases {
+		w, err := bootstrapWorkload(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if w.NumInstances() != want {
+			t.Errorf("%s: %d instances, want %d", name, w.NumInstances(), want)
+		}
+	}
+	if _, err := bootstrapWorkload("nope"); err == nil {
+		t.Error("unknown bootstrap workload accepted")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	parts, err := parsePartition("nvdla:512:8, shi-diannao:512:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || parts[0].PEs != 512 || parts[1].BWGBps != 8 {
+		t.Errorf("parts = %+v", parts)
+	}
+	for _, bad := range []string{"nvdla:512", "tpu:512:8", "nvdla:x:8", "nvdla:512:y"} {
+		if _, err := parsePartition(bad); err == nil {
+			t.Errorf("%q: accepted", bad)
+		}
+	}
+}
+
+// TestBootstrapHDA runs the deploy-time DSE at coarse granularity and
+// checks the chosen point is a servable HDA for the class.
+func TestBootstrapHDA(t *testing.T) {
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+	hda, err := bootstrapHDA(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "latency", "arvr-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hda.NumSubs() != 2 || hda.Class.Name != "edge" {
+		t.Fatalf("bootstrap HDA %v", hda)
+	}
+	for _, bad := range [][3]string{
+		{"exhaustive", "edp", "nope"},
+		{"nope", "edp", "arvr-a"},
+		{"exhaustive", "nope", "arvr-a"},
+		{"exhaustive", "edp", "arvr-a"},
+	} {
+		strategy, objective, wl := bad[0], bad[1], bad[2]
+		if strategy == "exhaustive" && objective == "edp" && wl == "arvr-a" {
+			continue // the valid combination
+		}
+		if _, err := bootstrapHDA(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, strategy, objective, wl); err == nil {
+			t.Errorf("bootstrapHDA(%s,%s,%s) accepted", strategy, objective, wl)
+		}
+	}
+	if _, err := bootstrapHDA(cache, herald.Edge, "nvdla,warp", 4, 2, "exhaustive", "edp", "arvr-a"); err == nil {
+		t.Error("bad style accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/maestro"
 	"repro/internal/refsim"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -309,6 +310,68 @@ type OccupancySample = trace.Sample
 // OccupancyTimeline returns the global-buffer occupancy step function
 // of a schedule.
 func OccupancyTimeline(s *Schedule) []OccupancySample { return trace.OccupancyTimeline(s) }
+
+// --- Online serving (internal/serve, internal/sched incremental) ---
+
+// Online multi-tenant serving over a fixed HDA (cmd/heraldd's core).
+type (
+	// ServingEngine admits inference requests at runtime, extends the
+	// schedule incrementally, and reports latency/SLA statistics.
+	ServingEngine = serve.Engine
+	// ServingOptions configures a serving engine.
+	ServingOptions = serve.Options
+	// InferenceRequest is one runtime inference submission.
+	InferenceRequest = serve.Request
+	// RequestRecord is the engine's per-request placement and
+	// latency/SLA record.
+	RequestRecord = serve.Record
+	// RequestTicket tracks an accepted submission to completion.
+	RequestTicket = serve.Ticket
+	// ServingStats is the aggregate + per-tenant statistics snapshot.
+	ServingStats = serve.Stats
+	// TenantStats summarizes one tenant's served traffic.
+	TenantStats = serve.TenantStats
+)
+
+// Incremental scheduling (the serving engine's substrate).
+type (
+	// IncrementalSchedule extends a committed schedule admission by
+	// admission instead of requiring the whole workload up front.
+	IncrementalSchedule = sched.Incremental
+	// Admission is one instance admitted to an incremental schedule.
+	Admission = sched.Admission
+	// Placement reports where an admitted instance landed.
+	Placement = sched.Placement
+)
+
+// Streaming arrivals (serving traffic generation).
+type (
+	// StreamEntry describes one periodic request stream of a model.
+	StreamEntry = workload.StreamEntry
+	// Arrival is one streamed model-instance request.
+	Arrival = workload.Arrival
+)
+
+// NewServingEngine starts an online serving engine over a fixed HDA.
+func NewServingEngine(cache *CostCache, hda *HDA, opts ServingOptions) (*ServingEngine, error) {
+	return serve.New(cache, hda, opts)
+}
+
+// DefaultServingOptions returns the serving-engine defaults over
+// Herald's standard scheduler configuration.
+func DefaultServingOptions() ServingOptions { return serve.DefaultOptions() }
+
+// Stream merges periodic per-model request streams (with seeded
+// jitter) into one cycle-ordered arrival sequence.
+func Stream(entries []StreamEntry, seed int64) ([]Arrival, error) {
+	return workload.Stream(entries, seed)
+}
+
+// StreamWorkload converts an arrival stream into a schedulable
+// workload (every arrival becomes an instance with its arrival cycle).
+func StreamWorkload(name string, arrivals []Arrival) (*Workload, error) {
+	return workload.ToWorkload(name, arrivals)
+}
 
 // --- Cost-model validation (internal/refsim) ---
 

@@ -170,7 +170,7 @@ type Point struct {
 type Result struct {
 	Space  Space
 	Points []Point // in deterministic enumeration order
-	Best   Point   // minimum EDP
+	Best   Point   // minimizes Options.Objective (EDP by default)
 	Pareto []Point // latency-energy non-dominated set, by latency
 }
 
@@ -188,7 +188,10 @@ func Search(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options) 
 		return nil, err
 	}
 
-	parts := enumerate(sp, opts)
+	parts, err := enumerate(sp, opts)
+	if err != nil {
+		return nil, err
+	}
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("dse: empty partition set for %s", sp.Class.Name)
 	}
@@ -293,21 +296,30 @@ func ParetoFront(points []Point) []Point {
 // enumerate lists partitions as unit-count vectors: part[0:n] are PE
 // units per sub-accelerator, part[n:2n] are BW units; each entry >= 1,
 // sums equal the unit totals.
-func enumerate(sp Space, opts Options) [][]int {
+func enumerate(sp Space, opts Options) ([][]int, error) {
 	n := len(sp.Styles)
 	peComps := compositions(sp.PEUnits, n)
 	bwComps := compositions(sp.BWUnits, n)
 
 	switch opts.Strategy {
 	case Binary:
-		peComps = filterPow2(peComps)
-		bwComps = filterPow2(bwComps)
+		// The Binary strategy keeps only all-power-of-two shares. Some
+		// granularities admit no such composition at all (e.g. 7 units
+		// across 2 sub-accelerators: no pair of powers of two sums to
+		// 7), which would otherwise surface as a confusing generic
+		// "empty partition set" failure.
+		if peComps = filterPow2(peComps); len(peComps) == 0 {
+			return nil, binaryEmptyErr("PE", sp.PEUnits, n)
+		}
+		if bwComps = filterPow2(bwComps); len(bwComps) == 0 {
+			return nil, binaryEmptyErr("bandwidth", sp.BWUnits, n)
+		}
 	case Random:
 		k := opts.Samples
 		if k <= 0 {
 			k = 32
 		}
-		return randomPartitions(sp, k, opts.Seed)
+		return randomPartitions(sp, k, opts.Seed), nil
 	}
 
 	out := make([][]int, 0, len(peComps)*len(bwComps))
@@ -319,7 +331,23 @@ func enumerate(sp Space, opts Options) [][]int {
 			out = append(out, part)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// binaryEmptyErr names the Binary pow2 constraint when it filters a
+// resource's composition space to nothing. The suggested granularity
+// is the smallest power of two >= units: any power-of-two total >= n
+// splits greedily into n power-of-two parts (Space.Validate already
+// guarantees units >= n).
+func binaryEmptyErr(resource string, units, n int) error {
+	pow2 := 1
+	for pow2 < units {
+		pow2 <<= 1
+	}
+	return fmt.Errorf("dse: Binary strategy requires every sub-accelerator's share to be a power of two, "+
+		"but %d %s units cannot be split into %d power-of-two parts; "+
+		"use a pow2-friendly granularity (e.g. %d units) or the Exhaustive/Random strategy",
+		units, resource, n, pow2)
 }
 
 // compositions enumerates all ways to write `total` as an ordered sum

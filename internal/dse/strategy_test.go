@@ -1,0 +1,201 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+)
+
+// TestBinaryEmptyCompositionError: a granularity with no
+// all-power-of-two composition must fail with an error naming the
+// Binary pow2 constraint, not the generic "empty partition set"
+// (regression: enumerate used to silently filter to nothing).
+func TestBinaryEmptyCompositionError(t *testing.T) {
+	sp := edgeSpace()
+	sp.BWUnits = 7 // 7 = no sum of two powers of two
+	opts := DefaultOptions()
+	opts.Strategy = Binary
+	_, err := Search(testCache(), sp, smallWorkload(), opts)
+	if err == nil {
+		t.Fatal("Binary search over an un-splittable granularity succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "power of two") {
+		t.Errorf("error does not name the pow2 constraint: %q", msg)
+	}
+	if strings.Contains(msg, "empty partition set") {
+		t.Errorf("still the generic empty-partition error: %q", msg)
+	}
+	if !strings.Contains(msg, "7 bandwidth units") {
+		t.Errorf("error does not name the offending granularity: %q", msg)
+	}
+
+	// A PE-side failure must be detected too (mobile: 4096 PEs are
+	// divisible by 7... they are not; use 2 styles with PEUnits 11 on
+	// a divisible budget). 11 has no 2-part pow2 composition and
+	// divides nothing pow2-sized, so build a custom class.
+	spPE := Space{
+		Class:   accel.Class{Name: "custom", PEs: 1100, BWGBps: 16, GlobalBufBytes: 4 << 20},
+		Styles:  []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao},
+		PEUnits: 11,
+		BWUnits: 4,
+	}
+	_, err = Search(testCache(), spPE, smallWorkload(), opts)
+	if err == nil || !strings.Contains(err.Error(), "11 PE units") {
+		t.Errorf("PE-side pow2 failure not named: %v", err)
+	}
+}
+
+// TestBinaryStillWorksOnPow2Friendly: the detection must not reject
+// granularities that do have pow2 compositions.
+func TestBinaryStillWorksOnPow2Friendly(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Strategy = Binary
+	res, err := Search(testCache(), edgeSpace(), smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+}
+
+// checkComposition asserts a partition's unit vectors are valid
+// compositions: every share >= 1 and the halves sum to the unit
+// totals.
+func checkComposition(t *testing.T, sp Space, part []int) {
+	t.Helper()
+	n := len(sp.Styles)
+	if len(part) != 2*n {
+		t.Fatalf("partition length %d, want %d", len(part), 2*n)
+	}
+	sumPE, sumBW := 0, 0
+	for i := 0; i < n; i++ {
+		if part[i] < 1 {
+			t.Errorf("PE share %d < 1 in %v", part[i], part)
+		}
+		if part[n+i] < 1 {
+			t.Errorf("BW share %d < 1 in %v", part[n+i], part)
+		}
+		sumPE += part[i]
+		sumBW += part[n+i]
+	}
+	if sumPE != sp.PEUnits {
+		t.Errorf("PE shares sum to %d, want %d (%v)", sumPE, sp.PEUnits, part)
+	}
+	if sumBW != sp.BWUnits {
+		t.Errorf("BW shares sum to %d, want %d (%v)", sumBW, sp.BWUnits, part)
+	}
+}
+
+// TestRandomSameSeedIdentical: a fixed Seed must reproduce the exact
+// partition sequence and the same Best point.
+func TestRandomSameSeedIdentical(t *testing.T) {
+	sp := edgeSpace()
+	opts := DefaultOptions()
+	opts.Strategy = Random
+	opts.Samples = 12
+	opts.Seed = 99
+
+	partsA, err := enumerate(sp.withDefaults(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partsB, err := enumerate(sp.withDefaults(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partsA) != 12 || len(partsB) != 12 {
+		t.Fatalf("sampled %d/%d partitions, want 12", len(partsA), len(partsB))
+	}
+	for i := range partsA {
+		for j := range partsA[i] {
+			if partsA[i][j] != partsB[i][j] {
+				t.Fatalf("partition %d differs across same-seed runs: %v vs %v", i, partsA[i], partsB[i])
+			}
+		}
+	}
+
+	cache := testCache()
+	resA, err := Search(cache, sp, smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Search(cache, sp, smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Best.EDP != resB.Best.EDP || resA.Best.HDA.String() != resB.Best.HDA.String() {
+		t.Errorf("Best differs across same-seed runs: %v vs %v", resA.Best.HDA, resB.Best.HDA)
+	}
+}
+
+// TestRandomSeedsValidCompositions: across many seeds, every sampled
+// partition must be a valid composition — including the degenerate
+// PEUnits == len(Styles) space where each sub-accelerator gets
+// exactly one unit.
+func TestRandomSeedsValidCompositions(t *testing.T) {
+	spaces := []Space{
+		edgeSpace(),
+		{ // PEUnits == len(Styles): the only composition is (1,1)
+			Class:   accel.Edge,
+			Styles:  []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao},
+			PEUnits: 2,
+			BWUnits: 2,
+		},
+	}
+	opts := DefaultOptions()
+	opts.Strategy = Random
+	opts.Samples = 8
+	for _, sp := range spaces {
+		sp = sp.withDefaults()
+		for seed := int64(0); seed < 20; seed++ {
+			opts.Seed = seed
+			parts, err := enumerate(sp, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parts) != opts.Samples {
+				t.Fatalf("seed %d: %d partitions, want %d", seed, len(parts), opts.Samples)
+			}
+			for _, part := range parts {
+				checkComposition(t, sp, part)
+			}
+		}
+	}
+
+	// The degenerate space must survive a full Search too.
+	res, err := Search(testCache(), spaces[1], smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.HDA.Subs[0].HW.PEs != accel.Edge.PEs/2 || p.HDA.Subs[1].HW.PEs != accel.Edge.PEs/2 {
+			t.Errorf("PEUnits==len(Styles): uneven forced split %v", p.HDA)
+		}
+	}
+}
+
+// TestObjectiveLatencyPicksLatencyMinimal: with ObjectiveLatency the
+// search's Best must be exactly the latency-minimal explored point
+// (regression for the Result.Best doc that claimed "minimum EDP"
+// unconditionally).
+func TestObjectiveLatencyPicksLatencyMinimal(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Objective = ObjectiveLatency
+	res, err := Search(testCache(), edgeSpace(), smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLat := res.Points[0].LatencySec
+	for _, p := range res.Points {
+		if p.LatencySec < minLat {
+			minLat = p.LatencySec
+		}
+	}
+	if res.Best.LatencySec != minLat {
+		t.Errorf("Best latency %g, want the minimal %g", res.Best.LatencySec, minLat)
+	}
+}

@@ -61,18 +61,109 @@ func (s *Scheduler) Schedule(h *accel.HDA, w *workload.Workload) (*Schedule, err
 	return sch, nil
 }
 
-// runState is the mutable state of the Fig. 8 main loop.
+// runState is the mutable state of the Fig. 8 main loop. It is also
+// the persistent state of the incremental scheduling path: the
+// per-sub-accelerator timelines, the memory ledger and the committed
+// assignments survive across Extend calls, so a new admission is
+// scheduled against everything already committed.
 type runState struct {
 	free      []int64   // per sub-accelerator: next free cycle
 	busy      []int64   // per sub-accelerator: total busy cycles
 	nextLayer []int     // per instance: next unscheduled layer
 	ready     []int64   // per instance: completion time of its last layer
 	order     []int     // instance visitation order (rearranged per Ordering)
+	prio      []int     // per instance: QoS priority (higher first)
 	running   []runSlot // committed assignments not yet pruned (memory ledger)
+
+	// prune is the memory-ledger prune floor: slots ending at or
+	// before it can never overlap future work. The batch path advances
+	// it with the loop cycle; the incremental path pins it to the
+	// admission floor, because a later Extend may legally place work
+	// at cycles earlier than where this run's loop ended.
+	prune int64
 
 	assignments []Assignment
 	energyPJ    float64
 	remaining   int
+}
+
+// addInstances appends instances (with priorities) to the run state;
+// their first layers become ready at their arrival cycles.
+func (st *runState) addInstances(insts []workload.Instance, prios []int) {
+	for i, in := range insts {
+		st.nextLayer = append(st.nextLayer, 0)
+		st.ready = append(st.ready, in.ArrivalCycle)
+		st.order = append(st.order, len(st.prio))
+		p := 0
+		if i < len(prios) {
+			p = prios[i]
+		}
+		st.prio = append(st.prio, p)
+		st.remaining += in.Model.NumLayers()
+	}
+	// QoS priorities: visit higher-priority instances first; the
+	// Ordering heuristic arbitrates within a priority band (stable
+	// sort preserves the previous visitation order).
+	sort.SliceStable(st.order, func(i, j int) bool {
+		return st.prio[st.order[i]] > st.prio[st.order[j]]
+	})
+}
+
+// checkpointState captures everything a failed incremental run must
+// roll back: whole copies of the slices run() mutates in place, and
+// lengths of the append-only per-instance arrays.
+type checkpointState struct {
+	free, busy []int64
+	order      []int
+	running    []runSlot
+	nInsts     int // nextLayer/ready/prio length
+	nAssign    int
+	remaining  int
+	energyPJ   float64
+	prune      int64
+}
+
+// checkpoint snapshots the run state (cost: O(subs + active + ledger)).
+func (st *runState) checkpoint() checkpointState {
+	return checkpointState{
+		free:      append([]int64(nil), st.free...),
+		busy:      append([]int64(nil), st.busy...),
+		order:     append([]int(nil), st.order...),
+		running:   append([]runSlot(nil), st.running...),
+		nInsts:    len(st.nextLayer),
+		nAssign:   len(st.assignments),
+		remaining: st.remaining,
+		energyPJ:  st.energyPJ,
+		prune:     st.prune,
+	}
+}
+
+// restore rewinds the run state to a checkpoint.
+func (st *runState) restore(c checkpointState) {
+	st.free = c.free
+	st.busy = c.busy
+	st.order = c.order
+	st.running = c.running
+	st.nextLayer = st.nextLayer[:c.nInsts]
+	st.ready = st.ready[:c.nInsts]
+	st.prio = st.prio[:c.nInsts]
+	st.assignments = st.assignments[:c.nAssign]
+	st.remaining = c.remaining
+	st.energyPJ = c.energyPJ
+	st.prune = c.prune
+}
+
+// retire drops fully-scheduled instances from the visitation order so
+// a long-lived incremental schedule's per-admission cost tracks the
+// number of *active* instances, not every instance ever admitted.
+func (st *runState) retire(insts []workload.Instance) {
+	active := st.order[:0]
+	for _, inst := range st.order {
+		if st.nextLayer[inst] < insts[inst].Model.NumLayers() {
+			active = append(active, inst)
+		}
+	}
+	st.order = active
 }
 
 type runSlot struct {
@@ -80,44 +171,40 @@ type runSlot struct {
 	occ        int64
 }
 
-// assign is the direct codification of Fig. 8.
+// assign is the whole-workload entry point of Fig. 8: it builds fresh
+// run state for every instance and drains it with run.
 func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error) {
 	n := len(w.Instances)
+	if len(s.opts.Priorities) > 0 && len(s.opts.Priorities) != n {
+		return nil, fmt.Errorf("sched: %d priorities for %d instances", len(s.opts.Priorities), n)
+	}
 	st := &runState{
-		free:      make([]int64, len(h.Subs)),
-		busy:      make([]int64, len(h.Subs)),
-		nextLayer: make([]int, n),
-		ready:     make([]int64, n),
-		order:     make([]int, n),
+		free: make([]int64, len(h.Subs)),
+		busy: make([]int64, len(h.Subs)),
 	}
-	for i := range st.order {
-		st.order[i] = i
-	}
-	// QoS priorities: visit higher-priority instances first; the
-	// Ordering heuristic arbitrates within a priority band (stable
-	// sort preserves the initial index order).
-	if len(s.opts.Priorities) > 0 {
-		if len(s.opts.Priorities) != n {
-			return nil, fmt.Errorf("sched: %d priorities for %d instances", len(s.opts.Priorities), n)
-		}
-		sort.SliceStable(st.order, func(i, j int) bool {
-			return s.priority(st.order[i]) > s.priority(st.order[j])
-		})
-	}
-	for i, in := range w.Instances {
-		st.remaining += in.Model.NumLayers()
-		// Periodic streams: an instance's first layer is not ready
-		// before its arrival.
-		st.ready[i] = in.ArrivalCycle
-	}
+	st.addInstances(w.Instances, s.opts.Priorities)
 	st.assignments = make([]Assignment, 0, st.remaining)
 
-	var cycle int64
+	if err := s.run(h, w.Instances, st, 0, true); err != nil {
+		return nil, err
+	}
+	return s.finalize(h, w, st), nil
+}
+
+// run is the direct codification of Fig. 8's main loop: it drains
+// st.remaining layers of insts, starting the scheduling clock at the
+// given cycle. advancePrune moves the memory-ledger prune floor along
+// with the clock (valid only when no later run may revisit earlier
+// cycles, i.e. the batch path).
+func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, cycle int64, advancePrune bool) error {
 	for st.remaining > 0 {
+		if advancePrune && cycle > st.prune {
+			st.prune = cycle
+		}
 		assignedInst := -1
 		for _, inst := range st.order {
 			li := st.nextLayer[inst]
-			if li >= w.Instances[inst].Model.NumLayers() {
+			if li >= insts[inst].Model.NumLayers() {
 				continue
 			}
 			// Dependence condition: the previous layer of this model
@@ -125,7 +212,7 @@ func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error
 			if st.ready[inst] > cycle {
 				continue
 			}
-			if s.tryAssign(h, w, st, cycle, inst, li) {
+			if s.tryAssign(h, insts, st, cycle, inst, li) {
 				assignedInst = inst
 				break
 			}
@@ -138,20 +225,19 @@ func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error
 		// the next completion event (Fig. 8's nextLayerCompletionTime).
 		next, ok := s.nextEvent(st, cycle)
 		if !ok {
-			return nil, fmt.Errorf("sched: no schedulable layer and no pending event at cycle %d (memory deadlock?)", cycle)
+			return fmt.Errorf("sched: no schedulable layer and no pending event at cycle %d (memory deadlock?)", cycle)
 		}
 		cycle = next
 	}
-
-	return s.finalize(h, w, st), nil
+	return nil
 }
 
 // tryAssign evaluates the layer on every sub-accelerator, ranks them by
 // the configured metric, and assigns to the best candidate satisfying
 // the memory and load-balancing conditions (falling back to the best
 // memory-feasible candidate when balancing rejects all).
-func (s *Scheduler) tryAssign(h *accel.HDA, w *workload.Workload, st *runState, cycle int64, inst, li int) bool {
-	layer := &w.Instances[inst].Model.Layers[li]
+func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runState, cycle int64, inst, li int) bool {
+	layer := &insts[inst].Model.Layers[li]
 
 	type cand struct {
 		acc    int
@@ -194,7 +280,7 @@ func (s *Scheduler) tryAssign(h *accel.HDA, w *workload.Workload, st *runState, 
 	commit := func(c cand) bool {
 		startT := max64(cycle, st.free[c.acc])
 		endT := startT + c.cost.Cycles
-		if !s.memOK(h, st, cycle, startT, endT, c.cost.OccupancyBytes) {
+		if !s.memOK(h, st, startT, endT, c.cost.OccupancyBytes) {
 			return false
 		}
 		st.free[c.acc] = endT
@@ -257,15 +343,17 @@ func (s *Scheduler) imbalanced(st *runState, cycle int64) bool {
 // occupancies of all assignments whose execution interval truly
 // overlaps the candidate's [startT, endT), plus the new layer's
 // occupancy, must fit the shared global buffer. Slots are pruned by
-// the monotonically-advancing scheduler cycle (startT of a later
-// commit may be smaller than a queued earlier one, so pruning by
-// startT would undercount).
-func (s *Scheduler) memOK(h *accel.HDA, st *runState, cycle, startT, endT, occ int64) bool {
+// the monotonically-advancing prune floor (startT of a later commit
+// may be smaller than a queued earlier one, so pruning by startT
+// would undercount; in the incremental path the floor additionally
+// lags the loop cycle, because future admissions may place work
+// before where this run's clock ended).
+func (s *Scheduler) memOK(h *accel.HDA, st *runState, startT, endT, occ int64) bool {
 	live := st.running[:0]
 	var sum int64
 	for _, r := range st.running {
-		if r.end <= cycle {
-			continue // completed before the current cycle: prune
+		if r.end <= st.prune {
+			continue // can never overlap future work: prune
 		}
 		live = append(live, r)
 		if r.end > startT && r.start < endT {
@@ -274,14 +362,6 @@ func (s *Scheduler) memOK(h *accel.HDA, st *runState, cycle, startT, endT, occ i
 	}
 	st.running = live
 	return sum+occ <= h.Class.GlobalBufBytes
-}
-
-// priority returns the QoS priority of an instance (0 when none set).
-func (s *Scheduler) priority(inst int) int {
-	if inst < len(s.opts.Priorities) {
-		return s.opts.Priorities[inst]
-	}
-	return 0
 }
 
 // rearrange applies the layer-ordering strategy after a successful
@@ -302,13 +382,10 @@ func (s *Scheduler) rearrange(st *runState, inst int) {
 	if pos < 0 {
 		return
 	}
-	end := len(st.order) - 1
-	if len(s.opts.Priorities) > 0 {
-		p := s.priority(inst)
-		end = pos
-		for end+1 < len(st.order) && s.priority(st.order[end+1]) == p {
-			end++
-		}
+	p := st.prio[inst]
+	end := pos
+	for end+1 < len(st.order) && st.prio[st.order[end+1]] == p {
+		end++
 	}
 	copy(st.order[pos:end], st.order[pos+1:end+1])
 	st.order[end] = inst
@@ -327,8 +404,10 @@ func (s *Scheduler) nextEvent(st *runState, cycle int64) (int64, bool) {
 	for _, t := range st.free {
 		consider(t)
 	}
-	for _, t := range st.ready {
-		consider(t)
+	// Only unfinished instances can produce readiness events; going
+	// through the visitation order keeps this O(active) after retire.
+	for _, inst := range st.order {
+		consider(st.ready[inst])
 	}
 	return next, found
 }

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/trace"
+)
+
+// SubmitRequest is the POST /v1/requests body: a Request plus
+// transport options.
+type SubmitRequest struct {
+	Request
+
+	// Wait makes the call synchronous: the response carries the
+	// final record instead of a queued acknowledgement.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// submitAck acknowledges an asynchronous submission.
+type submitAck struct {
+	ID     int64  `json:"id"`
+	Status Status `json:"status"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the engine's JSON-over-HTTP API:
+//
+//	POST /v1/requests      submit a model instance ({tenant, model,
+//	                       priority, sla_cycles, arrival_cycle, wait})
+//	GET  /v1/requests/{id} per-request record (latency/SLA stats)
+//	GET  /v1/stats         aggregate + per-tenant statistics
+//	GET  /v1/schedule      committed schedule as JSON (trace format)
+//	POST /v1/drain         stop admissions, wait, return final stats
+//	GET  /v1/models        servable model zoo
+//	GET  /v1/hda           the fixed HDA being served
+//	GET  /v1/healthz       liveness
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", e.handleSubmit)
+	mux.HandleFunc("GET /v1/requests/{id}", e.handleLookup)
+	mux.HandleFunc("GET /v1/stats", e.handleStats)
+	mux.HandleFunc("GET /v1/schedule", e.handleSchedule)
+	mux.HandleFunc("POST /v1/drain", e.handleDrain)
+	mux.HandleFunc("GET /v1/models", e.handleModels)
+	mux.HandleFunc("GET /v1/hda", e.handleHDA)
+	mux.HandleFunc("GET /v1/healthz", e.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	// HTTP clients that omit arrival_cycle mean "now".
+	if req.ArrivalCycle == 0 {
+		req.ArrivalCycle = -1
+	}
+	ticket, err := e.Submit(req.Request)
+	if err != nil {
+		// Overload is retryable; everything else is the client's bug.
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+			code = http.StatusTooManyRequests
+		}
+		writeJSON(w, code, httpError{err.Error()})
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, submitAck{ID: ticket.ID, Status: StatusQueued})
+		return
+	}
+	rec, err := ticket.Wait(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (e *Engine) handleLookup(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{"bad request id"})
+		return
+	}
+	rec, ok := e.Lookup(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{fmt.Sprintf("no request %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+func (e *Engine) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteJSON(w, e.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (e *Engine) handleDrain(w http.ResponseWriter, r *http.Request) {
+	st, err := e.Drain(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (e *Engine) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": dnn.Names()})
+}
+
+// hdaView describes the served accelerator.
+type hdaView struct {
+	Name  string    `json:"name"`
+	Class string    `json:"class"`
+	Subs  []subView `json:"sub_accelerators"`
+}
+
+type subView struct {
+	Name   string  `json:"name"`
+	Style  string  `json:"style"`
+	PEs    int     `json:"pes"`
+	BWGBps float64 `json:"bw_gbps"`
+}
+
+func (e *Engine) handleHDA(w http.ResponseWriter, r *http.Request) {
+	h := e.HDA()
+	v := hdaView{Name: h.Name, Class: h.Class.Name}
+	for _, s := range h.Subs {
+		v.Subs = append(v.Subs, subView{Name: s.Name, Style: s.Style.String(), PEs: s.HW.PEs, BWGBps: s.HW.BWGBps})
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     true,
+		"uptime": time.Since(e.start).String(),
+	})
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func testServer(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := testEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+	return e, srv
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPEndToEnd exercises the full JSON API: health, models, HDA,
+// 100+ concurrent submissions from two tenants, per-request lookup,
+// stats, schedule export, and drain.
+func TestHTTPEndToEnd(t *testing.T) {
+	_, srv := testServer(t)
+
+	var health map[string]any
+	if code := getJSON(t, srv.URL+"/v1/healthz", &health); code != http.StatusOK || health["ok"] != true {
+		t.Fatalf("healthz: code %d body %v", code, health)
+	}
+	var models struct {
+		Models []string `json:"models"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/models", &models); code != http.StatusOK || len(models.Models) == 0 {
+		t.Fatalf("models: code %d %v", code, models)
+	}
+	var hda hdaView
+	if code := getJSON(t, srv.URL+"/v1/hda", &hda); code != http.StatusOK || len(hda.Subs) != 2 {
+		t.Fatalf("hda: code %d %+v", code, hda)
+	}
+
+	// 2 tenants × 52 synchronous submissions each, concurrently.
+	const perTenant = 52
+	var wg sync.WaitGroup
+	records := make(chan Record, 2*perTenant)
+	fails := make(chan string, 2*perTenant)
+	for _, tenant := range []string{"arvr", "mlperf"} {
+		model := map[string]string{"arvr": "brq-handpose", "mlperf": "mobilenetv1"}[tenant]
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant, model string, i int) {
+				defer wg.Done()
+				var rec Record
+				code := postJSON(t, srv.URL+"/v1/requests", SubmitRequest{
+					Request: Request{
+						Tenant:       tenant,
+						Model:        model,
+						SLACycles:    1 << 50,
+						ArrivalCycle: int64(i+1) * 500_000,
+					},
+					Wait: true,
+				}, &rec)
+				if code != http.StatusOK || rec.Status != StatusDone {
+					fails <- fmt.Sprintf("tenant %s req %d: code %d status %q err %q", tenant, i, code, rec.Status, rec.Err)
+					return
+				}
+				records <- rec
+			}(tenant, model, i)
+		}
+	}
+	wg.Wait()
+	close(records)
+	close(fails)
+	for f := range fails {
+		t.Fatal(f)
+	}
+
+	n := 0
+	var lastID int64
+	for rec := range records {
+		n++
+		lastID = rec.ID
+		if rec.LatencyCycles <= 0 || rec.FinishCycle <= rec.StartCycle {
+			t.Errorf("request %d: missing latency stats: %+v", rec.ID, rec)
+		}
+	}
+	if n != 2*perTenant {
+		t.Fatalf("%d completions, want %d", n, 2*perTenant)
+	}
+
+	var rec Record
+	if code := getJSON(t, fmt.Sprintf("%s/v1/requests/%d", srv.URL, lastID), &rec); code != http.StatusOK || rec.Status != StatusDone {
+		t.Fatalf("lookup %d: code %d %+v", lastID, code, rec)
+	}
+	if code := getJSON(t, srv.URL+"/v1/requests/999999", nil); code != http.StatusNotFound {
+		t.Errorf("missing id: code %d, want 404", code)
+	}
+
+	var st Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: code %d", code)
+	}
+	if st.Completed != 2*perTenant || len(st.Tenants) != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	for _, ts := range st.Tenants {
+		if ts.Completed != perTenant || ts.P95LatencyCycles <= 0 {
+			t.Errorf("tenant %s: %+v", ts.Tenant, ts)
+		}
+	}
+
+	var schedule struct {
+		Assignments []map[string]any `json:"assignments"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/schedule", &schedule); code != http.StatusOK || len(schedule.Assignments) == 0 {
+		t.Fatalf("schedule: code %d, %d assignments", code, len(schedule.Assignments))
+	}
+
+	var final Stats
+	if code := postJSON(t, srv.URL+"/v1/drain", struct{}{}, &final); code != http.StatusOK {
+		t.Fatalf("drain: code %d", code)
+	}
+	if final.Pending != 0 || final.Completed != 2*perTenant {
+		t.Fatalf("final stats: %+v", final)
+	}
+	// Draining engines refuse new work over HTTP too.
+	if code := postJSON(t, srv.URL+"/v1/requests", SubmitRequest{Request: Request{Tenant: "x", Model: "resnet50"}}, nil); code != http.StatusTooManyRequests {
+		t.Errorf("post-drain submit: code %d, want 429", code)
+	}
+}
+
+// TestHTTPBadRequests covers malformed submissions.
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/requests", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: code %d, want 400", resp.StatusCode)
+	}
+	if code := postJSON(t, srv.URL+"/v1/requests", SubmitRequest{Request: Request{Tenant: "a", Model: "not-a-model"}}, nil); code == http.StatusOK {
+		t.Error("unknown model accepted over HTTP")
+	}
+	if code := getJSON(t, srv.URL+"/v1/requests/abc", nil); code != http.StatusBadRequest {
+		t.Errorf("non-numeric id: code %d, want 400", code)
+	}
+}

@@ -1,0 +1,554 @@
+// Package serve is Herald's online multi-tenant serving engine: the
+// runtime counterpart of the paper's compile-time scheduler. Where the
+// batch pipeline receives a whole multi-DNN workload up front, serve
+// admits inference requests as they arrive, keeps one queue per
+// tenant, and extends the committed schedule incrementally
+// (sched.Incremental) over a fixed HDA — the design point a
+// dse.Search picked at deploy time. The shared maestro.Cache carries
+// cost-model results across requests, so steady-state admission cost
+// is dominated by the assignment loop, not the analytical model.
+//
+// The engine is event-driven: submissions enqueue and wake a single
+// scheduling goroutine, which drains tenant queues round-robin (at
+// most one request per tenant per pass, so a chatty tenant cannot
+// starve a quiet one), admits a small batch to the incremental
+// scheduler, and publishes per-request latency/SLA statistics.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/dnn"
+	"repro/internal/maestro"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Sched configures the underlying Herald scheduler. PostProcess
+	// is forced off (online commitments are non-revocable) and
+	// Priorities must be unset (priorities arrive per request).
+	Sched sched.Options
+
+	// ClockGHz converts cycles to wall seconds in reports (default 1).
+	ClockGHz float64
+
+	// MaxQueue caps each tenant's pending queue; submissions beyond
+	// it are rejected (admission control). Default 1024.
+	MaxQueue int
+
+	// MaxBatch bounds how many requests one scheduling round admits
+	// (coalescing amortizes the assignment loop). Default 8.
+	MaxBatch int
+
+	// MaxRecords caps retained finished-request records; the oldest
+	// finished records are evicted first (a long-running daemon must
+	// not grow without bound). Default 65536.
+	MaxRecords int
+}
+
+// Overload conditions: submissions failing with one of these should
+// be retried later; anything else is a bad request.
+var (
+	// ErrDraining rejects submissions to a draining engine.
+	ErrDraining = errors.New("serve: engine is draining")
+	// ErrQueueFull rejects submissions beyond a tenant's queue cap.
+	ErrQueueFull = errors.New("serve: tenant queue full")
+)
+
+// DefaultOptions returns the engine defaults over Herald's standard
+// scheduler configuration.
+func DefaultOptions() Options {
+	return Options{Sched: sched.DefaultOptions(), ClockGHz: 1.0, MaxQueue: 1024, MaxBatch: 8}
+}
+
+func (o Options) withDefaults() Options {
+	if o.ClockGHz <= 0 {
+		o.ClockGHz = 1.0
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxRecords <= 0 {
+		o.MaxRecords = 65536
+	}
+	return o
+}
+
+// maxLatencySamples bounds each tenant's percentile window: the stats
+// report percentiles over the most recent samples, not all history.
+const maxLatencySamples = 4096
+
+// Request is one inference submission.
+type Request struct {
+	Tenant   string `json:"tenant"`
+	Model    string `json:"model"`
+	Priority int    `json:"priority,omitempty"`
+
+	// SLACycles is the relative response-time target (cycles from
+	// arrival to completion); 0 disables SLA tracking.
+	SLACycles int64 `json:"sla_cycles,omitempty"`
+
+	// ArrivalCycle is the request's arrival on the engine's cycle
+	// clock. Negative means "now" (wall clock scaled by ClockGHz).
+	// Arrivals in the committed past are clamped to the admission
+	// floor at scheduling time.
+	ArrivalCycle int64 `json:"arrival_cycle,omitempty"`
+}
+
+// Status is a request's lifecycle state.
+type Status string
+
+const (
+	StatusQueued Status = "queued"
+	StatusDone   Status = "done"
+	StatusFailed Status = "failed"
+)
+
+// Record is the engine's view of one request, including its schedule
+// placement and latency statistics once served.
+type Record struct {
+	ID       int64  `json:"id"`
+	Tenant   string `json:"tenant"`
+	Model    string `json:"model"`
+	Priority int    `json:"priority"`
+	Status   Status `json:"status"`
+
+	ArrivalCycle int64 `json:"arrival_cycle"`
+	SLACycles    int64 `json:"sla_cycles,omitempty"`
+
+	// Set once Status == StatusDone.
+	Instance      int     `json:"instance,omitempty"` // schedule instance index
+	StartCycle    int64   `json:"start_cycle,omitempty"`
+	FinishCycle   int64   `json:"finish_cycle,omitempty"`
+	QueueCycles   int64   `json:"queue_cycles,omitempty"`
+	BusyCycles    int64   `json:"busy_cycles,omitempty"`
+	LatencyCycles int64   `json:"latency_cycles,omitempty"`
+	EnergyPJ      float64 `json:"energy_pj,omitempty"`
+	SLAViolated   bool    `json:"sla_violated,omitempty"`
+
+	Err string `json:"error,omitempty"`
+}
+
+// Ticket tracks an accepted submission.
+type Ticket struct {
+	ID   int64
+	e    *Engine
+	done chan struct{}
+}
+
+// Done is closed when the request has been scheduled (or failed).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the request completes or ctx is cancelled, and
+// returns the final record.
+func (t *Ticket) Wait(ctx context.Context) (Record, error) {
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return Record{}, ctx.Err()
+	}
+	rec, ok := t.e.Lookup(t.ID)
+	if !ok {
+		return Record{}, fmt.Errorf("serve: record %d vanished", t.ID)
+	}
+	return rec, nil
+}
+
+// pending is one queued submission plus its completion signal.
+type pending struct {
+	rec  *Record
+	inst workload.Instance
+	done chan struct{}
+}
+
+// tenantAgg accumulates per-tenant serving statistics. Latencies are
+// a sliding window (ring) of the most recent completions.
+type tenantAgg struct {
+	submitted, completed, failed, rejected int64
+	slaTracked, slaViolations              int64
+	latencies                              []int64 // ring buffer, cycles
+	latNext                                int     // next ring write position
+	latSum, queueSum                       int64   // all-time, for means
+	energyPJ                               float64
+}
+
+// addLatency records one completed latency in the sliding window.
+func (ta *tenantAgg) addLatency(l int64) {
+	if len(ta.latencies) < maxLatencySamples {
+		ta.latencies = append(ta.latencies, l)
+		return
+	}
+	ta.latencies[ta.latNext] = l
+	ta.latNext = (ta.latNext + 1) % maxLatencySamples
+}
+
+// Engine is the online serving engine over one fixed HDA.
+type Engine struct {
+	opts  Options
+	hda   *accel.HDA
+	cache *maestro.Cache
+	start time.Time
+
+	// schedMu serializes incremental-schedule access (the scheduling
+	// loop's Extend vs. snapshot readers).
+	schedMu sync.Mutex
+	inc     *sched.Incremental
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queues      map[string][]*pending
+	rr          []string // tenant round-robin rotation
+	npending    int
+	records     map[int64]*Record
+	doneFIFO    []int64 // finished record ids in completion order (eviction)
+	modelCounts map[string]int
+	tenants     map[string]*tenantAgg
+	// rejectedOther counts rejections whose tenant never had an
+	// admitted request (no aggregate is created for them — an
+	// unauthenticated client cycling junk tenant names must not grow
+	// the tenant table).
+	rejectedOther int64
+	nextID        int64
+	draining      bool
+	loopDone      chan struct{}
+
+	maxFinishCycle int64
+}
+
+// New starts a serving engine over the given cost cache and HDA. The
+// engine owns a scheduling goroutine until Drain is called.
+func New(cache *maestro.Cache, hda *accel.HDA, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	opts.Sched.PostProcess = false
+	opts.Sched.Priorities = nil
+	scheduler, err := sched.New(cache, opts.Sched)
+	if err != nil {
+		return nil, err
+	}
+	if hda == nil {
+		return nil, fmt.Errorf("serve: nil HDA")
+	}
+	inc, err := scheduler.Incremental(hda, "serve:"+hda.Name)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:        opts,
+		hda:         hda,
+		cache:       cache,
+		start:       time.Now(),
+		inc:         inc,
+		queues:      make(map[string][]*pending),
+		records:     make(map[int64]*Record),
+		modelCounts: make(map[string]int),
+		tenants:     make(map[string]*tenantAgg),
+		loopDone:    make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.loop()
+	return e, nil
+}
+
+// HDA returns the fixed accelerator the engine serves on.
+func (e *Engine) HDA() *accel.HDA { return e.hda }
+
+// ClockGHz returns the cycle clock used for second-domain stats.
+func (e *Engine) ClockGHz() float64 { return e.opts.ClockGHz }
+
+// NowCycles maps the wall clock onto the engine's cycle clock.
+func (e *Engine) NowCycles() int64 {
+	return int64(time.Since(e.start).Seconds() * e.opts.ClockGHz * 1e9)
+}
+
+// Submit admits a request to its tenant's queue. It returns a Ticket
+// immediately; scheduling happens asynchronously. Submissions are
+// rejected when the tenant/model is invalid, the model cannot fit
+// the HDA's global buffer, the tenant queue is full, or the engine
+// is draining.
+func (e *Engine) Submit(req Request) (*Ticket, error) {
+	if req.Tenant == "" {
+		return nil, fmt.Errorf("serve: request needs a tenant")
+	}
+	model, err := dnn.ByName(req.Model)
+	if err != nil {
+		e.countRejected(req.Tenant)
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if err := e.feasible(model); err != nil {
+		e.countRejected(req.Tenant)
+		return nil, err
+	}
+	arrival := req.ArrivalCycle
+	if arrival < 0 {
+		arrival = e.NowCycles()
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		e.rejectLocked(req.Tenant)
+		return nil, ErrDraining
+	}
+	if len(e.queues[req.Tenant]) >= e.opts.MaxQueue {
+		e.rejectLocked(req.Tenant)
+		return nil, fmt.Errorf("%w: tenant %q has %d pending", ErrQueueFull, req.Tenant, e.opts.MaxQueue)
+	}
+
+	e.nextID++
+	ta := e.agg(req.Tenant)
+	ta.submitted++
+	e.modelCounts[model.Name]++
+	rec := &Record{
+		ID:           e.nextID,
+		Tenant:       req.Tenant,
+		Model:        model.Name,
+		Priority:     req.Priority,
+		Status:       StatusQueued,
+		ArrivalCycle: arrival,
+		SLACycles:    req.SLACycles,
+	}
+	p := &pending{
+		rec: rec,
+		// Batch is the 1-based per-model index across the whole
+		// engine (the committed schedule is one workload), so trace
+		// names like "unet#3" stay unique.
+		inst: workload.Instance{Model: model, Batch: e.modelCounts[model.Name], ArrivalCycle: arrival},
+		done: make(chan struct{}),
+	}
+	e.records[rec.ID] = rec
+	if len(e.queues[req.Tenant]) == 0 {
+		e.rr = append(e.rr, req.Tenant)
+	}
+	e.queues[req.Tenant] = append(e.queues[req.Tenant], p)
+	e.npending++
+	e.cond.Signal()
+	return &Ticket{ID: rec.ID, e: e, done: p.done}, nil
+}
+
+// feasible rejects models with a layer whose buffer occupancy exceeds
+// the global buffer on every sub-accelerator — admitting one would
+// deadlock the assignment loop (the incremental scheduler rolls back,
+// but the request can never be served on this HDA).
+func (e *Engine) feasible(model *dnn.Model) error {
+	buf := e.hda.Class.GlobalBufBytes
+	for li := range model.Layers {
+		fits := false
+		for _, sub := range e.hda.Subs {
+			if e.cache.Estimate(&model.Layers[li], sub.Style, sub.HW).OccupancyBytes <= buf {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			return fmt.Errorf("serve: %s layer %d cannot fit the %d-byte global buffer on any sub-accelerator",
+				model.Name, li, buf)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) countRejected(tenant string) {
+	e.mu.Lock()
+	e.rejectLocked(tenant)
+	e.mu.Unlock()
+}
+
+// rejectLocked accounts a rejection without creating tenant state for
+// never-admitted tenant names. e.mu held.
+func (e *Engine) rejectLocked(tenant string) {
+	if ta := e.tenants[tenant]; ta != nil {
+		ta.rejected++
+		return
+	}
+	e.rejectedOther++
+}
+
+// agg returns (creating if needed) a tenant's aggregate. e.mu held.
+func (e *Engine) agg(tenant string) *tenantAgg {
+	ta := e.tenants[tenant]
+	if ta == nil {
+		ta = &tenantAgg{}
+		e.tenants[tenant] = ta
+	}
+	return ta
+}
+
+// loop is the single scheduling goroutine: wake on submissions, pop a
+// fair batch, extend the incremental schedule, publish results.
+func (e *Engine) loop() {
+	for {
+		e.mu.Lock()
+		for e.npending == 0 && !e.draining {
+			e.cond.Wait()
+		}
+		if e.npending == 0 && e.draining {
+			e.mu.Unlock()
+			close(e.loopDone)
+			return
+		}
+		batch := e.popBatchLocked()
+		e.mu.Unlock()
+
+		e.admit(batch)
+	}
+}
+
+// popBatchLocked removes up to MaxBatch pending requests, visiting
+// tenants round-robin, one request per tenant per pass. e.mu held.
+func (e *Engine) popBatchLocked() []*pending {
+	var batch []*pending
+	for len(batch) < e.opts.MaxBatch && e.npending > 0 {
+		took := false
+		for i := 0; i < len(e.rr) && len(batch) < e.opts.MaxBatch; {
+			t := e.rr[i]
+			q := e.queues[t]
+			if len(q) == 0 {
+				e.rr = append(e.rr[:i], e.rr[i+1:]...)
+				continue
+			}
+			batch = append(batch, q[0])
+			e.queues[t] = q[1:]
+			e.npending--
+			took = true
+			if len(e.queues[t]) == 0 {
+				e.rr = append(e.rr[:i], e.rr[i+1:]...)
+				continue
+			}
+			i++
+		}
+		if !took {
+			break
+		}
+		// Rotate so the next pass starts with a different tenant.
+		if len(e.rr) > 1 {
+			e.rr = append(e.rr[1:], e.rr[0])
+		}
+	}
+	return batch
+}
+
+// admit extends the incremental schedule with one popped batch and
+// publishes each request's placement.
+func (e *Engine) admit(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	e.schedMu.Lock()
+	floor := e.inc.Floor()
+	adms := make([]sched.Admission, len(batch))
+	for i, p := range batch {
+		inst := p.inst
+		if inst.ArrivalCycle < floor {
+			// The committed schedule has moved past this arrival;
+			// online engines cannot place work in the past.
+			inst.ArrivalCycle = floor
+		}
+		adms[i] = sched.Admission{Instance: inst, Priority: p.rec.Priority}
+	}
+	placements, err := e.inc.Extend(adms)
+	e.schedMu.Unlock()
+
+	e.mu.Lock()
+	if err != nil {
+		for _, p := range batch {
+			p.rec.Status = StatusFailed
+			p.rec.Err = err.Error()
+			e.agg(p.rec.Tenant).failed++
+			e.finishLocked(p.rec.ID)
+			close(p.done)
+		}
+		e.mu.Unlock()
+		return
+	}
+	for i, p := range batch {
+		pl := placements[i]
+		rec := p.rec
+		rec.Status = StatusDone
+		rec.Instance = pl.Instance
+		rec.StartCycle = pl.StartCycle
+		rec.FinishCycle = pl.FinishCycle
+		rec.BusyCycles = pl.BusyCycles
+		rec.EnergyPJ = pl.EnergyPJ
+		// Latency is measured from the *requested* arrival, so floor
+		// clamping shows up as queueing delay, as it should.
+		rec.LatencyCycles = pl.FinishCycle - rec.ArrivalCycle
+		rec.QueueCycles = pl.StartCycle - rec.ArrivalCycle
+		if rec.SLACycles > 0 {
+			rec.SLAViolated = rec.LatencyCycles > rec.SLACycles
+		}
+		ta := e.agg(rec.Tenant)
+		ta.completed++
+		ta.addLatency(rec.LatencyCycles)
+		ta.latSum += rec.LatencyCycles
+		ta.queueSum += rec.QueueCycles
+		ta.energyPJ += rec.EnergyPJ
+		if rec.SLACycles > 0 {
+			ta.slaTracked++
+			if rec.SLAViolated {
+				ta.slaViolations++
+			}
+		}
+		if pl.FinishCycle > e.maxFinishCycle {
+			e.maxFinishCycle = pl.FinishCycle
+		}
+		e.finishLocked(rec.ID)
+		close(p.done)
+	}
+	e.mu.Unlock()
+}
+
+// finishLocked appends a finished record to the eviction FIFO and
+// evicts the oldest finished records beyond MaxRecords. e.mu held.
+func (e *Engine) finishLocked(id int64) {
+	e.doneFIFO = append(e.doneFIFO, id)
+	for len(e.doneFIFO) > e.opts.MaxRecords {
+		delete(e.records, e.doneFIFO[0])
+		e.doneFIFO = e.doneFIFO[1:]
+	}
+}
+
+// Lookup returns a copy of a request's record.
+func (e *Engine) Lookup(id int64) (Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Snapshot materializes the committed schedule so far (every admitted
+// instance), suitable for validation, Gantt rendering and export.
+func (e *Engine) Snapshot() *sched.Schedule {
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	return e.inc.Snapshot()
+}
+
+// Drain stops admissions, waits for the queues to empty (or ctx), and
+// returns the final statistics.
+func (e *Engine) Drain(ctx context.Context) (Stats, error) {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	select {
+	case <-e.loopDone:
+		return e.Stats(), nil
+	case <-ctx.Done():
+		return e.Stats(), ctx.Err()
+	}
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sort"
+	"time"
+)
+
+// TenantStats summarizes one tenant's served traffic.
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Submitted int64  `json:"submitted"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed,omitempty"`
+	Rejected  int64  `json:"rejected,omitempty"`
+
+	SLATracked    int64 `json:"sla_tracked,omitempty"`
+	SLAViolations int64 `json:"sla_violations,omitempty"`
+
+	// Latency percentiles over the most recent completions (sliding
+	// window), in cycles (arrival to completion: queueing +
+	// execution); means are all-time.
+	MeanLatencyCycles int64 `json:"mean_latency_cycles,omitempty"`
+	P50LatencyCycles  int64 `json:"p50_latency_cycles,omitempty"`
+	P95LatencyCycles  int64 `json:"p95_latency_cycles,omitempty"`
+	P99LatencyCycles  int64 `json:"p99_latency_cycles,omitempty"`
+	MeanQueueCycles   int64 `json:"mean_queue_cycles,omitempty"`
+
+	EnergyPJ float64 `json:"energy_pj,omitempty"`
+}
+
+// Stats is an aggregate engine snapshot.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ClockGHz      float64 `json:"clock_ghz"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed,omitempty"`
+	Rejected  int64 `json:"rejected,omitempty"`
+	Pending   int64 `json:"pending"`
+
+	// MakespanCycles is the committed schedule's horizon; simulated
+	// throughput is completions per simulated second over it.
+	MakespanCycles   int64   `json:"makespan_cycles"`
+	SimThroughputRPS float64 `json:"sim_throughput_rps"`
+
+	// Utilization is each sub-accelerator's busy fraction of the
+	// committed makespan.
+	Utilization []float64 `json:"utilization"`
+
+	// CostCacheEntries counts memoized cost-model results shared
+	// across requests.
+	CostCacheEntries int `json:"cost_cache_entries"`
+
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// Stats returns the engine's current aggregate statistics.
+func (e *Engine) Stats() Stats {
+	e.schedMu.Lock()
+	snap := e.inc.Snapshot()
+	e.schedMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	st := Stats{
+		UptimeSeconds:    time.Since(e.start).Seconds(),
+		ClockGHz:         e.opts.ClockGHz,
+		Pending:          int64(e.npending),
+		MakespanCycles:   snap.MakespanCycles,
+		Utilization:      snap.Utilization(),
+		CostCacheEntries: e.cache.Len(),
+	}
+	names := make([]string, 0, len(e.tenants))
+	for name := range e.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ta := e.tenants[name]
+		ts := TenantStats{
+			Tenant:        name,
+			Submitted:     ta.submitted,
+			Completed:     ta.completed,
+			Failed:        ta.failed,
+			Rejected:      ta.rejected,
+			SLATracked:    ta.slaTracked,
+			SLAViolations: ta.slaViolations,
+			EnergyPJ:      ta.energyPJ,
+		}
+		if ta.completed > 0 {
+			sorted := append([]int64(nil), ta.latencies...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			ts.MeanLatencyCycles = ta.latSum / ta.completed
+			ts.P50LatencyCycles = percentile(sorted, 50)
+			ts.P95LatencyCycles = percentile(sorted, 95)
+			ts.P99LatencyCycles = percentile(sorted, 99)
+			ts.MeanQueueCycles = ta.queueSum / ta.completed
+		}
+		st.Submitted += ta.submitted
+		st.Completed += ta.completed
+		st.Failed += ta.failed
+		st.Rejected += ta.rejected
+		st.Tenants = append(st.Tenants, ts)
+	}
+	// Rejections from tenants that never had an admitted request.
+	st.Rejected += e.rejectedOther
+	if st.MakespanCycles > 0 {
+		simSeconds := float64(st.MakespanCycles) / (e.opts.ClockGHz * 1e9)
+		st.SimThroughputRPS = float64(st.Completed) / simSeconds
+	}
+	return st
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100 // ceil(p*n/100), nearest-rank
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

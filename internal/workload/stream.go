@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dnn"
+)
+
+// StreamEntry describes one periodic request stream of a model — the
+// serving-time generalization of Entry.PeriodCycles: arrival i lands
+// at OffsetCycles + i×PeriodCycles plus a seeded uniform jitter in
+// [0, JitterCycles). This models multi-stream serving traffic (MLPerf
+// multi-stream, AR/VR frame pipelines) where frames arrive at a
+// target processing rate rather than all at once.
+type StreamEntry struct {
+	Model        string
+	Count        int   // number of arrivals (>= 1)
+	PeriodCycles int64 // inter-arrival period (>= 1)
+	OffsetCycles int64 // stream start offset (>= 0)
+	JitterCycles int64 // uniform per-arrival jitter bound (>= 0)
+}
+
+// Arrival is one streamed model-instance request.
+type Arrival struct {
+	Model string
+	Cycle int64
+}
+
+// Stream merges the entries' periodic arrival sequences into one
+// cycle-ordered request stream. The jitter is drawn from a seeded
+// generator, so a (entries, seed) pair is fully deterministic.
+func Stream(entries []StreamEntry, seed int64) ([]Arrival, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: stream has no entries")
+	}
+	r := rand.New(rand.NewSource(seed))
+	var out []Arrival
+	for _, e := range entries {
+		if e.Count < 1 {
+			return nil, fmt.Errorf("workload: stream %s: count must be >= 1 (got %d)", e.Model, e.Count)
+		}
+		if e.PeriodCycles < 1 {
+			return nil, fmt.Errorf("workload: stream %s: period must be >= 1 (got %d)", e.Model, e.PeriodCycles)
+		}
+		if e.OffsetCycles < 0 || e.JitterCycles < 0 {
+			return nil, fmt.Errorf("workload: stream %s: offset and jitter must be >= 0", e.Model)
+		}
+		if _, err := dnn.ByName(e.Model); err != nil {
+			return nil, err
+		}
+		for i := 0; i < e.Count; i++ {
+			cycle := e.OffsetCycles + int64(i)*e.PeriodCycles
+			if e.JitterCycles > 0 {
+				cycle += r.Int63n(e.JitterCycles)
+			}
+			out = append(out, Arrival{Model: e.Model, Cycle: cycle})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out, nil
+}
+
+// ToWorkload converts an arrival stream into a schedulable Workload:
+// every arrival becomes one model instance with its arrival cycle set.
+// This bridges streamed serving traffic back to the offline scheduler
+// and DSE (e.g. to co-design an HDA for the traffic it will serve).
+func ToWorkload(name string, arrivals []Arrival) (*Workload, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("workload: %q has no arrivals", name)
+	}
+	w := &Workload{Name: name}
+	batch := map[string]int{}
+	for _, a := range arrivals {
+		m, err := dnn.ByName(a.Model)
+		if err != nil {
+			return nil, fmt.Errorf("workload %q: %w", name, err)
+		}
+		if a.Cycle < 0 {
+			return nil, fmt.Errorf("workload %q: negative arrival cycle %d", name, a.Cycle)
+		}
+		batch[a.Model]++
+		w.Instances = append(w.Instances, Instance{
+			Model: m, Batch: batch[a.Model], ArrivalCycle: a.Cycle,
+		})
+	}
+	return w, nil
+}

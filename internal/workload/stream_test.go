@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestStreamDeterministicAndSorted(t *testing.T) {
+	entries := []StreamEntry{
+		{Model: "mobilenetv1", Count: 10, PeriodCycles: 1000, JitterCycles: 400},
+		{Model: "brq-handpose", Count: 5, PeriodCycles: 2500, OffsetCycles: 300, JitterCycles: 100},
+	}
+	a, err := Stream(entries, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stream(entries, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 15 {
+		t.Fatalf("%d arrivals, want 15", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across same-seed runs: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].Cycle < a[i-1].Cycle {
+			t.Fatalf("arrivals not cycle-sorted at %d", i)
+		}
+	}
+	c, err := Stream(entries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestStreamPeriodicWithoutJitter(t *testing.T) {
+	a, err := Stream([]StreamEntry{{Model: "unet", Count: 4, PeriodCycles: 100, OffsetCycles: 50}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, arr := range a {
+		if want := int64(50 + 100*i); arr.Cycle != want {
+			t.Errorf("arrival %d at %d, want %d", i, arr.Cycle, want)
+		}
+	}
+}
+
+func TestStreamRejectsBadEntries(t *testing.T) {
+	cases := []StreamEntry{
+		{Model: "unet", Count: 0, PeriodCycles: 1},
+		{Model: "unet", Count: 1, PeriodCycles: 0},
+		{Model: "unet", Count: 1, PeriodCycles: 1, OffsetCycles: -1},
+		{Model: "unet", Count: 1, PeriodCycles: 1, JitterCycles: -1},
+		{Model: "no-such-model", Count: 1, PeriodCycles: 1},
+	}
+	for i, e := range cases {
+		if _, err := Stream([]StreamEntry{e}, 0); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, e)
+		}
+	}
+	if _, err := Stream(nil, 0); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestToWorkload(t *testing.T) {
+	arrivals, err := Stream([]StreamEntry{
+		{Model: "mobilenetv2", Count: 3, PeriodCycles: 500},
+		{Model: "resnet50", Count: 2, PeriodCycles: 700, OffsetCycles: 100},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ToWorkload("stream-wl", arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumInstances() != 5 {
+		t.Fatalf("%d instances, want 5", w.NumInstances())
+	}
+	batches := map[string][]int{}
+	for i, in := range w.Instances {
+		if in.ArrivalCycle != arrivals[i].Cycle {
+			t.Errorf("instance %d arrival %d != stream %d", i, in.ArrivalCycle, arrivals[i].Cycle)
+		}
+		batches[in.Model.Name] = append(batches[in.Model.Name], in.Batch)
+	}
+	for model, bs := range batches {
+		for i, b := range bs {
+			if b != i+1 {
+				t.Errorf("%s batch numbering %v", model, bs)
+			}
+		}
+	}
+	if _, err := ToWorkload("empty", nil); err == nil {
+		t.Error("empty arrival set accepted")
+	}
+}
