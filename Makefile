@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench bench-json vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the concurrency-sensitive packages under the race detector
+# (the sharded cost cache, the scheduler, the DSE worker pool, the
+# serving engine).
+race:
+	$(GO) test -race ./internal/maestro ./internal/sched ./internal/dse ./internal/serve
+
+# bench runs the full benchmark suite once per benchmark (short form:
+# the perf trajectory gate wants per-PR numbers, not nanosecond-grade
+# stability) and writes the machine-readable BENCH_PR2.json.
+BENCH_OUT ?= BENCH_PR2.json
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
+	@rm -f bench.out

@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file, so the benchmark trajectory across PRs
+// can be tracked mechanically (CI runs it after the bench suite and
+// uploads the result; see .github/workflows/ci.yml and `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_PR2.json
+//
+// Every benchmark line becomes one entry keyed by the benchmark name
+// (GOMAXPROCS suffix stripped): iterations, ns/op, B/op, allocs/op
+// when present, plus every domain-specific b.ReportMetric unit (e.g.
+// makespan-cycles, design-points, wall-req/s) verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is the parsed result of one benchmark.
+type Entry struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8   123   456.7 ns/op   <metrics>`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+
+// metricPair matches one `<value> <unit>` report after ns/op.
+var metricPair = regexp.MustCompile(`([0-9.e+-]+)\s+([^\s]+)`)
+
+func parse(in *bufio.Scanner) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	for in.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(in.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", in.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", in.Text(), err)
+		}
+		e := Entry{Iterations: iters, NsPerOp: ns}
+		for _, mp := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(mp[1], 64)
+			if err != nil {
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[mp[2]] = v
+		}
+		out[m[1]] = e
+	}
+	return out, in.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	entries, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(entries), *outPath)
+}

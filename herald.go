@@ -254,7 +254,10 @@ func NewSMFDA(class Class, style Style, n int) (*HDA, error) {
 // paper-calibrated flexibility taxes.
 func NewRDA(class Class) (*RDA, error) { return accel.NewRDA(class) }
 
-// NewScheduler returns a Herald scheduler over a cost cache.
+// NewScheduler returns a Herald scheduler over a cost cache. A
+// Scheduler keeps private scratch state and an unsynchronized L0 cost
+// cache, so it is NOT safe for concurrent use: create one per
+// goroutine and let them share the (concurrency-safe) CostCache.
 func NewScheduler(cache *CostCache, opts SchedOptions) (*Scheduler, error) {
 	return sched.New(cache, opts)
 }

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/dataflow"
@@ -197,7 +198,6 @@ func Search(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options) 
 	}
 
 	points := make([]Point, len(parts))
-	errs := make([]error, len(parts))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -206,43 +206,91 @@ func Search(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options) 
 		workers = len(parts)
 	}
 
-	var wg sync.WaitGroup
+	// Each worker owns one scheduler (with its private L0 cost cache
+	// and scratch state) for its whole share of the space, tracks its
+	// local best point as results stream in, and checks the shared
+	// stop flag so one failed partition short-circuits the rest of the
+	// enumeration instead of burning the full space.
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	bestIdx := make([]int, workers)
 	work := make(chan int)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(wk int) {
 			defer wg.Done()
+			s := sched.MustNew(cache, opts.Sched)
+			best := -1
 			for i := range work {
-				points[i], errs[i] = evaluate(cache, sp, w, opts, parts[i], i)
+				if stop.Load() {
+					continue // drain the channel without evaluating
+				}
+				p, err := evaluate(s, sp, w, parts[i], i)
+				if err != nil {
+					stop.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				points[i] = p
+				if best < 0 || betterPoint(opts.Objective, p, i, points[best], best) {
+					best = i
+				}
 			}
-		}()
+			bestIdx[wk] = best
+		}(wk)
 	}
 	for i := range parts {
+		if stop.Load() {
+			break
+		}
 		work <- i
 	}
 	close(work)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
+	// Merge the workers' streamed bests: lowest objective, earliest
+	// enumeration index on ties (identical to a sequential scan).
 	res := &Result{Space: sp, Points: points}
-	res.Best = points[0]
-	for _, p := range points[1:] {
-		if opts.Objective.value(p) < opts.Objective.value(res.Best) {
-			res.Best = p
+	best := -1
+	for _, bi := range bestIdx {
+		if bi < 0 {
+			continue
+		}
+		if best < 0 || betterPoint(opts.Objective, points[bi], bi, points[best], best) {
+			best = bi
 		}
 	}
+	res.Best = points[best]
 	res.Pareto = ParetoFront(points)
 	return res, nil
 }
 
+// betterPoint reports whether point p (at enumeration index pi) beats
+// q (at qi) under the objective, breaking ties toward the earlier
+// index so parallel searches reproduce the sequential choice.
+func betterPoint(o Objective, p Point, pi int, q Point, qi int) bool {
+	pv, qv := o.value(p), o.value(q)
+	if pv != qv {
+		return pv < qv
+	}
+	return pi < qi
+}
+
 // evaluate builds the HDA for one partition and schedules the workload
-// on it.
-func evaluate(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options, part []int, idx int) (Point, error) {
+// on it with the calling worker's scheduler.
+func evaluate(s *sched.Scheduler, sp Space, w *workload.Workload, part []int, idx int) (Point, error) {
 	peUnit := sp.Class.PEs / sp.PEUnits
 	bwUnit := sp.Class.BWGBps / float64(sp.BWUnits)
 	n := len(sp.Styles)
@@ -258,7 +306,6 @@ func evaluate(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options
 	if err != nil {
 		return Point{}, err
 	}
-	s := sched.MustNew(cache, opts.Sched)
 	schd, err := s.Schedule(h, w)
 	if err != nil {
 		return Point{}, err

@@ -1,0 +1,98 @@
+package dse
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/energy"
+	"repro/internal/maestro"
+	"repro/internal/workload"
+)
+
+// TestSearchFailFast: when a partition evaluation errors (here: a
+// priority vector that cannot match the workload), the worker pool
+// must short-circuit instead of evaluating the whole space, and
+// Search must surface the error.
+func TestSearchFailFast(t *testing.T) {
+	cache := maestro.NewCache(energy.Default28nm())
+	w := workload.MustNew("ff", []workload.Entry{{Model: "mobilenetv1", Batches: 2}})
+	sp := Space{
+		Class:  accel.Edge,
+		Styles: []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao},
+		// 15 PE x 7 BW compositions = 105 points: big enough that a
+		// full evaluation would dwarf a short-circuited one.
+		PEUnits: 16, BWUnits: 8,
+	}
+	opts := DefaultOptions()
+	opts.Sched.Priorities = []int{1} // 1 priority, 2 instances: every evaluate fails
+
+	start := time.Now()
+	_, err := Search(cache, sp, w, opts)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Search succeeded with an invalid priority vector")
+	}
+
+	// Reference: how long does the full healthy space take? The failed
+	// search must not have paid anything close to it (each worker may
+	// finish its in-flight evaluation, nothing more).
+	opts.Sched.Priorities = nil
+	healthyStart := time.Now()
+	if _, err := Search(cache, sp, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	healthy := time.Since(healthyStart)
+	if elapsed > healthy {
+		t.Errorf("failed search took %v, longer than evaluating the whole space (%v): no short-circuit", elapsed, healthy)
+	}
+}
+
+// TestSearchWorkerCountInvariance: the streamed per-worker Best
+// tracking and its merge must reproduce the sequential scan's result
+// (lowest objective, earliest enumeration index on ties) for any
+// worker count.
+func TestSearchWorkerCountInvariance(t *testing.T) {
+	cache := maestro.NewCache(energy.Default28nm())
+	w := workload.MustNew("inv", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 1},
+		{Model: "brq-handpose", Batches: 1},
+	})
+	sp := Space{
+		Class:   accel.Edge,
+		Styles:  []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao},
+		PEUnits: 8, BWUnits: 4,
+	}
+
+	var ref *Result
+	for _, workers := range []int{1, 2, 7} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		res, err := Search(cache, sp, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Points) != len(ref.Points) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(res.Points), len(ref.Points))
+		}
+		for i := range res.Points {
+			if res.Points[i].EDP != ref.Points[i].EDP ||
+				res.Points[i].LatencySec != ref.Points[i].LatencySec ||
+				res.Points[i].EnergyMJ != ref.Points[i].EnergyMJ {
+				t.Fatalf("workers=%d: point %d differs from workers=1", workers, i)
+			}
+		}
+		if res.Best.HDA.Name != ref.Best.HDA.Name || res.Best.EDP != ref.Best.EDP {
+			t.Errorf("workers=%d: best %s (EDP %g) != reference best %s (EDP %g)",
+				workers, res.Best.HDA.Name, res.Best.EDP, ref.Best.HDA.Name, ref.Best.EDP)
+		}
+		if len(res.Pareto) != len(ref.Pareto) {
+			t.Errorf("workers=%d: Pareto size %d != %d", workers, len(res.Pareto), len(ref.Pareto))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package maestro
 
 import (
+	"hash/maphash"
 	"sync"
 
 	"repro/internal/dataflow"
@@ -8,56 +9,139 @@ import (
 	"repro/internal/energy"
 )
 
-// cacheKey identifies a cost query: layer shape × style × substrate.
+// The cache is two-level (see the package comment):
+//
+//	L1 mapping cache:  (shape, style, PEs)        -> dataflow.Mapping
+//	L1 cost cache:     (shape, style, full HW)    -> Cost, sharded
+//
+// The mapping level exists because dataflow.Map depends only on the
+// layer shape, the style and the PE count — not on the bandwidth or
+// buffer shares. A DSE sweep evaluates the same (shape, style, PEs)
+// triple under dozens of bandwidth/buffer partitions; those cost-cache
+// misses all reuse one memoized mapping instead of re-running the
+// fold/multicast analysis. The cost level is sharded by key hash so
+// the DSE worker pool and a concurrently-running serving engine do
+// not serialize on a single lock. (Schedulers additionally keep a
+// private unsynchronized L0 in front of this cache.)
+
+// costShards is the cost-cache shard count. Shard selection hashes
+// the full key, so any power of two comfortably above the typical
+// core count spreads contention; 64 keeps the fixed footprint small.
+const costShards = 64
+
+// costKey identifies a cost query: layer shape × style × substrate.
 // Multi-batch workloads re-evaluate identical layer shapes constantly
 // and the DSE re-schedules the same workload across hundreds of
 // partition points, so memoization is what keeps full-paper runs in
 // seconds.
-type cacheKey struct {
+type costKey struct {
 	shape dnn.ShapeKey
 	style dataflow.Style
 	hw    HW
+}
+
+// mapKey identifies a mapping query: the subset of costKey that
+// dataflow.Map actually reads.
+type mapKey struct {
+	shape dnn.ShapeKey
+	style dataflow.Style
+	pes   int
+}
+
+type costShard struct {
+	mu sync.RWMutex
+	m  map[costKey]*Cost
 }
 
 // Cache memoizes Estimate results for a fixed energy table. It is safe
 // for concurrent use.
 type Cache struct {
 	table energy.Table
+	seed  maphash.Seed
 
-	mu sync.RWMutex
-	m  map[cacheKey]Cost
+	// mappings is the shared (shape, style, PEs) -> dataflow.Mapping
+	// level; sync.Map suits its read-mostly, write-once population.
+	mappings sync.Map
+
+	shards [costShards]costShard
 }
 
 // NewCache returns an empty cost cache bound to the given energy table.
 func NewCache(et energy.Table) *Cache {
-	return &Cache{table: et, m: make(map[cacheKey]Cost)}
+	c := &Cache{table: et, seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[costKey]*Cost)
+	}
+	return c
 }
 
 // Table returns the energy table this cache is bound to.
 func (c *Cache) Table() energy.Table { return c.table }
 
+func (c *Cache) shard(key costKey) *costShard {
+	return &c.shards[maphash.Comparable(c.seed, key)&(costShards-1)]
+}
+
 // Estimate returns the (possibly memoized) cost of layer l under style
 // on substrate hw.
 func (c *Cache) Estimate(l *dnn.Layer, style dataflow.Style, hw HW) Cost {
-	key := cacheKey{shape: l.Key(), style: style, hw: hw}
-	c.mu.RLock()
-	cost, ok := c.m[key]
-	c.mu.RUnlock()
-	if ok {
-		return cost
-	}
-	cost = Estimate(l, style, hw, c.table)
-	c.mu.Lock()
-	c.m[key] = cost
-	c.mu.Unlock()
-	return cost
+	return *c.EstimateRef(l, style, hw)
 }
 
-// Len returns the number of memoized entries (diagnostics).
+// EstimateRef is Estimate returning the interned cache entry itself,
+// sparing hot callers (the scheduler's inner loop) a ~250-byte struct
+// copy per query. The pointee is shared and must not be modified.
+func (c *Cache) EstimateRef(l *dnn.Layer, style dataflow.Style, hw HW) *Cost {
+	key := costKey{shape: l.Key(), style: style, hw: hw}
+	sh := c.shard(key)
+	sh.mu.RLock()
+	p, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		return p
+	}
+	cost := EstimateMapping(l, c.Mapping(l, style, hw.PEs), hw, c.table)
+	sh.mu.Lock()
+	if q, ok := sh.m[key]; ok {
+		p = q // another goroutine won the race; keep one canonical entry
+	} else {
+		p = &cost
+		sh.m[key] = p
+	}
+	sh.mu.Unlock()
+	return p
+}
+
+// Mapping returns the (possibly memoized) dataflow mapping of layer l
+// under style on a pes-sized array — the expensive half of a cost
+// query, shared across substrates that differ only in bandwidth or
+// buffer shares.
+func (c *Cache) Mapping(l *dnn.Layer, style dataflow.Style, pes int) dataflow.Mapping {
+	mk := mapKey{shape: l.Key(), style: style, pes: pes}
+	if v, ok := c.mappings.Load(mk); ok {
+		return v.(dataflow.Mapping)
+	}
+	m := dataflow.Map(style, l, pes)
+	c.mappings.Store(mk, m)
+	return m
+}
+
+// Len returns the number of memoized cost entries (diagnostics).
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// MappingLen returns the number of memoized mappings (diagnostics).
+func (c *Cache) MappingLen() int {
+	n := 0
+	c.mappings.Range(func(any, any) bool { n++; return true })
+	return n
 }
 
 // ModelCost aggregates the sequential execution of a whole model on a

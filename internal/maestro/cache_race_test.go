@@ -1,0 +1,111 @@
+package maestro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+)
+
+// raceLayers returns a mixed bag of layer shapes for cache hammering.
+func raceLayers() []dnn.Layer {
+	return []dnn.Layer{
+		{Op: dnn.Conv2D, K: 64, C: 3, Y: 224, X: 224, R: 7, S: 7, Stride: 2, Pad: 3},
+		{Op: dnn.Conv2D, K: 128, C: 64, Y: 56, X: 56, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Op: dnn.PWConv, K: 256, C: 128, Y: 28, X: 28, R: 1, S: 1, Stride: 1},
+		{Op: dnn.DWConv, K: 128, C: 128, Y: 28, X: 28, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Op: dnn.FC, K: 1000, C: 2048, Y: 1, X: 1, R: 1, S: 1, Stride: 1},
+	}
+}
+
+// TestCacheConcurrentHammer drives the sharded cost cache from many
+// goroutines at once — the DSE-worker-pool-plus-serving-engine access
+// pattern — and checks every concurrent answer against an uncached
+// reference estimate. Run with -race (CI does) to catch shard or
+// mapping-level synchronization bugs.
+func TestCacheConcurrentHammer(t *testing.T) {
+	et := energy.Default28nm()
+	cache := NewCache(et)
+	layers := raceLayers()
+	styles := []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao, dataflow.Eyeriss}
+	hws := []HW{
+		{PEs: 128, BWGBps: 4, L2Bytes: 1 << 20},
+		{PEs: 896, BWGBps: 12, L2Bytes: 3 << 20},
+		{PEs: 1024, BWGBps: 16, L2Bytes: 4 << 20},
+	}
+
+	const goroutines = 16
+	const rounds = 40
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the key space in a different
+				// order so cold misses race on every shard.
+				for i := 0; i < len(layers)*len(styles)*len(hws); i++ {
+					j := (i*7 + g*13 + r) % (len(layers) * len(styles) * len(hws))
+					l := &layers[j%len(layers)]
+					st := styles[(j/len(layers))%len(styles)]
+					hw := hws[j/(len(layers)*len(styles))]
+					got := cache.Estimate(l, st, hw)
+					ref := cache.EstimateRef(l, st, hw)
+					if got != *ref {
+						errs <- "Estimate and EstimateRef disagree"
+						return
+					}
+					want := Estimate(l, st, hw, et)
+					if got != want {
+						errs <- "cached cost differs from direct estimate"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	maxKeys := len(layers) * len(styles) * len(hws)
+	if n := cache.Len(); n == 0 || n > maxKeys {
+		t.Errorf("cache holds %d entries, want 1..%d (racing writers must dedupe)", n, maxKeys)
+	}
+	if n := cache.MappingLen(); n == 0 || n > len(layers)*len(styles)*len(hws) {
+		t.Errorf("mapping cache holds %d entries", n)
+	}
+}
+
+// TestCacheInterning: concurrent queries for one key must converge on
+// a single interned *Cost (the racing-writer dedup in EstimateRef).
+func TestCacheInterning(t *testing.T) {
+	cache := NewCache(energy.Default28nm())
+	l := raceLayers()[0]
+	hw := HW{PEs: 256, BWGBps: 8, L2Bytes: 2 << 20}
+
+	const goroutines = 8
+	ptrs := make([]*Cost, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ptrs[g] = cache.EstimateRef(&l, dataflow.NVDLA, hw)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if ptrs[g] != ptrs[0] {
+			t.Fatal("EstimateRef returned distinct pointers for one key")
+		}
+	}
+	if n := cache.Len(); n != 1 {
+		t.Fatalf("cache holds %d entries for a single hammered key", n)
+	}
+}

@@ -16,6 +16,19 @@
 // for the first tile fill, plus an optional per-layer context-change
 // penalty (§IV-A gives Herald an option to charge data-layout and
 // context-switch costs).
+//
+// # Caching
+//
+// Cost queries are memoized by a two-level Cache. The upper level maps
+// (layer shape, style, PEs) to the dataflow.Mapping — the expensive
+// fold/multicast analysis, which is independent of bandwidth and
+// buffer shares, so DSE partition points that differ only in those
+// reuse one mapping. The lower level maps the full (layer shape,
+// style, HW) key to the finished Cost and is sharded by key hash, so
+// a DSE worker pool and the online serving engine never contend on a
+// single lock. Single-threaded hot loops (the scheduler) keep a
+// private unsynchronized L0 map in front of the shared cache; see
+// internal/sched.
 package maestro
 
 import (
@@ -230,10 +243,10 @@ func estimate(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
 	if spill < 0 {
 		spill = 0
 	}
-	memCycles := int64(float64(max64(global, dram)) / bpc)
+	memCycles := int64(float64(max(global, dram)) / bpc)
 	spillCycles := int64(float64(spill) / bpc)
-	fill := int64(float64(min64(inBytes1+wBytes, budget)) / bpc)
-	steady := max64(m.ComputeCycles, int64(float64(compulsory)/bpc))
+	fill := int64(float64(min(inBytes1+wBytes, budget)) / bpc)
+	steady := max(m.ComputeCycles, int64(float64(compulsory)/bpc))
 	total := steady + spillCycles + fill + hw.ContextCycles
 
 	// --- Energy.
@@ -265,7 +278,7 @@ func estimate(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
 	// (execution-model steps 2-6), so a layer pins at most a local-
 	// buffer-scale window of double-buffered tiles — not its full
 	// working set — in the global buffer at any instant.
-	occ := inBytes1 + outBytes1 + min64(wBytes, budget)
+	occ := inBytes1 + outBytes1 + min(wBytes, budget)
 	if l1 := hw.L1(); occ > l1 {
 		occ = l1
 	}
@@ -282,25 +295,4 @@ func estimate(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
 		Energy:         e,
 		OccupancyBytes: occ,
 	}
-}
-
-func ceilDiv64(a, b int64) int64 {
-	if b <= 0 {
-		return a
-	}
-	return (a + b - 1) / b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

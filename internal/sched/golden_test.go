@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// goldenFingerprint reduces a schedule to a deterministic fingerprint:
+// an FNV-1a hash over the exact assignment sequence (instance, layer,
+// sub-accelerator, start, end) plus the headline aggregates. Any
+// scheduler change that alters a single assignment, start cycle, or
+// tie-break shows up as a different fingerprint.
+func goldenFingerprint(sch *Schedule) string {
+	h := fnv.New64a()
+	for _, a := range sch.Assignments {
+		fmt.Fprintf(h, "%d/%d@%d:%d-%d;", a.Instance, a.Layer, a.SubAcc, a.Start, a.End)
+	}
+	return fmt.Sprintf("%016x|span=%d|e=%.3f", h.Sum64(), sch.MakespanCycles, sch.EnergyPJ)
+}
+
+// TestGoldenSchedules pins the scheduler's output on the paper's
+// workloads to fingerprints captured from the original (pre-
+// optimization) implementation. The allocation-free hot loop, the
+// event heap and the interval memory ledger are pure performance
+// refactors: they must reproduce these schedules bit for bit.
+func TestGoldenSchedules(t *testing.T) {
+	h := maelstromEdge(t)
+	cache := newCache()
+
+	cases := []struct {
+		name string
+		w    *workload.Workload
+		opts Options
+		want string
+	}{
+		{"arvr-a/default", workload.ARVRA(), DefaultOptions(), "4540f1039f3f69f8|span=817907422|e=790939673565.440"},
+		{"arvr-b/default", workload.ARVRB(), DefaultOptions(), "f3f7ec6b10ac3864|span=462191551|e=465914416518.880"},
+		{"mlperf-1/default", workload.MLPerf(1), DefaultOptions(), "21985aa585750d17|span=1061063704|e=415430375118.080"},
+		{"arvr-b/greedy", workload.ARVRB(), GreedyOptions(), "54f40ef51689632c|span=751136310|e=468544892279.519"},
+		{"arvr-b/depth-first", workload.ARVRB(), func() Options {
+			o := DefaultOptions()
+			o.Ordering = DepthFirst
+			return o
+		}(), "f3f7ec6b10ac3864|span=462191551|e=465914416518.880"},
+		{"arvr-a/no-post", workload.ARVRA(), func() Options {
+			o := DefaultOptions()
+			o.PostProcess = false
+			return o
+		}(), "4540f1039f3f69f8|span=817907422|e=790939673565.440"},
+		{"mlperf-2/latency-metric", workload.MLPerf(2), func() Options {
+			o := DefaultOptions()
+			o.Metric = MetricLatency
+			return o
+		}(), "e7aca5b432dd6c9d|span=2107595904|e=830923998858.240"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MustNew(cache, tc.opts)
+			sch, err := s.Schedule(h, tc.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenFingerprint(sch)
+			if got != tc.want {
+				t.Errorf("schedule fingerprint changed:\n got %s\nwant %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenIncremental pins the online (incremental) path the same
+// way: three admission batches with mixed priorities must land exactly
+// where the original implementation put them.
+func TestGoldenIncremental(t *testing.T) {
+	h := maelstromEdge(t)
+	s := MustNew(newCache(), DefaultOptions())
+	inc, err := s.Incremental(h, "golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]Admission{
+		{
+			{Instance: workload.Instance{Model: mustModel(t, "brq-handpose"), Batch: 1}, Priority: 1},
+			{Instance: workload.Instance{Model: mustModel(t, "mobilenetv1"), Batch: 1}},
+		},
+		{
+			{Instance: workload.Instance{Model: mustModel(t, "unet"), Batch: 1, ArrivalCycle: 1_000_000}},
+		},
+		{
+			{Instance: workload.Instance{Model: mustModel(t, "resnet50"), Batch: 1, ArrivalCycle: 2_000_000}, Priority: 2},
+			{Instance: workload.Instance{Model: mustModel(t, "fl-depthnet"), Batch: 1, ArrivalCycle: 2_000_000}},
+		},
+	}
+	for i, b := range batches {
+		if _, err := inc.Extend(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	got := goldenFingerprint(inc.Snapshot())
+	const want = "3804a91625d98c00|span=281869269|e=232863776071.920"
+	if got != want {
+		t.Errorf("incremental fingerprint changed:\n got %s\nwant %s", got, want)
+	}
+}

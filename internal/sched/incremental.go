@@ -42,14 +42,13 @@ func (s *Scheduler) Incremental(h *accel.HDA, name string) (*Incremental, error)
 	if len(s.opts.Priorities) > 0 {
 		return nil, fmt.Errorf("sched: incremental scheduling takes per-admission priorities, not Options.Priorities")
 	}
+	st := newRunState(len(h.Subs))
+	st.costs = s.tableFor(h)
 	return &Incremental{
 		s:    s,
 		h:    h,
 		name: name,
-		st: &runState{
-			free: make([]int64, len(h.Subs)),
-			busy: make([]int64, len(h.Subs)),
-		},
+		st:   st,
 	}, nil
 }
 
@@ -129,7 +128,7 @@ func (inc *Incremental) Extend(adms []Admission) ([]Placement, error) {
 		inc.insts = inc.insts[:base]
 		return nil, err
 	}
-	inc.floor = max64(inc.floor, minArrival)
+	inc.floor = max(inc.floor, minArrival)
 
 	// Aggregate the new assignments into per-admission placements.
 	// Every pre-existing instance was already complete, so the new
@@ -142,7 +141,9 @@ func (inc *Incremental) Extend(adms []Admission) ([]Placement, error) {
 			StartCycle:   -1,
 		}
 	}
-	for _, a := range inc.st.assignments[mark:] {
+	added := inc.st.assignments[mark:]
+	for i := range added {
+		a := &added[i]
 		p := &out[a.Instance-base]
 		if p.StartCycle < 0 || a.Start < p.StartCycle {
 			p.StartCycle = a.Start
@@ -151,7 +152,7 @@ func (inc *Incremental) Extend(adms []Admission) ([]Placement, error) {
 			p.FinishCycle = a.End
 		}
 		p.BusyCycles += a.Cost.Cycles
-		p.EnergyPJ += a.Cost.EnergyPJ()
+		p.EnergyPJ += a.Cost.Energy.Total()
 	}
 	return out, nil
 }

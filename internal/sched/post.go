@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/accel"
+	"repro/internal/maestro"
 	"repro/internal/workload"
 )
 
@@ -24,7 +25,9 @@ func extractSeqs(h *accel.HDA, sch *Schedule) [][]item {
 // with the earliest feasible start time, respecting dependence, memory
 // and sub-accelerator serialization. Returns an error when the
 // sequences cross-block (which a reorder can introduce; callers then
-// revert).
+// revert). PeakOccupancyBytes is left unset: postProcess evaluates
+// trials by makespan and flow time only, and fills the peak in once
+// for the surviving schedule.
 func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) (*Schedule, error) {
 	n := len(w.Instances)
 	free := make([]int64, len(h.Subs))
@@ -36,6 +39,16 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 		ready[i] = in.ArrivalCycle
 	}
 	var running []runSlot
+	table := s.tableFor(h)
+	nAcc := len(h.Subs)
+	costAt := func(a int, it item) *maestro.Cost {
+		m := w.Instances[it.inst].Model
+		row, ok := table[m]
+		if !ok {
+			row = s.costRow(h, table, m)
+		}
+		return row[it.layer*nAcc+a]
+	}
 
 	total := 0
 	for a := range seqs {
@@ -55,8 +68,8 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 			if it.layer != nextLayer[it.inst] {
 				continue // blocked on a predecessor queued elsewhere
 			}
-			startT := max64(free[a], ready[it.inst])
-			cost := s.cache.Estimate(&w.Instances[it.inst].Model.Layers[it.layer], h.Subs[a].Style, h.Subs[a].HW)
+			startT := max(free[a], ready[it.inst])
+			cost := costAt(a, it)
 			startT, ok := memFeasibleStart(h, running, startT, cost.Cycles, cost.OccupancyBytes)
 			if !ok {
 				continue
@@ -72,19 +85,19 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 
 		a := bestAcc
 		it := seqs[a][pos[a]]
-		cost := s.cache.Estimate(&w.Instances[it.inst].Model.Layers[it.layer], h.Subs[a].Style, h.Subs[a].HW)
+		cost := costAt(a, it)
 		end := bestStart + cost.Cycles
 		pos[a]++
 		nextLayer[it.inst]++
 		free[a] = end
 		busy[a] += cost.Cycles
 		ready[it.inst] = end
-		energy += cost.EnergyPJ()
+		energy += cost.Energy.Total()
 		running = pruneSlots(running, bestStart)
 		running = append(running, runSlot{start: bestStart, end: end, occ: cost.OccupancyBytes})
 		assignments = append(assignments, Assignment{
 			Instance: it.inst, Layer: it.layer, SubAcc: a,
-			Start: bestStart, End: end, Cost: cost,
+			Start: bestStart, End: end, Cost: *cost,
 		})
 		committed++
 	}
@@ -100,7 +113,6 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 			sch.MakespanCycles = e
 		}
 	}
-	sch.PeakOccupancyBytes = peakOccupancy(assignments)
 	return sch, nil
 }
 
@@ -161,10 +173,14 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 	cur := sch
 	moves := 0
 
-	timeline := func(sc *Schedule) map[item]Assignment {
-		m := make(map[item]Assignment, len(sc.Assignments))
-		for _, a := range sc.Assignments {
-			m[item{a.Instance, a.Layer}] = a
+	// timeline maps each (instance, layer) to its assignment index in
+	// cur.Assignments (indices, not copies: Assignment embeds a full
+	// Cost and this map is rebuilt after every accepted move).
+	timeline := func(sc *Schedule) map[item]int {
+		m := make(map[item]int, len(sc.Assignments))
+		for i := range sc.Assignments {
+			a := &sc.Assignments[i]
+			m[item{a.Instance, a.Layer}] = i
 		}
 		return m
 	}
@@ -172,10 +188,9 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 
 	for a := range seqs {
 		for i := 0; i+1 < len(seqs[a]) && moves < s.opts.MaxPostMoves; i++ {
-			here := tl[seqs[a][i]]
-			next := tl[seqs[a][i+1]]
-			gap := next.Start - here.End
-			if gap <= 0 {
+			hereEnd := cur.Assignments[tl[seqs[a][i]]].End
+			nextStart := cur.Assignments[tl[seqs[a][i+1]]].Start
+			if nextStart-hereEnd <= 0 {
 				continue
 			}
 			// Search the look-ahead window for a hoistable layer.
@@ -190,10 +205,10 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 				// first layer, its instance arrived) by the gap start.
 				if cand.layer > 0 {
 					pred, ok := tl[item{cand.inst, cand.layer - 1}]
-					if !ok || pred.End > here.End {
+					if !ok || cur.Assignments[pred].End > hereEnd {
 						continue
 					}
-				} else if w.Instances[cand.inst].ArrivalCycle > here.End {
+				} else if w.Instances[cand.inst].ArrivalCycle > hereEnd {
 					continue
 				}
 				moves++
@@ -210,6 +225,11 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 			}
 		}
 	}
+	if cur != sch {
+		// Simulated schedules defer the peak-occupancy sweep (see
+		// simulate); materialize it for the one that survived.
+		cur.PeakOccupancyBytes = peakOccupancy(cur.Assignments)
+	}
 	return cur, nil
 }
 
@@ -217,8 +237,9 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 // post-processing from trading one instance's response time for
 // another's idle slot without improving the makespan.
 func flowTime(s *Schedule) int64 {
-	finish := make(map[int]int64)
-	for _, a := range s.Assignments {
+	finish := make([]int64, len(s.Workload.Instances))
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
 		if a.End > finish[a.Instance] {
 			finish[a.Instance] = a.End
 		}

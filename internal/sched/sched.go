@@ -45,14 +45,18 @@ func (m Metric) String() string {
 }
 
 // value extracts the metric from a cost at a 1 GHz reference clock.
-func (m Metric) value(c maestro.Cost) float64 {
+// It takes the interned pointer and mirrors the Cost value-receiver
+// arithmetic exactly (same operation order, hence bit-equal results)
+// without copying the struct per ranking step.
+func (m Metric) value(c *maestro.Cost) float64 {
 	switch m {
 	case MetricLatency:
 		return float64(c.Cycles)
 	case MetricEnergy:
-		return c.EnergyPJ()
+		return c.Energy.Total()
 	default:
-		return c.EDP(1.0)
+		// Cost.EDP(1.0): EnergyPJ() * 1e-12 * Seconds(1.0).
+		return c.Energy.Total() * 1e-12 * (float64(c.Cycles) / 1e9)
 	}
 }
 

@@ -2,19 +2,37 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/dnn"
 	"repro/internal/maestro"
 	"repro/internal/workload"
 )
 
 // Scheduler generates layer execution schedules for HDAs using a
 // shared cost-model cache.
+//
+// A Scheduler is NOT safe for concurrent use: it keeps a private
+// unsynchronized L0 cost cache and scratch buffers so the steady-state
+// assignment loop performs no heap allocations and no lock
+// operations. Create one Scheduler per goroutine; cross-goroutine
+// reuse of cost-model results happens through the shared (sharded)
+// maestro.Cache they all sit in front of.
 type Scheduler struct {
 	cache *maestro.Cache
 	opts  Options
+
+	// tables is the scheduler's L0 cost cache: per HDA, each model
+	// resolves to its flat (layer × sub-accelerator) row of interned
+	// cost pointers. The assignment loop indexes these rows instead of
+	// hashing a full (shape, style, HW) key per query — the same
+	// results as the shared sharded cache, minus both the locks and
+	// the hashing. Rows are filled once per (HDA, model) through the
+	// shared cache.
+	tables map[*accel.HDA]map[*dnn.Model][]*maestro.Cost
 }
 
 // New returns a scheduler over the given cost cache.
@@ -22,7 +40,11 @@ func New(cache *maestro.Cache, opts Options) (*Scheduler, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Scheduler{cache: cache, opts: opts}, nil
+	return &Scheduler{
+		cache:  cache,
+		opts:   opts,
+		tables: make(map[*accel.HDA]map[*dnn.Model][]*maestro.Cost),
+	}, nil
 }
 
 // MustNew is New for statically-valid options.
@@ -36,6 +58,46 @@ func MustNew(cache *maestro.Cache, opts Options) *Scheduler {
 
 // Options returns the scheduler's configuration.
 func (s *Scheduler) Options() Options { return s.opts }
+
+// maxTables bounds the per-HDA cost-row tables a scheduler retains.
+// Tables are keyed by HDA pointer, so entries for discarded HDAs can
+// never be re-hit; a scheduler fed a stream of fresh HDAs (a very
+// large DSE sweep, a user-driven re-partitioning loop) would otherwise
+// grow without bound. Eviction drops everything — rows rebuild cheaply
+// through the shared cache — and never triggers on the steady-state
+// shapes (serving: one HDA; DSE: one Search's partitions per worker).
+const maxTables = 512
+
+// tableFor returns (creating if needed) the per-model cost-row table
+// of one HDA.
+func (s *Scheduler) tableFor(h *accel.HDA) map[*dnn.Model][]*maestro.Cost {
+	t := s.tables[h]
+	if t == nil {
+		if len(s.tables) >= maxTables {
+			clear(s.tables)
+		}
+		t = make(map[*dnn.Model][]*maestro.Cost)
+		s.tables[h] = t
+	}
+	return t
+}
+
+// costRow returns model m's flat (layer × sub-accelerator) cost row on
+// HDA h, filling it on the model's first appearance.
+func (s *Scheduler) costRow(h *accel.HDA, t map[*dnn.Model][]*maestro.Cost, m *dnn.Model) []*maestro.Cost {
+	if row, ok := t[m]; ok {
+		return row
+	}
+	nAcc := len(h.Subs)
+	row := make([]*maestro.Cost, len(m.Layers)*nAcc)
+	for li := range m.Layers {
+		for a := range h.Subs {
+			row[li*nAcc+a] = s.cache.EstimateRef(&m.Layers[li], h.Subs[a].Style, h.Subs[a].HW)
+		}
+	}
+	t[m] = row
+	return row
+}
 
 // Schedule runs the Fig. 8 layer assignment and ordering algorithm
 // followed (if enabled) by the Fig. 9 post-processing pass.
@@ -61,19 +123,162 @@ func (s *Scheduler) Schedule(h *accel.HDA, w *workload.Workload) (*Schedule, err
 	return sch, nil
 }
 
+// runSlot is one committed execution interval in the memory ledger.
+type runSlot struct {
+	start, end int64
+	occ        int64
+}
+
+// ledger is the shared-buffer memory ledger: committed assignment
+// intervals, kept per sub-accelerator. Per-sub-accelerator commits are
+// serial (each start is at least the previous end), so within one
+// sub-accelerator both starts and ends are non-decreasing — an overlap
+// query reduces to two binary searches plus an occupancy prefix-sum
+// difference, instead of the full-ledger rescan per commit attempt
+// the original implementation did.
+type ledger struct {
+	slots [][]runSlot // per sub-acc, sorted by start AND end
+	pre   [][]int64   // pre[a][i] = total occupancy of slots[a][:i]
+	head  []int       // per sub-acc: first slot not yet pruned
+}
+
+func (lg *ledger) init(nAcc int) {
+	lg.slots = make([][]runSlot, nAcc)
+	lg.pre = make([][]int64, nAcc)
+	lg.head = make([]int, nAcc)
+	for a := range lg.pre {
+		lg.pre[a] = []int64{0}
+	}
+}
+
+// grow pre-sizes each sub-accelerator's slot array for n upcoming
+// commits (the batch path knows the workload size up front).
+func (lg *ledger) grow(n int) {
+	for a := range lg.slots {
+		if lg.slots[a] == nil {
+			lg.slots[a] = make([]runSlot, 0, n)
+			lg.pre[a] = append(make([]int64, 0, n+1), 0)
+		}
+	}
+}
+
+// add appends one committed interval (starts are non-decreasing per
+// sub-accelerator by construction).
+func (lg *ledger) add(acc int, sl runSlot) {
+	lg.slots[acc] = append(lg.slots[acc], sl)
+	p := lg.pre[acc]
+	lg.pre[acc] = append(p, p[len(p)-1]+sl.occ)
+}
+
+// prune advances the head past slots ending at or before floor (they
+// can never overlap future work) and compacts the backing arrays once
+// the dead prefix dominates, so a long-lived incremental schedule's
+// ledger tracks the live window, not all history.
+func (lg *ledger) prune(acc int, floor int64) {
+	sl := lg.slots[acc]
+	h := lg.head[acc]
+	for h < len(sl) && sl[h].end <= floor {
+		h++
+	}
+	lg.head[acc] = h
+	if h >= 64 && 2*h >= len(sl) {
+		lg.slots[acc] = sl[:copy(sl, sl[h:])]
+		p := lg.pre[acc]
+		lg.pre[acc] = p[:copy(p, p[h:])]
+		lg.head[acc] = 0
+	}
+}
+
+// overlap returns the summed occupancy of the sub-accelerator's slots
+// whose execution interval truly overlaps [startT, endT).
+func (lg *ledger) overlap(acc int, startT, endT int64) int64 {
+	sl := lg.slots[acc]
+	// First slot with end > startT (ends are non-decreasing).
+	lo, hi := lg.head[acc], len(sl)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sl[mid].end > startT {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	first := lo
+	// First slot with start >= endT (starts are non-decreasing).
+	hi = len(sl)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sl[mid].start >= endT {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lg.pre[acc][lo] - lg.pre[acc][first]
+}
+
+// clone deep-copies the ledger (checkpoint support).
+func (lg *ledger) clone() ledger {
+	c := ledger{
+		slots: make([][]runSlot, len(lg.slots)),
+		pre:   make([][]int64, len(lg.pre)),
+		head:  append([]int(nil), lg.head...),
+	}
+	for a := range lg.slots {
+		c.slots[a] = append([]runSlot(nil), lg.slots[a]...)
+		c.pre[a] = append([]int64(nil), lg.pre[a]...)
+	}
+	return c
+}
+
+// event is one entry of the completion/readiness min-heap. Entries
+// are validated lazily at pop time against the live free/ready
+// values, so a superseded entry costs one pop instead of a heap
+// deletion.
+type event struct {
+	t    int64
+	idx  int32 // sub-accelerator (free) or instance (ready) index
+	free bool  // completion event (free[idx]) vs readiness (ready[idx])
+}
+
+// candidate is one (sub-accelerator, cost) pair under ranking in
+// tryAssign. It carries the interned cost pointer: ranking shuffles
+// 32-byte entries, not ~250-byte Cost structs.
+type candidate struct {
+	acc    int
+	finish int64
+	metric float64
+	cost   *maestro.Cost
+}
+
+// rankedBefore reports whether c ranks strictly before o: by earliest
+// completion when the load-balancing feedback is active, by the
+// preference metric otherwise, with the sub-accelerator index as the
+// final tie-break. The order is strict and total, so any correct sort
+// of candidates is unique.
+func (c *candidate) rankedBefore(o *candidate, byFinish bool) bool {
+	if byFinish && c.finish != o.finish {
+		return c.finish < o.finish
+	}
+	if c.metric != o.metric {
+		return c.metric < o.metric
+	}
+	return c.acc < o.acc
+}
+
 // runState is the mutable state of the Fig. 8 main loop. It is also
 // the persistent state of the incremental scheduling path: the
 // per-sub-accelerator timelines, the memory ledger and the committed
 // assignments survive across Extend calls, so a new admission is
 // scheduled against everything already committed.
 type runState struct {
-	free      []int64   // per sub-accelerator: next free cycle
-	busy      []int64   // per sub-accelerator: total busy cycles
-	nextLayer []int     // per instance: next unscheduled layer
-	ready     []int64   // per instance: completion time of its last layer
-	order     []int     // instance visitation order (rearranged per Ordering)
-	prio      []int     // per instance: QoS priority (higher first)
-	running   []runSlot // committed assignments not yet pruned (memory ledger)
+	free      []int64 // per sub-accelerator: next free cycle
+	busy      []int64 // per sub-accelerator: total busy cycles
+	nextLayer []int   // per instance: next unscheduled layer
+	ready     []int64 // per instance: completion time of its last layer
+	order     []int   // instance visitation order (rearranged per Ordering)
+	prio      []int   // per instance: QoS priority (higher first)
+	ledger    ledger  // committed assignments not yet pruned (memory ledger)
 
 	// prune is the memory-ledger prune floor: slots ending at or
 	// before it can never overlap future work. The batch path advances
@@ -82,9 +287,33 @@ type runState struct {
 	// at cycles earlier than where this run's loop ended.
 	prune int64
 
+	// events is the completion/readiness min-heap behind nextEvent;
+	// reseeded at the start of every run (see seedEvents). cands is
+	// tryAssign's scratch ranking buffer. Both are reused so the
+	// steady-state assignment loop allocates nothing.
+	events []event
+	cands  []candidate
+
+	// costs is this run's HDA cost-row table (see Scheduler.tableFor)
+	// and rows its per-instance resolution: rows[i] is instance i's
+	// model cost row, so the hot loop indexes an array instead of
+	// performing any cache lookup at all.
+	costs map[*dnn.Model][]*maestro.Cost
+	rows  [][]*maestro.Cost
+
 	assignments []Assignment
 	energyPJ    float64
 	remaining   int
+}
+
+// newRunState returns an empty run state for an nAcc-way HDA.
+func newRunState(nAcc int) *runState {
+	st := &runState{
+		free: make([]int64, nAcc),
+		busy: make([]int64, nAcc),
+	}
+	st.ledger.init(nAcc)
+	return st
 }
 
 // addInstances appends instances (with priorities) to the run state;
@@ -110,12 +339,13 @@ func (st *runState) addInstances(insts []workload.Instance, prios []int) {
 }
 
 // checkpointState captures everything a failed incremental run must
-// roll back: whole copies of the slices run() mutates in place, and
-// lengths of the append-only per-instance arrays.
+// roll back: whole copies of the state run() mutates in place, and
+// lengths of the append-only per-instance arrays. The event heap is
+// not captured — every run reseeds it.
 type checkpointState struct {
 	free, busy []int64
 	order      []int
-	running    []runSlot
+	ledger     ledger
 	nInsts     int // nextLayer/ready/prio length
 	nAssign    int
 	remaining  int
@@ -129,7 +359,7 @@ func (st *runState) checkpoint() checkpointState {
 		free:      append([]int64(nil), st.free...),
 		busy:      append([]int64(nil), st.busy...),
 		order:     append([]int(nil), st.order...),
-		running:   append([]runSlot(nil), st.running...),
+		ledger:    st.ledger.clone(),
 		nInsts:    len(st.nextLayer),
 		nAssign:   len(st.assignments),
 		remaining: st.remaining,
@@ -143,10 +373,13 @@ func (st *runState) restore(c checkpointState) {
 	st.free = c.free
 	st.busy = c.busy
 	st.order = c.order
-	st.running = c.running
+	st.ledger = c.ledger
 	st.nextLayer = st.nextLayer[:c.nInsts]
 	st.ready = st.ready[:c.nInsts]
 	st.prio = st.prio[:c.nInsts]
+	if len(st.rows) > c.nInsts {
+		st.rows = st.rows[:c.nInsts]
+	}
 	st.assignments = st.assignments[:c.nAssign]
 	st.remaining = c.remaining
 	st.energyPJ = c.energyPJ
@@ -166,11 +399,6 @@ func (st *runState) retire(insts []workload.Instance) {
 	st.order = active
 }
 
-type runSlot struct {
-	start, end int64
-	occ        int64
-}
-
 // assign is the whole-workload entry point of Fig. 8: it builds fresh
 // run state for every instance and drains it with run.
 func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error) {
@@ -178,12 +406,18 @@ func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error
 	if len(s.opts.Priorities) > 0 && len(s.opts.Priorities) != n {
 		return nil, fmt.Errorf("sched: %d priorities for %d instances", len(s.opts.Priorities), n)
 	}
-	st := &runState{
-		free: make([]int64, len(h.Subs)),
-		busy: make([]int64, len(h.Subs)),
-	}
+	st := newRunState(len(h.Subs))
+	st.costs = s.tableFor(h)
+	// Pre-size the per-instance arrays and the scratch structures so
+	// the drain below never grows a slice.
+	st.nextLayer = make([]int, 0, n)
+	st.ready = make([]int64, 0, n)
+	st.order = make([]int, 0, n)
+	st.prio = make([]int, 0, n)
+	st.rows = make([][]*maestro.Cost, 0, n)
 	st.addInstances(w.Instances, s.opts.Priorities)
 	st.assignments = make([]Assignment, 0, st.remaining)
+	st.ledger.grow(st.remaining)
 
 	if err := s.run(h, w.Instances, st, 0, true); err != nil {
 		return nil, err
@@ -197,6 +431,21 @@ func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error
 // with the clock (valid only when no later run may revisit earlier
 // cycles, i.e. the batch path).
 func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, cycle int64, advancePrune bool) error {
+	// Resolve each (new) instance's cost row up front: the loop body
+	// then reads costs by array index only.
+	for i := len(st.rows); i < len(insts); i++ {
+		row, ok := st.costs[insts[i].Model]
+		if !ok {
+			row = s.costRow(h, st.costs, insts[i].Model)
+		}
+		st.rows = append(st.rows, row)
+	}
+	// The heap peaks at the seed entries plus two pushes per commit;
+	// reserving that up front keeps the drain reallocation-free.
+	if need := len(st.free) + len(st.order) + 2*st.remaining; cap(st.events) < need {
+		st.events = make([]event, 0, need)
+	}
+	st.seedEvents()
 	for st.remaining > 0 {
 		if advancePrune && cycle > st.prune {
 			st.prune = cycle
@@ -223,7 +472,7 @@ func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, c
 		}
 		// Failed to schedule anything at this cycle: defer execution to
 		// the next completion event (Fig. 8's nextLayerCompletionTime).
-		next, ok := s.nextEvent(st, cycle)
+		next, ok := st.nextEvent(cycle)
 		if !ok {
 			return fmt.Errorf("sched: no schedulable layer and no pending event at cycle %d (memory deadlock?)", cycle)
 		}
@@ -237,70 +486,59 @@ func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, c
 // the memory and load-balancing conditions (falling back to the best
 // memory-feasible candidate when balancing rejects all).
 func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runState, cycle int64, inst, li int) bool {
-	layer := &insts[inst].Model.Layers[li]
+	row := st.rows[inst]
+	nAcc := len(h.Subs)
 
-	type cand struct {
-		acc    int
-		cost   maestro.Cost
-		metric float64
-		finish int64
-	}
-	cands := make([]cand, len(h.Subs))
-	for a := range h.Subs {
-		c := s.cache.Estimate(layer, h.Subs[a].Style, h.Subs[a].HW)
-		cands[a] = cand{
-			acc: a, cost: c,
-			metric: s.opts.Metric.value(c),
-			finish: max64(cycle, st.free[a]) + c.Cycles,
-		}
-	}
 	// Dataflow-preference-based assignment by default; when the load
 	// across sub-accelerators is unbalanced, the feedback loop instead
 	// ranks by earliest completion time — the alternative assignment
 	// that reduces overall cost (§IV-D's global load-balancing).
-	if s.imbalanced(st, cycle) {
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].finish != cands[j].finish {
-				return cands[i].finish < cands[j].finish
-			}
-			if cands[i].metric != cands[j].metric {
-				return cands[i].metric < cands[j].metric
-			}
-			return cands[i].acc < cands[j].acc
-		})
-	} else {
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].metric != cands[j].metric {
-				return cands[i].metric < cands[j].metric
-			}
-			return cands[i].acc < cands[j].acc
-		})
+	byFinish := s.imbalanced(st, cycle)
+
+	if cap(st.cands) < nAcc {
+		st.cands = make([]candidate, 0, nAcc)
+	}
+	cands := st.cands[:0]
+	for a := 0; a < nAcc; a++ {
+		c := row[li*nAcc+a]
+		nc := candidate{
+			acc: a, cost: c,
+			metric: s.opts.Metric.value(c),
+			finish: max(cycle, st.free[a]) + c.Cycles,
+		}
+		// Insertion-ordered ranking into the scratch buffer:
+		// sub-accelerator counts are tiny, so this replaces a
+		// sort.Slice call (and its per-layer closure allocations).
+		i := len(cands)
+		cands = append(cands, nc)
+		for i > 0 && nc.rankedBefore(&cands[i-1], byFinish) {
+			cands[i] = cands[i-1]
+			i--
+		}
+		cands[i] = nc
 	}
 
-	commit := func(c cand) bool {
-		startT := max64(cycle, st.free[c.acc])
+	for i := range cands {
+		c := &cands[i]
+		startT := max(cycle, st.free[c.acc])
 		endT := startT + c.cost.Cycles
 		if !s.memOK(h, st, startT, endT, c.cost.OccupancyBytes) {
-			return false
+			continue
 		}
 		st.free[c.acc] = endT
 		st.busy[c.acc] += c.cost.Cycles
 		st.ready[inst] = endT
 		st.nextLayer[inst]++
 		st.remaining--
-		st.energyPJ += c.cost.EnergyPJ()
-		st.running = append(st.running, runSlot{start: startT, end: endT, occ: c.cost.OccupancyBytes})
+		st.energyPJ += c.cost.Energy.Total()
+		st.ledger.add(c.acc, runSlot{start: startT, end: endT, occ: c.cost.OccupancyBytes})
+		st.pushEvent(endT, c.acc, true)
+		st.pushEvent(endT, inst, false)
 		st.assignments = append(st.assignments, Assignment{
 			Instance: inst, Layer: li, SubAcc: c.acc,
-			Start: startT, End: endT, Cost: c.cost,
+			Start: startT, End: endT, Cost: *c.cost,
 		})
 		return true
-	}
-
-	for _, c := range cands {
-		if commit(c) {
-			return true
-		}
 	}
 	return false // no memory-feasible sub-accelerator at this cycle; defer
 }
@@ -342,26 +580,17 @@ func (s *Scheduler) imbalanced(st *runState, cycle int64) bool {
 // memOK checks the global-memory-size condition: the sum of buffer
 // occupancies of all assignments whose execution interval truly
 // overlaps the candidate's [startT, endT), plus the new layer's
-// occupancy, must fit the shared global buffer. Slots are pruned by
-// the monotonically-advancing prune floor (startT of a later commit
-// may be smaller than a queued earlier one, so pruning by startT
-// would undercount; in the incremental path the floor additionally
-// lags the loop cycle, because future admissions may place work
-// before where this run's clock ended).
+// occupancy, must fit the shared global buffer. The ledger prunes
+// incrementally by the monotonically-advancing prune floor (in the
+// incremental path the floor lags the loop cycle, because future
+// admissions may place work before where this run's clock ended).
 func (s *Scheduler) memOK(h *accel.HDA, st *runState, startT, endT, occ int64) bool {
-	live := st.running[:0]
-	var sum int64
-	for _, r := range st.running {
-		if r.end <= st.prune {
-			continue // can never overlap future work: prune
-		}
-		live = append(live, r)
-		if r.end > startT && r.start < endT {
-			sum += r.occ
-		}
+	sum := occ
+	for a := range st.ledger.slots {
+		st.ledger.prune(a, st.prune)
+		sum += st.ledger.overlap(a, startT, endT)
 	}
-	st.running = live
-	return sum+occ <= h.Class.GlobalBufBytes
+	return sum <= h.Class.GlobalBufBytes
 }
 
 // rearrange applies the layer-ordering strategy after a successful
@@ -391,25 +620,83 @@ func (s *Scheduler) rearrange(st *runState, inst int) {
 	st.order[end] = inst
 }
 
-// nextEvent returns the earliest completion or readiness event after
-// the given cycle.
-func (s *Scheduler) nextEvent(st *runState, cycle int64) (int64, bool) {
-	var next int64
-	found := false
-	consider := func(t int64) {
-		if t > cycle && (!found || t < next) {
-			next, found = t, true
-		}
+// seedEvents rebuilds the event heap from the live timeline state:
+// one completion entry per sub-accelerator and one readiness entry
+// per visitable instance. run() reseeds once per drain — within a run
+// the scheduling clock is monotone (so pop-side discards are final),
+// but a later incremental Extend may restart the clock earlier, which
+// a stale heap must not survive.
+func (st *runState) seedEvents() {
+	st.events = st.events[:0]
+	for a, t := range st.free {
+		st.pushEvent(t, a, true)
 	}
-	for _, t := range st.free {
-		consider(t)
-	}
-	// Only unfinished instances can produce readiness events; going
-	// through the visitation order keeps this O(active) after retire.
 	for _, inst := range st.order {
-		consider(st.ready[inst])
+		st.pushEvent(st.ready[inst], inst, false)
 	}
-	return next, found
+}
+
+// pushEvent sifts a new event into the min-heap.
+func (st *runState) pushEvent(t int64, idx int, free bool) {
+	ev := append(st.events, event{t: t, idx: int32(idx), free: free})
+	i := len(ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if ev[p].t <= ev[i].t {
+			break
+		}
+		ev[p], ev[i] = ev[i], ev[p]
+		i = p
+	}
+	st.events = ev
+}
+
+// popEvent removes and returns the minimum event.
+func (st *runState) popEvent() event {
+	ev := st.events
+	top := ev[0]
+	n := len(ev) - 1
+	ev[0] = ev[n]
+	ev = ev[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && ev[r].t < ev[c].t {
+			c = r
+		}
+		if ev[i].t <= ev[c].t {
+			break
+		}
+		ev[i], ev[c] = ev[c], ev[i]
+		i = c
+	}
+	st.events = ev
+	return top
+}
+
+// nextEvent returns the earliest completion or readiness event after
+// the given cycle. Entries that no longer match the live free/ready
+// value (superseded by a later commit) or that sit at or before the
+// clock are discarded as they surface — within a run the clock is
+// monotone, so neither kind can become relevant again.
+func (st *runState) nextEvent(cycle int64) (int64, bool) {
+	for len(st.events) > 0 {
+		e := st.events[0]
+		var live int64
+		if e.free {
+			live = st.free[e.idx]
+		} else {
+			live = st.ready[e.idx]
+		}
+		st.popEvent()
+		if e.t != live || e.t <= cycle {
+			continue
+		}
+		return e.t, true
+	}
+	return 0, false
 }
 
 // finalize converts run state into a Schedule with aggregate metrics.
@@ -431,24 +718,28 @@ func (s *Scheduler) finalize(h *accel.HDA, w *workload.Workload, st *runState) *
 }
 
 // peakOccupancy sweeps assignment intervals and returns the maximum
-// concurrent global-buffer occupancy.
+// concurrent global-buffer occupancy. Events sort by an encoded key
+// (cycle << 1, releases before claims at the same cycle) through the
+// generic sort, avoiding sort.Slice's reflection-based swaps.
 func peakOccupancy(as []Assignment) int64 {
 	type ev struct {
-		t   int64
+		key int64 // t<<1 | kind: release (end) = 0, claim (start) = 1
 		d   int64
-		end bool
 	}
 	evs := make([]ev, 0, 2*len(as))
 	for i := range as {
 		evs = append(evs,
-			ev{t: as[i].Start, d: as[i].Cost.OccupancyBytes},
-			ev{t: as[i].End, d: -as[i].Cost.OccupancyBytes, end: true})
+			ev{key: as[i].Start<<1 | 1, d: as[i].Cost.OccupancyBytes},
+			ev{key: as[i].End << 1, d: -as[i].Cost.OccupancyBytes})
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
-			return evs[i].t < evs[j].t
+	slices.SortFunc(evs, func(a, b ev) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
 		}
-		return evs[i].end && !evs[j].end // process releases before claims
+		return 0
 	})
 	var cur, peak int64
 	for _, e := range evs {
@@ -458,11 +749,4 @@ func peakOccupancy(as []Assignment) int64 {
 		}
 	}
 	return peak
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -344,7 +344,7 @@ func (e *Engine) feasible(model *dnn.Model) error {
 	for li := range model.Layers {
 		fits := false
 		for _, sub := range e.hda.Subs {
-			if e.cache.Estimate(&model.Layers[li], sub.Style, sub.HW).OccupancyBytes <= buf {
+			if e.cache.EstimateRef(&model.Layers[li], sub.Style, sub.HW).OccupancyBytes <= buf {
 				fits = true
 				break
 			}
