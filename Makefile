@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json vet
+.PHONY: build test race bench bench-json vet smoke
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,19 @@ test:
 
 # race runs the concurrency-sensitive packages under the race detector
 # (the sharded cost cache, the scheduler, the DSE worker pool, the
-# serving engine).
+# serving engine, the fleet dispatcher).
 race:
-	$(GO) test -race ./internal/maestro ./internal/sched ./internal/dse ./internal/serve
+	$(GO) test -race ./internal/maestro ./internal/sched ./internal/dse ./internal/serve ./internal/fleet
+
+# smoke builds and runs the end-to-end examples that exercise the
+# serving stack (fast, deterministic; CI runs this per PR).
+smoke:
+	$(GO) run ./examples/fleet
 
 # bench runs the full benchmark suite once per benchmark (short form:
 # the perf trajectory gate wants per-PR numbers, not nanosecond-grade
-# stability) and writes the machine-readable BENCH_PR2.json.
-BENCH_OUT ?= BENCH_PR2.json
+# stability) and writes the machine-readable BENCH_PR3.json.
+BENCH_OUT ?= BENCH_PR3.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out

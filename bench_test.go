@@ -324,6 +324,95 @@ func BenchmarkServingThroughput(b *testing.B) {
 	b.ReportMetric(float64(served)/wall.Seconds(), "wall-req/s")
 }
 
+// BenchmarkFleetThroughput measures the multi-HDA serving tier: a
+// 4-replica cost-aware fleet serving a skewed heavy/light request mix
+// (resnet50 and mobilenetv1 alternating 1:1) through the full
+// dispatch → submit → incremental-schedule → aggregate-stats
+// pipeline, every replica sharing one cost cache. Before the timed
+// loop it runs the single-engine baseline and the round-robin policy
+// once and reports the acceptance metrics:
+//
+//	scaling-x             4-replica / 1-engine simulated throughput
+//	rr-p99-cycles         heavy-tenant p99 under round-robin
+//	costaware-p99-cycles  heavy-tenant p99 under cost-aware ETA routing
+//
+// The timed region reports the fleet's wall-clock admission rate
+// (wall-req/s) and simulated serving throughput (sim-req/s).
+func BenchmarkFleetThroughput(b *testing.B) {
+	cache := NewCostCache(DefaultEnergyTable())
+	hda, err := NewHDA("bench-fleet", Edge, []Partition{
+		{Style: NVDLA, PEs: 128, BWGBps: 4},
+		{Style: ShiDiannao, PEs: 896, BWGBps: 12},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pairs = 24
+	run := func(replicas int, policy FleetPolicy) FleetStats {
+		opts := DefaultFleetOptions()
+		opts.Policy = policy
+		f, err := NewReplicatedFleet(cache, hda, replicas, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tickets := make([]*FleetTicket, 0, 2*pairs)
+		for i := 0; i < pairs; i++ {
+			for _, rm := range [][2]string{{"heavy", "resnet50"}, {"light", "mobilenetv1"}} {
+				t, err := f.Submit(InferenceRequest{Tenant: rm[0], Model: rm[1], ArrivalCycle: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tickets = append(tickets, t)
+			}
+		}
+		for _, t := range tickets {
+			if _, err := t.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stats, err := f.Drain(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Completed != 2*pairs {
+			b.Fatalf("completed %d of %d", stats.Completed, 2*pairs)
+		}
+		return stats
+	}
+	heavyP99 := func(st FleetStats) float64 {
+		for _, ts := range st.Tenants {
+			if ts.Tenant == "heavy" {
+				return float64(ts.P99LatencyCycles)
+			}
+		}
+		b.Fatal("heavy tenant missing")
+		return 0
+	}
+
+	// Acceptance runs (also warm the shared cost cache); reported
+	// after ResetTimer, which clears earlier metrics.
+	single := run(1, RouteCostAware)
+	quad := run(4, RouteCostAware)
+	rr := run(4, RouteRoundRobin)
+
+	b.ResetTimer()
+	b.ReportMetric(quad.SimThroughputRPS/single.SimThroughputRPS, "scaling-x")
+	b.ReportMetric(heavyP99(rr), "rr-p99-cycles")
+	b.ReportMetric(heavyP99(quad), "costaware-p99-cycles")
+	var served int64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		iterStart := time.Now()
+		stats := run(4, RouteCostAware)
+		wall += time.Since(iterStart)
+		served += stats.Completed
+		if i == 0 {
+			b.ReportMetric(stats.SimThroughputRPS, "sim-req/s")
+		}
+	}
+	b.ReportMetric(float64(served)/wall.Seconds(), "wall-req/s")
+}
+
 // BenchmarkDSE measures one exhaustive 2-way partition search (the
 // Figure 6 / Table V primitive) at coarse granularity.
 func BenchmarkDSE(b *testing.B) {

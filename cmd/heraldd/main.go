@@ -6,14 +6,23 @@
 // extends the layer schedule incrementally, and reports per-request
 // latency/SLA statistics plus aggregate throughput.
 //
+// With -replicas N > 1 the daemon serves a *fleet*: N replica engines
+// behind a routing policy (-fleet-policy round-robin,
+// least-outstanding or cost-aware). -fleet-topk makes the fleet
+// heterogeneous: the replicas take the top-K design points of the
+// bootstrap DSE instead of K copies of the best.
+//
 // Examples:
 //
 //	go run ./cmd/heraldd -addr :8080 -class edge -bootstrap arvr-a
 //	go run ./cmd/heraldd -class mobile -styles nvdla,shi-diannao \
 //	    -pe-units 8 -bw-units 4 -objective latency
 //	go run ./cmd/heraldd -class edge -partition "nvdla:512:8,shi-diannao:512:8"
+//	go run ./cmd/heraldd -class edge -replicas 4 -fleet-policy cost-aware
+//	go run ./cmd/heraldd -class edge -replicas 3 -fleet-topk
 //
-// API (see internal/serve):
+// API (see internal/serve; fleets serve internal/fleet's API, which
+// adds GET /v1/fleet/stats and /v1/replicas/{i}/... delegation):
 //
 //	POST /v1/requests      {"tenant":"arvr","model":"unet","wait":true}
 //	GET  /v1/requests/{id}
@@ -45,61 +54,118 @@ func main() {
 	bootstrap := flag.String("bootstrap", "arvr-a", "bootstrap workload the DSE optimizes the HDA for: arvr-a, arvr-b, mlperf")
 	partitionFlag := flag.String("partition", "", "skip the DSE; serve on this fixed partition (style:pes:bw,...)")
 	clockGHz := flag.Float64("clock-ghz", 1.0, "accelerator clock for cycle<->seconds stats")
-	maxQueue := flag.Int("max-queue", 1024, "per-tenant pending-queue capacity")
+	maxQueue := flag.Int("max-queue", 1024, "per-tenant pending-queue capacity (per replica)")
 	maxBatch := flag.Int("max-batch", 8, "max admissions coalesced per scheduling round")
+	replicas := flag.Int("replicas", 1, "replica serving engines; > 1 serves a fleet")
+	fleetPolicy := flag.String("fleet-policy", "cost-aware", "fleet routing policy: round-robin, least-outstanding, cost-aware")
+	fleetTopK := flag.Bool("fleet-topk", false, "heterogeneous fleet: replicas take the top-K bootstrap-DSE points instead of K copies of the best")
 	flag.Parse()
 
 	class, err := herald.ParseClass(*className)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *replicas < 1 {
+		log.Fatalf("-replicas must be >= 1 (got %d)", *replicas)
+	}
 	cache := herald.NewCostCache(herald.DefaultEnergyTable())
 
-	var hda *herald.HDA
+	var hdas []*herald.HDA
 	if *partitionFlag != "" {
+		if *fleetTopK {
+			log.Fatal("-fleet-topk needs the bootstrap DSE; it cannot be combined with -partition")
+		}
 		parts, err := parsePartition(*partitionFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if hda, err = herald.NewHDA("heraldd", class, parts); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("serving on fixed partition %v", hda)
-	} else {
-		hda, err = bootstrapHDA(cache, class, *stylesFlag, *peUnits, *bwUnits, *strategyFlag, *objectiveFlag, *bootstrap)
+		hda, err := herald.NewHDA("heraldd", class, parts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		log.Printf("serving on fixed partition %v", hda)
+		hdas = repeatHDA(hda, *replicas)
+	} else {
+		res, objective, err := bootstrapSearch(cache, class, *stylesFlag, *peUnits, *bwUnits, *strategyFlag, *objectiveFlag, *bootstrap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bootstrap DSE: %d points, best (%s) %v", len(res.Points), *objectiveFlag, res.Best.HDA)
+		if *fleetTopK && *replicas > 1 {
+			hdas = topKHDAs(res, objective, *replicas)
+		} else {
+			hdas = repeatHDA(res.Best.HDA, *replicas)
+		}
 	}
 
-	opts := herald.DefaultServingOptions()
-	opts.ClockGHz = *clockGHz
-	opts.MaxQueue = *maxQueue
-	opts.MaxBatch = *maxBatch
-	engine, err := herald.NewServingEngine(cache, hda, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	srvOpts := herald.DefaultServingOptions()
+	srvOpts.ClockGHz = *clockGHz
+	srvOpts.MaxQueue = *maxQueue
+	srvOpts.MaxBatch = *maxBatch
 
-	log.Printf("heraldd listening on %s (HDA %v, clock %g GHz)", *addr, hda, *clockGHz)
-	log.Fatal(http.ListenAndServe(*addr, engine.Handler()))
+	var handler http.Handler
+	if *replicas == 1 {
+		engine, err := herald.NewServingEngine(cache, hdas[0], srvOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = engine.Handler()
+		log.Printf("heraldd listening on %s (HDA %v, clock %g GHz)", *addr, hdas[0], *clockGHz)
+	} else {
+		policy, err := herald.ParseFleetPolicy(*fleetPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fl, err := herald.NewFleet(cache, hdas, herald.FleetOptions{Serve: srvOpts, Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = fl.Handler()
+		for i, h := range hdas {
+			log.Printf("  replica %d: %v", i, h)
+		}
+		log.Printf("heraldd fleet listening on %s (%d replicas, %s routing, clock %g GHz)",
+			*addr, *replicas, policy, *clockGHz)
+	}
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
-// bootstrapHDA runs the deploy-time DSE: search the partition space
-// for the bootstrap workload and fix the best point as the serving
-// substrate.
-func bootstrapHDA(cache *herald.CostCache, class herald.Class, stylesCSV string, peUnits, bwUnits int, strategy, objective, bootstrap string) (*herald.HDA, error) {
+// repeatHDA builds a homogeneous replica list.
+func repeatHDA(hda *herald.HDA, n int) []*herald.HDA {
+	out := make([]*herald.HDA, n)
+	for i := range out {
+		out[i] = hda
+	}
+	return out
+}
+
+// topKHDAs takes the fleet's replica substrates from the bootstrap
+// search's top-K design points (cycling when the cloud is smaller
+// than the fleet).
+func topKHDAs(res *herald.SearchResult, objective herald.SearchObjective, n int) []*herald.HDA {
+	top := res.TopK(objective, n)
+	out := make([]*herald.HDA, n)
+	for i := range out {
+		out[i] = top[i%len(top)].HDA
+	}
+	return out
+}
+
+// bootstrapSearch runs the deploy-time DSE over the bootstrap
+// workload; the caller picks the best point (homogeneous serving) or
+// the top-K (heterogeneous fleet).
+func bootstrapSearch(cache *herald.CostCache, class herald.Class, stylesCSV string, peUnits, bwUnits int, strategy, objective, bootstrap string) (*herald.SearchResult, herald.SearchObjective, error) {
 	var styles []herald.Style
 	for _, s := range strings.Split(stylesCSV, ",") {
 		st, err := herald.ParseStyle(strings.TrimSpace(s))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		styles = append(styles, st)
 	}
 	w, err := bootstrapWorkload(bootstrap)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	opts := herald.DefaultSearchOptions()
 	switch strategy {
@@ -110,7 +176,7 @@ func bootstrapHDA(cache *herald.CostCache, class herald.Class, stylesCSV string,
 	case "random":
 		opts.Strategy = herald.Random
 	default:
-		return nil, fmt.Errorf("unknown strategy %q", strategy)
+		return nil, 0, fmt.Errorf("unknown strategy %q", strategy)
 	}
 	switch objective {
 	case "edp":
@@ -120,16 +186,14 @@ func bootstrapHDA(cache *herald.CostCache, class herald.Class, stylesCSV string,
 	case "energy":
 		opts.Objective = herald.ObjectiveEnergy
 	default:
-		return nil, fmt.Errorf("unknown objective %q", objective)
+		return nil, 0, fmt.Errorf("unknown objective %q", objective)
 	}
 	sp := herald.SearchSpace{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
 	res, err := herald.Search(cache, sp, w, opts)
 	if err != nil {
-		return nil, fmt.Errorf("bootstrap DSE: %w", err)
+		return nil, 0, fmt.Errorf("bootstrap DSE: %w", err)
 	}
-	log.Printf("bootstrap DSE: %d points on %s, best (%s) %v",
-		len(res.Points), w.Name, objective, res.Best.HDA)
-	return res.Best.HDA, nil
+	return res, opts.Objective, nil
 }
 
 func bootstrapWorkload(name string) (*herald.Workload, error) {

@@ -38,14 +38,18 @@ func TestParsePartition(t *testing.T) {
 	}
 }
 
-// TestBootstrapHDA runs the deploy-time DSE at coarse granularity and
-// checks the chosen point is a servable HDA for the class.
-func TestBootstrapHDA(t *testing.T) {
+// TestBootstrapSearch runs the deploy-time DSE at coarse granularity
+// and checks the best point is a servable HDA for the class.
+func TestBootstrapSearch(t *testing.T) {
 	cache := herald.NewCostCache(herald.DefaultEnergyTable())
-	hda, err := bootstrapHDA(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "latency", "arvr-a")
+	res, objective, err := bootstrapSearch(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "latency", "arvr-a")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if objective != herald.ObjectiveLatency {
+		t.Errorf("objective %v, want latency", objective)
+	}
+	hda := res.Best.HDA
 	if hda.NumSubs() != 2 || hda.Class.Name != "edge" {
 		t.Fatalf("bootstrap HDA %v", hda)
 	}
@@ -59,11 +63,42 @@ func TestBootstrapHDA(t *testing.T) {
 		if strategy == "exhaustive" && objective == "edp" && wl == "arvr-a" {
 			continue // the valid combination
 		}
-		if _, err := bootstrapHDA(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, strategy, objective, wl); err == nil {
-			t.Errorf("bootstrapHDA(%s,%s,%s) accepted", strategy, objective, wl)
+		if _, _, err := bootstrapSearch(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, strategy, objective, wl); err == nil {
+			t.Errorf("bootstrapSearch(%s,%s,%s) accepted", strategy, objective, wl)
 		}
 	}
-	if _, err := bootstrapHDA(cache, herald.Edge, "nvdla,warp", 4, 2, "exhaustive", "edp", "arvr-a"); err == nil {
+	if _, _, err := bootstrapSearch(cache, herald.Edge, "nvdla,warp", 4, 2, "exhaustive", "edp", "arvr-a"); err == nil {
 		t.Error("bad style accepted")
+	}
+}
+
+// TestTopKHDAs: heterogeneous fleets take their substrates from the
+// bootstrap search's top-K points, cycling when the cloud is small.
+func TestTopKHDAs(t *testing.T) {
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+	res, objective, err := bootstrapSearch(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "latency", "arvr-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdas := topKHDAs(res, objective, 3)
+	if len(hdas) != 3 {
+		t.Fatalf("%d HDAs, want 3", len(hdas))
+	}
+	if hdas[0] != res.Best.HDA {
+		t.Errorf("replica 0 should serve the best point, got %v", hdas[0])
+	}
+	if hdas[0] == hdas[1] {
+		t.Errorf("top-K fleet is homogeneous: %v", hdas)
+	}
+	// A fleet larger than the design cloud cycles through the top-K.
+	many := topKHDAs(res, objective, len(res.Points)+2)
+	if many[len(res.Points)] != many[0] {
+		t.Error("oversized fleet does not cycle through the cloud")
+	}
+
+	// repeatHDA builds the homogeneous list.
+	rep := repeatHDA(res.Best.HDA, 4)
+	if len(rep) != 4 || rep[0] != rep[3] || rep[0] != res.Best.HDA {
+		t.Errorf("repeatHDA: %v", rep)
 	}
 }

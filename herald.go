@@ -36,6 +36,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/dse"
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/maestro"
 	"repro/internal/refsim"
 	"repro/internal/sched"
@@ -336,6 +337,16 @@ type (
 	TenantStats = serve.TenantStats
 )
 
+// RequestStatus is a serving request's lifecycle state.
+type RequestStatus = serve.Status
+
+// Request lifecycle statuses.
+const (
+	StatusQueued = serve.StatusQueued
+	StatusDone   = serve.StatusDone
+	StatusFailed = serve.StatusFailed
+)
+
 // Incremental scheduling (the serving engine's substrate).
 type (
 	// IncrementalSchedule extends a committed schedule admission by
@@ -363,6 +374,58 @@ func NewServingEngine(cache *CostCache, hda *HDA, opts ServingOptions) (*Serving
 // DefaultServingOptions returns the serving-engine defaults over
 // Herald's standard scheduler configuration.
 func DefaultServingOptions() ServingOptions { return serve.DefaultOptions() }
+
+// EngineLoad is a point-in-time serving-engine load probe (pending
+// work, committed backlog) for dispatchers and monitoring.
+type EngineLoad = serve.Load
+
+// --- Fleet serving (internal/fleet) ---
+
+// Multi-HDA fleet serving: N replica engines behind a routing policy.
+type (
+	// Fleet dispatches inference requests across replica serving
+	// engines (homogeneous, or heterogeneous from DSE top-K points).
+	Fleet = fleet.Fleet
+	// FleetOptions configures a fleet (per-replica engine options +
+	// routing policy).
+	FleetOptions = fleet.Options
+	// FleetPolicy selects how submissions are routed across replicas.
+	FleetPolicy = fleet.Policy
+	// FleetStats is the fleet-wide statistics snapshot (per-replica
+	// breakdown + tenants merged across replicas).
+	FleetStats = fleet.Stats
+	// FleetReplicaStats is one replica's slice of the fleet stats.
+	FleetReplicaStats = fleet.ReplicaStats
+	// FleetTicket tracks a dispatched submission and its replica.
+	FleetTicket = fleet.Ticket
+)
+
+// Fleet routing policies.
+const (
+	RouteRoundRobin       = fleet.RoundRobin
+	RouteLeastOutstanding = fleet.LeastOutstanding
+	RouteCostAware        = fleet.CostAware
+)
+
+// NewFleet starts one serving engine per HDA (heterogeneous fleets
+// pass dse TopK points), all sharing one cost cache.
+func NewFleet(cache *CostCache, hdas []*HDA, opts FleetOptions) (*Fleet, error) {
+	return fleet.New(cache, hdas, opts)
+}
+
+// NewReplicatedFleet starts a homogeneous fleet of n replicas of one
+// HDA.
+func NewReplicatedFleet(cache *CostCache, hda *HDA, n int, opts FleetOptions) (*Fleet, error) {
+	return fleet.Replicated(cache, hda, n, opts)
+}
+
+// DefaultFleetOptions returns a cost-aware fleet over the
+// serving-engine defaults.
+func DefaultFleetOptions() FleetOptions { return fleet.DefaultOptions() }
+
+// ParseFleetPolicy resolves a routing policy by name (round-robin,
+// least-outstanding, cost-aware).
+func ParseFleetPolicy(name string) (FleetPolicy, error) { return fleet.ParsePolicy(name) }
 
 // Stream merges periodic per-model request streams (with seeded
 // jitter) into one cycle-ordered arrival sequence.

@@ -277,6 +277,34 @@ func Search(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options) 
 	return res, nil
 }
 
+// TopK returns the k best evaluated points under the objective, best
+// first, breaking ties toward the earlier enumeration index (the same
+// convention as Result.Best, so TopK(o, 1)[0] == Best when o is the
+// search objective). k beyond the design cloud returns every point;
+// k <= 0 returns nil. Heterogeneous serving fleets take their replica
+// HDAs from this list: the runner-up partitions trade the bootstrap
+// workload's optimum for dataflow diversity.
+func (r *Result) TopK(o Objective, k int) []Point {
+	if k <= 0 || len(r.Points) == 0 {
+		return nil
+	}
+	if k > len(r.Points) {
+		k = len(r.Points)
+	}
+	idx := make([]int, len(r.Points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return betterPoint(o, r.Points[idx[a]], idx[a], r.Points[idx[b]], idx[b])
+	})
+	out := make([]Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.Points[idx[i]]
+	}
+	return out
+}
+
 // betterPoint reports whether point p (at enumeration index pi) beats
 // q (at qi) under the objective, breaking ties toward the earlier
 // index so parallel searches reproduce the sequential choice.

@@ -1,0 +1,457 @@
+// Package fleet is Herald's multi-HDA serving tier: N replica serving
+// engines — homogeneous replicas of one DSE-picked HDA, or
+// heterogeneous replicas taken from the top-K DSE design points
+// (dse.Result.TopK) — behind a dispatcher with pluggable routing
+// policies. One serve.Engine over one fixed HDA schedules at most one
+// accelerator's worth of work; a fleet scales serving throughput
+// near-linearly by running independent engines over a shared
+// maestro.Cache, so cost-model results computed by any replica are
+// reused by every other.
+//
+// Routing policies:
+//
+//   - RoundRobin cycles through replicas in dispatch order.
+//   - LeastOutstanding probes every engine's live load (serve.Load)
+//     and dispatches to the replica with the smallest committed
+//     backlog.
+//   - CostAware estimates each replica's completion time (ETA) for
+//     the candidate model — the dispatcher-side horizon of work
+//     already routed there, plus the model's best-case busy cycles on
+//     that replica's sub-accelerators from the shared cost cache —
+//     and picks the minimum. On heterogeneous fleets this routes each
+//     model toward the replica whose dataflow mix runs it fastest;
+//     on homogeneous fleets it is work-aware load balancing (a skewed
+//     heavy/light request mix defeats round-robin's aliasing).
+//
+// RoundRobin and CostAware dispatch decisions are serialized and
+// depend only on the submission sequence (never on wall-clock or
+// goroutine timing), so a fixed request sequence always produces the
+// same replica assignment — replayable capacity planning.
+// LeastOutstanding is the exception: it probes live engine state, so
+// its assignments depend on how far each engine's scheduling
+// goroutine has progressed.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/dnn"
+	"repro/internal/maestro"
+	"repro/internal/serve"
+)
+
+// Policy selects how submissions are routed across replicas.
+type Policy int
+
+const (
+	// RoundRobin dispatches to replicas cyclically in submission order.
+	RoundRobin Policy = iota
+	// LeastOutstanding dispatches to the replica with the least
+	// committed work (live engine backlog probe).
+	LeastOutstanding
+	// CostAware dispatches to the replica with the earliest estimated
+	// completion time for the candidate model (default).
+	CostAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastOutstanding:
+		return "least-outstanding"
+	case CostAware:
+		return "cost-aware"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a routing policy by name.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "least-outstanding", "lo":
+		return LeastOutstanding, nil
+	case "cost-aware", "eta":
+		return CostAware, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-outstanding, cost-aware)", name)
+}
+
+// Options configures a fleet.
+type Options struct {
+	// Serve configures every replica engine identically.
+	Serve serve.Options
+	// Policy selects the routing policy (default CostAware).
+	Policy Policy
+}
+
+// DefaultOptions returns a cost-aware fleet over the serving-engine
+// defaults.
+func DefaultOptions() Options {
+	return Options{Serve: serve.DefaultOptions(), Policy: CostAware}
+}
+
+// replica is one serving engine plus the dispatcher's bookkeeping.
+type replica struct {
+	id     int
+	hda    *accel.HDA
+	engine *serve.Engine
+
+	// inflight counts requests dispatched but not yet finished,
+	// decremented by the engine's OnRequestDone hook (runs on the
+	// engine's scheduling goroutine, hence atomic).
+	inflight atomic.Int64
+
+	// Dispatcher state, under Fleet.mu.
+	dispatched int64
+	// horizon is the cost-aware ETA ledger: the estimated completion
+	// cycle of all work routed to this replica so far.
+	horizon int64
+	// est memoizes each model's best-case busy cycles on this HDA.
+	est map[*dnn.Model]int64
+}
+
+// estCycles returns the model's best-case busy cycles on this
+// replica's HDA — every layer on its cheapest sub-accelerator, via
+// the shared cost cache. Steady state is one map hit per dispatch.
+// Fleet.mu held.
+func (r *replica) estCycles(cache *maestro.Cache, model *dnn.Model) int64 {
+	if model == nil {
+		return 0
+	}
+	if v, ok := r.est[model]; ok {
+		return v
+	}
+	var total int64
+	for li := range model.Layers {
+		best := int64(math.MaxInt64)
+		for _, sub := range r.hda.Subs {
+			if c := cache.EstimateRef(&model.Layers[li], sub.Style, sub.HW).Cycles; c < best {
+				best = c
+			}
+		}
+		total += best
+	}
+	r.est[model] = total
+	return total
+}
+
+// Fleet dispatches inference requests across replica serving engines.
+type Fleet struct {
+	cache  *maestro.Cache
+	policy Policy
+	start  time.Time
+
+	replicas []*replica
+
+	// mu serializes dispatch decisions (and guards the dispatcher
+	// bookkeeping), which is what makes routing deterministic for a
+	// fixed submission sequence.
+	mu       sync.Mutex
+	rrNext   int
+	draining bool
+}
+
+// New starts one serving engine per HDA, all sharing one cost cache.
+// Passing the same *accel.HDA several times builds a homogeneous
+// fleet (see Replicated); distinct HDAs — e.g. the top-K points of a
+// dse.Search — build a heterogeneous one.
+func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) {
+	if cache == nil {
+		return nil, fmt.Errorf("fleet: nil cost cache")
+	}
+	if len(hdas) == 0 {
+		return nil, fmt.Errorf("fleet: needs at least one replica HDA")
+	}
+	if opts.Policy < RoundRobin || opts.Policy > CostAware {
+		return nil, fmt.Errorf("fleet: unknown policy %d", int(opts.Policy))
+	}
+	f := &Fleet{cache: cache, policy: opts.Policy, start: time.Now()}
+	for i, h := range hdas {
+		r := &replica{id: i, hda: h, est: make(map[*dnn.Model]int64)}
+		so := opts.Serve
+		userHook := so.OnRequestDone
+		so.OnRequestDone = func(rec serve.Record) {
+			r.inflight.Add(-1)
+			if userHook != nil {
+				userHook(rec)
+			}
+		}
+		eng, err := serve.New(cache, h, so)
+		if err != nil {
+			// Stop the engines already started before reporting.
+			for _, started := range f.replicas {
+				_, _ = started.engine.Drain(context.Background())
+			}
+			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		r.engine = eng
+		f.replicas = append(f.replicas, r)
+	}
+	return f, nil
+}
+
+// Replicated starts a homogeneous fleet: n replica engines of one HDA.
+func Replicated(cache *maestro.Cache, hda *accel.HDA, n int, opts Options) (*Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: needs n >= 1 replicas (got %d)", n)
+	}
+	hdas := make([]*accel.HDA, n)
+	for i := range hdas {
+		hdas[i] = hda
+	}
+	return New(cache, hdas, opts)
+}
+
+// Policy returns the fleet's routing policy.
+func (f *Fleet) Policy() Policy { return f.policy }
+
+// Size returns the number of replicas.
+func (f *Fleet) Size() int { return len(f.replicas) }
+
+// Engine returns replica i's serving engine (for per-replica probes
+// and HTTP delegation).
+func (f *Fleet) Engine(i int) *serve.Engine { return f.replicas[i].engine }
+
+// Ticket tracks a dispatched submission and the replica serving it.
+type Ticket struct {
+	*serve.Ticket
+	Replica int
+}
+
+// Submit routes one request to a replica under the fleet's policy and
+// admits it there. The returned ticket carries the serving replica's
+// index. Dispatch bookkeeping is only committed for accepted
+// submissions, so a rejected request (unknown model, full tenant
+// queue) does not skew future routing.
+func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
+	// Unknown models resolve to nil: the picked engine rejects and
+	// accounts them, and a zero cost estimate keeps routing sound.
+	model, _ := dnn.ByName(req.Model)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.draining {
+		return nil, serve.ErrDraining
+	}
+	r, eta := f.pickLocked(model, req.ArrivalCycle)
+	// Count the dispatch before the engine sees it: the engine's
+	// scheduling goroutine can finish the request (and decrement
+	// inflight via the hook) before Submit even returns.
+	r.inflight.Add(1)
+	ticket, err := r.engine.Submit(req)
+	if err != nil {
+		r.inflight.Add(-1)
+		return nil, err
+	}
+	r.dispatched++
+	if f.policy == CostAware {
+		r.horizon = eta
+	}
+	if f.policy == RoundRobin {
+		f.rrNext++
+	}
+	return &Ticket{Ticket: ticket, Replica: r.id}, nil
+}
+
+// pickLocked chooses the replica for one submission and, for the
+// cost-aware policy, returns the ETA to commit to its horizon. Ties
+// break toward the lower replica index. f.mu held.
+func (f *Fleet) pickLocked(model *dnn.Model, arrival int64) (*replica, int64) {
+	switch f.policy {
+	case LeastOutstanding:
+		best, bestLoad := f.replicas[0], f.replicas[0].engine.Load()
+		for _, r := range f.replicas[1:] {
+			ld := r.engine.Load()
+			if ld.BacklogCycles < bestLoad.BacklogCycles ||
+				(ld.BacklogCycles == bestLoad.BacklogCycles && ld.Pending < bestLoad.Pending) {
+				best, bestLoad = r, ld
+			}
+		}
+		return best, 0
+	case CostAware:
+		// "Now" arrivals (negative) estimate from cycle 0: the horizon
+		// term dominates and wall-clock must not enter dispatch (it
+		// would break replayability).
+		if arrival < 0 {
+			arrival = 0
+		}
+		var best *replica
+		var bestETA int64
+		for _, r := range f.replicas {
+			eta := max(r.horizon, arrival) + r.estCycles(f.cache, model)
+			if best == nil || eta < bestETA {
+				best, bestETA = r, eta
+			}
+		}
+		return best, bestETA
+	default: // RoundRobin
+		return f.replicas[f.rrNext%len(f.replicas)], 0
+	}
+}
+
+// ReplicaStats is one replica's slice of the fleet statistics.
+type ReplicaStats struct {
+	Replica    int    `json:"replica"`
+	HDA        string `json:"hda"`
+	Dispatched int64  `json:"dispatched"`
+	Inflight   int64  `json:"inflight"`
+	// HorizonCycles is the cost-aware dispatcher's completion-time
+	// estimate for everything routed here (0 under other policies).
+	HorizonCycles int64       `json:"horizon_cycles"`
+	Engine        serve.Stats `json:"engine"`
+}
+
+// Stats is a fleet-wide snapshot: per-replica engine statistics plus
+// tenant aggregates merged across replicas.
+type Stats struct {
+	Policy        string  `json:"policy"`
+	Replicas      int     `json:"replicas"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed,omitempty"`
+	Rejected  int64 `json:"rejected,omitempty"`
+	Pending   int64 `json:"pending"`
+
+	// MakespanCycles is the slowest replica's committed horizon —
+	// replicas run in parallel in simulated time, so fleet throughput
+	// is total completions over the maximum makespan, not the sum.
+	MakespanCycles   int64   `json:"makespan_cycles"`
+	SimThroughputRPS float64 `json:"sim_throughput_rps"`
+
+	// Tenants aggregates each tenant across every replica; latency
+	// percentiles are computed over the merged sample windows (they
+	// cannot be derived from per-replica percentiles).
+	Tenants []serve.TenantStats `json:"tenants"`
+
+	PerReplica []ReplicaStats `json:"per_replica"`
+}
+
+// Stats returns the current fleet-wide statistics.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	st := Stats{
+		Policy:        f.policy.String(),
+		Replicas:      len(f.replicas),
+		UptimeSeconds: time.Since(f.start).Seconds(),
+	}
+	dispatched := make([]int64, len(f.replicas))
+	horizons := make([]int64, len(f.replicas))
+	for i, r := range f.replicas {
+		dispatched[i] = r.dispatched
+		horizons[i] = r.horizon
+	}
+	f.mu.Unlock()
+
+	type agg struct {
+		serve.TenantWindow
+		latencies []int64
+	}
+	tenants := make(map[string]*agg)
+	var clockGHz float64
+	for i, r := range f.replicas {
+		es := r.engine.Stats()
+		clockGHz = es.ClockGHz
+		st.Submitted += es.Submitted
+		st.Completed += es.Completed
+		st.Failed += es.Failed
+		st.Rejected += es.Rejected
+		st.Pending += es.Pending
+		if es.MakespanCycles > st.MakespanCycles {
+			st.MakespanCycles = es.MakespanCycles
+		}
+		st.PerReplica = append(st.PerReplica, ReplicaStats{
+			Replica:       i,
+			HDA:           r.hda.Name,
+			Dispatched:    dispatched[i],
+			Inflight:      r.inflight.Load(),
+			HorizonCycles: horizons[i],
+			Engine:        es,
+		})
+		for _, w := range r.engine.TenantWindows() {
+			a := tenants[w.Tenant]
+			if a == nil {
+				a = &agg{TenantWindow: serve.TenantWindow{Tenant: w.Tenant}}
+				tenants[a.Tenant] = a
+			}
+			a.Submitted += w.Submitted
+			a.Completed += w.Completed
+			a.Failed += w.Failed
+			a.Rejected += w.Rejected
+			a.SLATracked += w.SLATracked
+			a.SLAViolations += w.SLAViolations
+			a.LatencySum += w.LatencySum
+			a.QueueSum += w.QueueSum
+			a.EnergyPJ += w.EnergyPJ
+			a.latencies = append(a.latencies, w.Latencies...)
+		}
+	}
+
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := tenants[name]
+		ts := serve.TenantStats{
+			Tenant:        a.Tenant,
+			Submitted:     a.Submitted,
+			Completed:     a.Completed,
+			Failed:        a.Failed,
+			Rejected:      a.Rejected,
+			SLATracked:    a.SLATracked,
+			SLAViolations: a.SLAViolations,
+			EnergyPJ:      a.EnergyPJ,
+		}
+		if a.Completed > 0 {
+			sort.Slice(a.latencies, func(i, j int) bool { return a.latencies[i] < a.latencies[j] })
+			ts.MeanLatencyCycles = a.LatencySum / a.Completed
+			ts.P50LatencyCycles = serve.Percentile(a.latencies, 50)
+			ts.P95LatencyCycles = serve.Percentile(a.latencies, 95)
+			ts.P99LatencyCycles = serve.Percentile(a.latencies, 99)
+			ts.MeanQueueCycles = a.QueueSum / a.Completed
+		}
+		st.Tenants = append(st.Tenants, ts)
+	}
+
+	if st.MakespanCycles > 0 && clockGHz > 0 {
+		simSeconds := float64(st.MakespanCycles) / (clockGHz * 1e9)
+		st.SimThroughputRPS = float64(st.Completed) / simSeconds
+	}
+	return st
+}
+
+// Drain stops admissions, fans the drain out to every replica, joins
+// them, and returns the final fleet statistics.
+func (f *Fleet) Drain(ctx context.Context) (Stats, error) {
+	f.mu.Lock()
+	f.draining = true
+	f.mu.Unlock()
+
+	errs := make([]error, len(f.replicas))
+	var wg sync.WaitGroup
+	for i, r := range f.replicas {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			if _, err := r.engine.Drain(ctx); err != nil {
+				errs[i] = fmt.Errorf("fleet: replica %d drain: %w", i, err)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	return f.Stats(), errors.Join(errs...)
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/serve"
+)
+
+// DispatchAck acknowledges an asynchronous fleet submission.
+type DispatchAck struct {
+	ID      int64        `json:"id"`
+	Replica int          `json:"replica"`
+	Status  serve.Status `json:"status"`
+}
+
+// DispatchRecord is a request's final record plus the replica that
+// served it.
+type DispatchRecord struct {
+	serve.Record
+	Replica int `json:"replica"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the fleet's JSON-over-HTTP API:
+//
+//	POST /v1/requests              dispatch a request via the routing
+//	                               policy (serve.SubmitRequest body;
+//	                               responses carry the replica index)
+//	GET  /v1/fleet/stats           fleet-wide aggregate + per-replica
+//	GET  /v1/stats                 alias of /v1/fleet/stats
+//	POST /v1/drain                 drain every replica, final stats
+//	GET  /v1/models                servable model zoo
+//	GET  /v1/healthz               liveness (replica count, policy)
+//	ANY  /v1/replicas/{i}/{rest}   delegate to replica i's engine API
+//	                               (e.g. /v1/replicas/0/requests/7,
+//	                               /v1/replicas/2/schedule)
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", f.handleSubmit)
+	mux.HandleFunc("GET /v1/fleet/stats", f.handleStats)
+	mux.HandleFunc("GET /v1/stats", f.handleStats)
+	mux.HandleFunc("POST /v1/drain", f.handleDrain)
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": dnn.Names()})
+	})
+	mux.HandleFunc("GET /v1/healthz", f.handleHealthz)
+	// Delegation handlers are built once, not per request.
+	engines := make([]http.Handler, f.Size())
+	for i := range engines {
+		engines[i] = f.Engine(i).Handler()
+	}
+	mux.HandleFunc("/v1/replicas/{replica}/{rest...}", func(w http.ResponseWriter, r *http.Request) {
+		f.handleReplica(engines, w, r)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (f *Fleet) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	req.Normalize()
+	ticket, err := f.Submit(req.Request)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrQueueFull) {
+			code = http.StatusTooManyRequests
+		}
+		writeJSON(w, code, httpError{err.Error()})
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, DispatchAck{ID: ticket.ID, Replica: ticket.Replica, Status: serve.StatusQueued})
+		return
+	}
+	rec, err := ticket.Wait(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, DispatchRecord{Record: rec, Replica: ticket.Replica})
+}
+
+func (f *Fleet) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
+	st, err := f.Drain(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"replicas": f.Size(),
+		"policy":   f.Policy().String(),
+		"uptime":   time.Since(f.start).String(),
+	})
+}
+
+// handleReplica delegates /v1/replicas/{i}/{rest} to replica i's own
+// engine API by rewriting the path to /v1/{rest} — the whole
+// per-engine surface (request lookup, schedule export, per-replica
+// stats) stays reachable through the fleet front end.
+func (f *Fleet) handleReplica(engines []http.Handler, w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.PathValue("replica"))
+	if err != nil || idx < 0 || idx >= len(engines) {
+		writeJSON(w, http.StatusNotFound, httpError{fmt.Sprintf("no replica %q (fleet has %d)", r.PathValue("replica"), len(engines))})
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/v1/" + r.PathValue("rest")
+	engines[idx].ServeHTTP(w, r2)
+}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func fleetServer(t *testing.T) (*Fleet, *httptest.Server) {
+	t.Helper()
+	f := testFleet(t, newTestCache(), 2, CostAware)
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(srv.Close)
+	return f, srv
+}
+
+func doJSON(t *testing.T, method, url string, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s %s: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestFleetHTTPEndToEnd drives the fleet API: dispatch (sync + async),
+// fleet-wide stats, per-replica delegation, and drain.
+func TestFleetHTTPEndToEnd(t *testing.T) {
+	_, srv := fleetServer(t)
+
+	var health map[string]any
+	if code := doJSON(t, "GET", srv.URL+"/v1/healthz", "", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["replicas"] != float64(2) || health["policy"] != "cost-aware" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	// Synchronous dispatch carries the serving replica; an explicit
+	// cycle-0 arrival survives the fleet front end too.
+	var rec DispatchRecord
+	code := doJSON(t, "POST", srv.URL+"/v1/requests",
+		`{"tenant":"arvr","model":"brq-handpose","arrival_cycle":0,"wait":true}`, &rec)
+	if code != http.StatusOK || rec.Status != serve.StatusDone {
+		t.Fatalf("sync dispatch: code %d rec %+v", code, rec)
+	}
+	if rec.Replica < 0 || rec.Replica >= 2 {
+		t.Fatalf("bad replica %d", rec.Replica)
+	}
+	if rec.ArrivalCycle != 0 {
+		t.Errorf("explicit arrival 0 rewritten to %d", rec.ArrivalCycle)
+	}
+
+	// Asynchronous dispatch acknowledges with id + replica.
+	var ack DispatchAck
+	if code := doJSON(t, "POST", srv.URL+"/v1/requests",
+		`{"tenant":"arvr","model":"mobilenetv1","arrival_cycle":0}`, &ack); code != http.StatusAccepted {
+		t.Fatalf("async dispatch: %d", code)
+	}
+	if ack.ID <= 0 || ack.Status != serve.StatusQueued {
+		t.Fatalf("ack %+v", ack)
+	}
+
+	// The async request is inspectable through its replica's delegated
+	// API (possibly still queued; both endpoints must resolve).
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/replicas/%d/healthz", srv.URL, ack.Replica), "", nil); code != http.StatusOK {
+		t.Errorf("replica healthz delegation: %d", code)
+	}
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/replicas/%d/requests/%d", srv.URL, ack.Replica, ack.ID), "", nil); code != http.StatusOK {
+		t.Errorf("replica request-lookup delegation: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/replicas/7/healthz", "", nil); code != http.StatusNotFound {
+		t.Errorf("out-of-range replica: %d, want 404", code)
+	}
+
+	var models struct {
+		Models []string `json:"models"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/models", "", &models); code != http.StatusOK || len(models.Models) == 0 {
+		t.Fatalf("models: %d %v", code, models)
+	}
+
+	var final Stats
+	if code := doJSON(t, "POST", srv.URL+"/v1/drain", "", &final); code != http.StatusOK {
+		t.Fatalf("drain: %d", code)
+	}
+	if final.Completed != 2 || final.Pending != 0 {
+		t.Fatalf("final stats: %+v", final)
+	}
+
+	var st Stats
+	if code := doJSON(t, "GET", srv.URL+"/v1/fleet/stats", "", &st); code != http.StatusOK || st.Replicas != 2 {
+		t.Fatalf("fleet stats: %d %+v", code, st)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/stats", "", &st); code != http.StatusOK {
+		t.Fatalf("stats alias: %d", code)
+	}
+
+	// A drained fleet refuses new work with a retryable status.
+	if code := doJSON(t, "POST", srv.URL+"/v1/requests",
+		`{"tenant":"x","model":"mobilenetv1"}`, nil); code != http.StatusTooManyRequests {
+		t.Errorf("post-drain dispatch: %d, want 429", code)
+	}
+}
+
+// TestFleetHTTPBadRequests covers malformed dispatches.
+func TestFleetHTTPBadRequests(t *testing.T) {
+	_, srv := fleetServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/requests", `{not json`, nil); code != http.StatusBadRequest {
+		t.Errorf("garbage body: %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/requests", `{"tenant":"a","model":"not-a-model"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown model: %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/requests", `{"model":"mobilenetv1"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("missing tenant: %d, want 400", code)
+	}
+}

@@ -17,9 +17,25 @@ import (
 type SubmitRequest struct {
 	Request
 
+	// ArrivalCycle shadows Request.ArrivalCycle so the wire format
+	// distinguishes an omitted field (nil: arrive "now") from an
+	// explicit 0 (a deterministic cycle-0 arrival). Replay traces must
+	// stay bit-reproducible, so an explicit 0 is honored verbatim.
+	ArrivalCycle *int64 `json:"arrival_cycle,omitempty"`
+
 	// Wait makes the call synchronous: the response carries the
 	// final record instead of a queued acknowledgement.
 	Wait bool `json:"wait,omitempty"`
+}
+
+// Normalize folds the wire-level arrival into the embedded Request:
+// omitted means "now" (the engine's wall clock).
+func (sr *SubmitRequest) Normalize() {
+	if sr.ArrivalCycle != nil {
+		sr.Request.ArrivalCycle = *sr.ArrivalCycle
+	} else {
+		sr.Request.ArrivalCycle = -1
+	}
 }
 
 // submitAck acknowledges an asynchronous submission.
@@ -70,10 +86,7 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	// HTTP clients that omit arrival_cycle mean "now".
-	if req.ArrivalCycle == 0 {
-		req.ArrivalCycle = -1
-	}
+	req.Normalize()
 	ticket, err := e.Submit(req.Request)
 	if err != nil {
 		// Overload is retryable; everything else is the client's bug.

@@ -85,14 +85,15 @@ func TestHTTPEndToEnd(t *testing.T) {
 			go func(tenant, model string, i int) {
 				defer wg.Done()
 				var rec Record
+				arrival := int64(i+1) * 500_000
 				code := postJSON(t, srv.URL+"/v1/requests", SubmitRequest{
 					Request: Request{
-						Tenant:       tenant,
-						Model:        model,
-						SLACycles:    1 << 50,
-						ArrivalCycle: int64(i+1) * 500_000,
+						Tenant:    tenant,
+						Model:     model,
+						SLACycles: 1 << 50,
 					},
-					Wait: true,
+					ArrivalCycle: &arrival,
+					Wait:         true,
 				}, &rec)
 				if code != http.StatusOK || rec.Status != StatusDone {
 					fails <- fmt.Sprintf("tenant %s req %d: code %d status %q err %q", tenant, i, code, rec.Status, rec.Err)

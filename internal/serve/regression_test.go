@@ -1,0 +1,267 @@
+package serve
+
+// Regression tests for the serving-engine bug-fix batch: each test
+// exercises the exact failure mode of the old behavior and fails
+// against the pre-fix engine.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/maestro"
+	"repro/internal/workload"
+)
+
+func newTestCache() *maestro.Cache { return maestro.NewCache(energy.Default28nm()) }
+
+// TestAdmitPartialBatchFailure: one infeasible admission must not
+// poison the whole batch. The old admit failed every request in the
+// batch when inc.Extend rejected it as a unit; now the batch is
+// retried one by one and only the truly infeasible request fails. The
+// poison here is a layer-less model — unschedulable by construction,
+// and exactly the per-admission rejection Extend raises as a
+// whole-batch error.
+func TestAdmitPartialBatchFailure(t *testing.T) {
+	e := testEngine(t)
+	good, err := dnn.ByName("mobilenetv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &dnn.Model{Name: "empty"}
+
+	mk := func(id int64, tenant string, m *dnn.Model) *pending {
+		return &pending{
+			rec:  &Record{ID: id, Tenant: tenant, Model: m.Name, Status: StatusQueued},
+			inst: workload.Instance{Model: m, Batch: 1},
+			done: make(chan struct{}),
+		}
+	}
+	batch := []*pending{
+		mk(1, "innocent-a", good),
+		mk(2, "guilty", bad),
+		mk(3, "innocent-b", good),
+	}
+	e.admit(batch)
+
+	for _, p := range []*pending{batch[0], batch[2]} {
+		if p.rec.Status != StatusDone {
+			t.Errorf("innocent tenant %s: status %q err %q — poisoned by another tenant's infeasible request",
+				p.rec.Tenant, p.rec.Status, p.rec.Err)
+		}
+		if p.rec.FinishCycle <= 0 {
+			t.Errorf("innocent tenant %s: no placement: %+v", p.rec.Tenant, p.rec)
+		}
+	}
+	if batch[1].rec.Status != StatusFailed || batch[1].rec.Err == "" {
+		t.Errorf("infeasible request: status %q err %q, want failed", batch[1].rec.Status, batch[1].rec.Err)
+	}
+	if err := e.Snapshot().Validate(); err != nil {
+		t.Errorf("schedule invalid after partial batch failure: %v", err)
+	}
+	if _, err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPopBatchRotationFairness: when the batch fills mid-pass, the
+// rotation must resume from where the pass stopped. The old code only
+// rotated after a *complete* pass, so under load (MaxBatch < number of
+// tenants) the rotation never advanced and tenants at the tail of rr
+// starved until the head tenants' queues drained.
+func TestPopBatchRotationFairness(t *testing.T) {
+	const perTenant = 4
+	e := &Engine{
+		opts:   Options{MaxBatch: 2, MaxQueue: 64, MaxRecords: 64, ClockGHz: 1},
+		queues: make(map[string][]*pending),
+	}
+	tenants := []string{"a", "b", "c"}
+	for _, tn := range tenants {
+		for i := 0; i < perTenant; i++ {
+			e.queues[tn] = append(e.queues[tn], &pending{rec: &Record{Tenant: tn}})
+			e.npending++
+		}
+		e.rr = append(e.rr, tn)
+	}
+
+	served := map[string]int{}
+	var firstThree []string
+	for batchNo := 0; e.npending > 0; batchNo++ {
+		batch := e.popBatchLocked()
+		if len(batch) == 0 {
+			t.Fatal("empty batch with pending work")
+		}
+		for _, p := range batch {
+			served[p.rec.Tenant]++
+			if batchNo < 3 {
+				firstThree = append(firstThree, p.rec.Tenant)
+			}
+		}
+	}
+
+	// Three batches of two cover every tenant exactly twice under a
+	// fair rotation; the old code served a,b three times and c never.
+	count := map[string]int{}
+	for _, tn := range firstThree {
+		count[tn]++
+	}
+	for _, tn := range tenants {
+		if count[tn] != 2 {
+			t.Errorf("tenant %s served %d times in the first 3 saturated batches, want 2 (histogram %v)",
+				tn, count[tn], count)
+		}
+	}
+	for _, tn := range tenants {
+		if served[tn] != perTenant {
+			t.Errorf("tenant %s: %d total pops, want %d", tn, served[tn], perTenant)
+		}
+	}
+}
+
+// TestRecordInstanceZeroJSON: a placement at instance index 0 (and a
+// start/queue of cycle 0) is a legitimate schedule position and must
+// survive a JSON round trip. The old omitempty tags dropped the zero
+// values, making "placed at instance 0" indistinguishable from "not
+// scheduled".
+func TestRecordInstanceZeroJSON(t *testing.T) {
+	rec := Record{
+		ID: 1, Tenant: "a", Model: "mobilenetv1", Status: StatusDone,
+		Instance: 0, ArrivalCycle: 0, StartCycle: 0, FinishCycle: 100,
+		QueueCycles: 0, BusyCycles: 100, LatencyCycles: 100,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"instance":0`, `"start_cycle":0`, `"queue_cycles":0`, `"arrival_cycle":0`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("marshaled record drops %s: %s", field, data)
+		}
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rec {
+		t.Errorf("JSON round trip mutated the record:\n got %+v\nwant %+v", back, rec)
+	}
+}
+
+// TestTicketWaitEvictionRace: with a tiny MaxRecords the eviction FIFO
+// discards finished records faster than their waiters wake. The old
+// Wait re-looked the record up in the engine's table and returned
+// "record vanished"; the ticket now captures the final record at
+// completion, so every Wait returns it regardless of eviction.
+func TestTicketWaitEvictionRace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxRecords = 1
+	e, err := New(newTestCache(), testHDA(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ticket, err := e.Submit(Request{
+				Tenant: "a", Model: "mobilenetv1", ArrivalCycle: int64(i) * 100_000,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			rec, err := ticket.Wait(context.Background())
+			if err != nil {
+				errs <- fmt.Errorf("request %d: %w", ticket.ID, err)
+				return
+			}
+			if rec.Status != StatusDone || rec.ID != ticket.ID {
+				errs <- fmt.Errorf("request %d: bad final record %+v", ticket.ID, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPArrivalCycleZero: an explicit "arrival_cycle": 0 over HTTP
+// is a deterministic cycle-0 arrival, not "now". The old handler
+// rewrote 0 to the wall clock, so replay traces could never reproduce
+// a run bit-for-bit.
+func TestHTTPArrivalCycleZero(t *testing.T) {
+	_, srv := testServer(t)
+
+	post := func(body string) Record {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/requests", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: HTTP %d", body, resp.StatusCode)
+		}
+		var rec Record
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+
+	rec := post(`{"tenant":"replay","model":"mobilenetv1","arrival_cycle":0,"wait":true}`)
+	if rec.ArrivalCycle != 0 {
+		t.Errorf("explicit arrival_cycle 0 rewritten to %d; replay traces are not reproducible", rec.ArrivalCycle)
+	}
+	if rec.Status != StatusDone {
+		t.Errorf("cycle-0 request not served: %+v", rec)
+	}
+
+	// Omitting the field still means "now" (a strictly positive wall
+	// arrival on an engine that has been up for a nonzero time).
+	rec = post(`{"tenant":"replay","model":"mobilenetv1","wait":true}`)
+	if rec.ArrivalCycle <= 0 {
+		t.Errorf("omitted arrival_cycle should mean now, got %d", rec.ArrivalCycle)
+	}
+}
+
+// TestSubmitRequestWireFormat pins the shadowing of the embedded
+// arrival field: marshaling a SubmitRequest emits the pointer field,
+// and decoding an explicit value lands in the pointer, never silently
+// in the embedded Request.
+func TestSubmitRequestWireFormat(t *testing.T) {
+	var sr SubmitRequest
+	if err := json.Unmarshal([]byte(`{"tenant":"a","model":"m","arrival_cycle":7}`), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ArrivalCycle == nil || *sr.ArrivalCycle != 7 {
+		t.Fatalf("explicit arrival not decoded into the pointer: %+v", sr)
+	}
+	sr.Normalize()
+	if sr.Request.ArrivalCycle != 7 {
+		t.Errorf("Normalize: arrival %d, want 7", sr.Request.ArrivalCycle)
+	}
+	var omitted SubmitRequest
+	if err := json.Unmarshal([]byte(`{"tenant":"a","model":"m"}`), &omitted); err != nil {
+		t.Fatal(err)
+	}
+	omitted.Normalize()
+	if omitted.Request.ArrivalCycle != -1 {
+		t.Errorf("omitted arrival should normalize to -1 (now), got %d", omitted.Request.ArrivalCycle)
+	}
+}

@@ -51,6 +51,14 @@ type Options struct {
 	// finished records are evicted first (a long-running daemon must
 	// not grow without bound). Default 65536.
 	MaxRecords int
+
+	// OnRequestDone, when set, is called with a copy of every
+	// request's final record (done or failed) after it is published.
+	// It runs on the scheduling goroutine outside the engine's locks:
+	// callbacks may call back into the engine but must not block, or
+	// they stall admission. Dispatchers (internal/fleet) use it to
+	// track per-engine in-flight work.
+	OnRequestDone func(Record)
 }
 
 // Overload conditions: submissions failing with one of these should
@@ -126,14 +134,18 @@ type Record struct {
 	ArrivalCycle int64 `json:"arrival_cycle"`
 	SLACycles    int64 `json:"sla_cycles,omitempty"`
 
-	// Set once Status == StatusDone.
-	Instance      int     `json:"instance,omitempty"` // schedule instance index
-	StartCycle    int64   `json:"start_cycle,omitempty"`
-	FinishCycle   int64   `json:"finish_cycle,omitempty"`
-	QueueCycles   int64   `json:"queue_cycles,omitempty"`
-	BusyCycles    int64   `json:"busy_cycles,omitempty"`
-	LatencyCycles int64   `json:"latency_cycles,omitempty"`
-	EnergyPJ      float64 `json:"energy_pj,omitempty"`
+	// Set once Status == StatusDone. None of the placement fields may
+	// carry omitempty: instance index 0, start cycle 0 and queueing
+	// delay 0 are all legitimate placements, and dropping them from
+	// JSON would be indistinguishable from "not scheduled" (clients
+	// must read Status for that).
+	Instance      int     `json:"instance"` // schedule instance index
+	StartCycle    int64   `json:"start_cycle"`
+	FinishCycle   int64   `json:"finish_cycle"`
+	QueueCycles   int64   `json:"queue_cycles"`
+	BusyCycles    int64   `json:"busy_cycles"`
+	LatencyCycles int64   `json:"latency_cycles"`
+	EnergyPJ      float64 `json:"energy_pj"`
 	SLAViolated   bool    `json:"sla_violated,omitempty"`
 
 	Err string `json:"error,omitempty"`
@@ -141,8 +153,14 @@ type Record struct {
 
 // Ticket tracks an accepted submission.
 type Ticket struct {
-	ID   int64
-	e    *Engine
+	ID int64
+	// rec is the request's record; the engine finishes every write to
+	// it before closing done, so after done the ticket reads it
+	// without locks. Holding the record here (instead of re-looking it
+	// up in the engine's table) keeps Wait immune to the MaxRecords
+	// eviction FIFO: under load a record can be evicted before its
+	// waiter wakes.
+	rec  *Record
 	done chan struct{}
 }
 
@@ -154,14 +172,10 @@ func (t *Ticket) Done() <-chan struct{} { return t.done }
 func (t *Ticket) Wait(ctx context.Context) (Record, error) {
 	select {
 	case <-t.done:
+		return *t.rec, nil
 	case <-ctx.Done():
 		return Record{}, ctx.Err()
 	}
-	rec, ok := t.e.Lookup(t.ID)
-	if !ok {
-		return Record{}, fmt.Errorf("serve: record %d vanished", t.ID)
-	}
-	return rec, nil
 }
 
 // pending is one queued submission plus its completion signal.
@@ -332,7 +346,7 @@ func (e *Engine) Submit(req Request) (*Ticket, error) {
 	e.queues[req.Tenant] = append(e.queues[req.Tenant], p)
 	e.npending++
 	e.cond.Signal()
-	return &Ticket{ID: rec.ID, e: e, done: p.done}, nil
+	return &Ticket{ID: rec.ID, rec: rec, done: p.done}, nil
 }
 
 // feasible rejects models with a layer whose buffer occupancy exceeds
@@ -409,7 +423,8 @@ func (e *Engine) popBatchLocked() []*pending {
 	var batch []*pending
 	for len(batch) < e.opts.MaxBatch && e.npending > 0 {
 		took := false
-		for i := 0; i < len(e.rr) && len(batch) < e.opts.MaxBatch; {
+		i := 0
+		for i < len(e.rr) && len(batch) < e.opts.MaxBatch {
 			t := e.rr[i]
 			q := e.queues[t]
 			if len(q) == 0 {
@@ -429,8 +444,19 @@ func (e *Engine) popBatchLocked() []*pending {
 		if !took {
 			break
 		}
-		// Rotate so the next pass starts with a different tenant.
-		if len(e.rr) > 1 {
+		// Rotate from where the pass actually stopped, so the tenant
+		// that was next in line leads the following batch. When the
+		// batch fills mid-pass (i < len(rr)) the unserved tenants move
+		// to the front — rotating by a fixed 1 here would restart every
+		// saturated batch at rr[0] and starve the tail of the rotation.
+		// After a complete pass everyone was served once; advance the
+		// leader by one so no tenant is systematically first.
+		switch {
+		case i < len(e.rr):
+			if i > 0 {
+				e.rr = append(e.rr[i:], e.rr[:i]...)
+			}
+		case len(e.rr) > 1:
 			e.rr = append(e.rr[1:], e.rr[0])
 		}
 	}
@@ -444,35 +470,21 @@ func (e *Engine) admit(batch []*pending) {
 		return
 	}
 	e.schedMu.Lock()
-	floor := e.inc.Floor()
-	adms := make([]sched.Admission, len(batch))
-	for i, p := range batch {
-		inst := p.inst
-		if inst.ArrivalCycle < floor {
-			// The committed schedule has moved past this arrival;
-			// online engines cannot place work in the past.
-			inst.ArrivalCycle = floor
-		}
-		adms[i] = sched.Admission{Instance: inst, Priority: p.rec.Priority}
-	}
-	placements, err := e.inc.Extend(adms)
+	placements, errs := e.extendBatch(batch)
 	e.schedMu.Unlock()
 
 	e.mu.Lock()
-	if err != nil {
-		for _, p := range batch {
-			p.rec.Status = StatusFailed
-			p.rec.Err = err.Error()
-			e.agg(p.rec.Tenant).failed++
-			e.finishLocked(p.rec.ID)
-			close(p.done)
-		}
-		e.mu.Unlock()
-		return
-	}
 	for i, p := range batch {
-		pl := placements[i]
 		rec := p.rec
+		if errs[i] != nil {
+			rec.Status = StatusFailed
+			rec.Err = errs[i].Error()
+			e.agg(rec.Tenant).failed++
+			e.finishLocked(rec.ID)
+			close(p.done)
+			continue
+		}
+		pl := placements[i]
 		rec.Status = StatusDone
 		rec.Instance = pl.Instance
 		rec.StartCycle = pl.StartCycle
@@ -505,6 +517,57 @@ func (e *Engine) admit(batch []*pending) {
 		close(p.done)
 	}
 	e.mu.Unlock()
+
+	if hook := e.opts.OnRequestDone; hook != nil {
+		for _, p := range batch {
+			hook(*p.rec)
+		}
+	}
+}
+
+// extendBatch admits the whole batch to the incremental schedule in
+// one Extend, and returns per-request placements/errors. A batched
+// Extend fails as a unit (it rolls back every admission), so on error
+// the admissions are retried one by one: only the truly infeasible
+// requests fail, instead of one bad admission poisoning up to
+// MaxBatch-1 innocent tenants' requests. e.schedMu held.
+func (e *Engine) extendBatch(batch []*pending) ([]sched.Placement, []error) {
+	adms := make([]sched.Admission, len(batch))
+	for i, p := range batch {
+		adms[i] = sched.Admission{Instance: e.clampFloor(p.inst), Priority: p.rec.Priority}
+	}
+	placements, err := e.inc.Extend(adms)
+	errs := make([]error, len(batch))
+	if err == nil {
+		return placements, errs
+	}
+	if len(batch) == 1 {
+		errs[0] = err
+		return nil, errs
+	}
+	placements = make([]sched.Placement, len(batch))
+	for i := range adms {
+		// Re-clamp: a successful earlier retry may have advanced the
+		// admission floor past this arrival.
+		adms[i].Instance = e.clampFloor(adms[i].Instance)
+		one, err := e.inc.Extend(adms[i : i+1])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		placements[i] = one[0]
+	}
+	return placements, errs
+}
+
+// clampFloor lifts an instance's arrival to the incremental schedule's
+// admission floor: the committed schedule may have moved past it, and
+// online engines cannot place work in the past. e.schedMu held.
+func (e *Engine) clampFloor(inst workload.Instance) workload.Instance {
+	if floor := e.inc.Floor(); inst.ArrivalCycle < floor {
+		inst.ArrivalCycle = floor
+	}
+	return inst
 }
 
 // finishLocked appends a finished record to the eviction FIFO and
@@ -515,6 +578,27 @@ func (e *Engine) finishLocked(id int64) {
 		delete(e.records, e.doneFIFO[0])
 		e.doneFIFO = e.doneFIFO[1:]
 	}
+}
+
+// Load is a point-in-time load probe, cheap enough for a dispatcher
+// to read on every routing decision.
+type Load struct {
+	// Pending counts accepted submissions not yet admitted to the
+	// schedule.
+	Pending int `json:"pending"`
+	// BacklogCycles is the committed schedule's horizon: the latest
+	// finish cycle of any admitted request. Work dispatched to this
+	// engine completes no earlier.
+	BacklogCycles int64 `json:"backlog_cycles"`
+	// Draining reports whether the engine still accepts work.
+	Draining bool `json:"draining"`
+}
+
+// Load returns the engine's current load probe.
+func (e *Engine) Load() Load {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Load{Pending: e.npending, BacklogCycles: e.maxFinishCycle, Draining: e.draining}
 }
 
 // Lookup returns a copy of a request's record.

@@ -55,6 +55,49 @@ type Stats struct {
 	Tenants []TenantStats `json:"tenants"`
 }
 
+// TenantWindow is one tenant's raw counters plus its latency sample
+// window — the pre-percentile form of TenantStats. Fleet dispatchers
+// read these from every replica and aggregate across engines (merged
+// percentiles cannot be computed from per-engine percentiles).
+type TenantWindow struct {
+	Tenant                                 string
+	Submitted, Completed, Failed, Rejected int64
+	SLATracked, SLAViolations              int64
+	LatencySum, QueueSum                   int64 // all-time, cycles
+	EnergyPJ                               float64
+	Latencies                              []int64 // copy of the sliding window
+}
+
+// TenantWindows returns every tenant's raw statistics window, sorted
+// by tenant name.
+func (e *Engine) TenantWindows() []TenantWindow {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.tenants))
+	for name := range e.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TenantWindow, 0, len(names))
+	for _, name := range names {
+		ta := e.tenants[name]
+		out = append(out, TenantWindow{
+			Tenant:        name,
+			Submitted:     ta.submitted,
+			Completed:     ta.completed,
+			Failed:        ta.failed,
+			Rejected:      ta.rejected,
+			SLATracked:    ta.slaTracked,
+			SLAViolations: ta.slaViolations,
+			LatencySum:    ta.latSum,
+			QueueSum:      ta.queueSum,
+			EnergyPJ:      ta.energyPJ,
+			Latencies:     append([]int64(nil), ta.latencies...),
+		})
+	}
+	return out
+}
+
 // Stats returns the engine's current aggregate statistics.
 func (e *Engine) Stats() Stats {
 	e.schedMu.Lock()
@@ -93,9 +136,9 @@ func (e *Engine) Stats() Stats {
 			sorted := append([]int64(nil), ta.latencies...)
 			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 			ts.MeanLatencyCycles = ta.latSum / ta.completed
-			ts.P50LatencyCycles = percentile(sorted, 50)
-			ts.P95LatencyCycles = percentile(sorted, 95)
-			ts.P99LatencyCycles = percentile(sorted, 99)
+			ts.P50LatencyCycles = Percentile(sorted, 50)
+			ts.P95LatencyCycles = Percentile(sorted, 95)
+			ts.P99LatencyCycles = Percentile(sorted, 99)
 			ts.MeanQueueCycles = ta.queueSum / ta.completed
 		}
 		st.Submitted += ta.submitted
@@ -113,8 +156,10 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// percentile returns the nearest-rank percentile of sorted samples.
-func percentile(sorted []int64, p int) int64 {
+// Percentile returns the nearest-rank percentile of sorted samples
+// (0 for an empty slice). Exported so fleet-level aggregation computes
+// cross-replica percentiles with the identical rank convention.
+func Percentile(sorted []int64, p int) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
