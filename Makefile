@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json vet smoke
+.PHONY: build test race bench bench-json bench-gate vet smoke
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,19 @@ smoke:
 
 # bench runs the full benchmark suite once per benchmark (short form:
 # the perf trajectory gate wants per-PR numbers, not nanosecond-grade
-# stability) and writes the machine-readable BENCH_PR3.json.
-BENCH_OUT ?= BENCH_PR3.json
+# stability) and writes the machine-readable BENCH_PR4.json.
+BENCH_OUT ?= BENCH_PR4.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out
+
+# bench-gate fails on >25% ns/op regressions of the DSE / figure-sweep
+# benchmarks against the previous PR's committed baseline. Only the
+# sweep-scale benchmarks (tens of ms and up) are gated: single-
+# iteration runs of the microsecond-scale figure artifacts swing well
+# past any sane threshold on machine noise alone.
+BENCH_BASE ?= BENCH_PR3.json
+bench-gate:
+	$(GO) run ./cmd/benchgate -old $(BENCH_BASE) -new $(BENCH_OUT) \
+		-match 'BenchmarkDSE|BenchmarkFigure6|BenchmarkFigure11|BenchmarkFigure13|BenchmarkResweep' -max-pct 25

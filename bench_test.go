@@ -429,3 +429,58 @@ func BenchmarkDSE(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDSEPruned is BenchmarkDSE in best-only pruned mode: the
+// design cloud is streamed instead of retained and partitions whose
+// objective lower bound cannot win are never scheduled. The Best point
+// is bit-identical to BenchmarkDSE's (the equivalence tests pin it).
+func BenchmarkDSEPruned(b *testing.B) {
+	cache := NewCostCache(DefaultEnergyTable())
+	w := MLPerf(1)
+	sp := SearchSpace{Class: Edge, Styles: MaelstromStyles(), PEUnits: 8, BWUnits: 4}
+	opts := DefaultSearchOptions()
+	opts.BestOnly = true
+	opts.Prune = true
+	for i := 0; i < b.N; i++ {
+		r, err := Search(cache, sp, w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.Explored), "evaluated-points")
+			b.ReportMetric(float64(r.Pruned), "pruned-points")
+		}
+	}
+}
+
+// BenchmarkResweep measures the online repartitioning probe: repeated
+// pruned best-only sweeps of the Figure 6-scale space on ONE reusable
+// Sweeper (warm schedulers, HDAs, cost columns and bound memos) — the
+// cost a serving fleet pays each time fleet.Resweep re-searches the
+// partition space for the observed tenant mix.
+func BenchmarkResweep(b *testing.B) {
+	cache := NewCostCache(DefaultEnergyTable())
+	sp := SearchSpace{Class: Edge, Styles: MaelstromStyles(), PEUnits: 8, BWUnits: 4}
+	opts := DefaultSearchOptions()
+	opts.BestOnly = true
+	opts.Prune = true
+	sw, err := NewSweeper(cache, sp, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := MLPerf(1)
+	if _, err := sw.Sweep(w); err != nil { // warm the handle
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sw.Sweep(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.Explored), "evaluated-points")
+			b.ReportMetric(float64(r.Pruned), "pruned-points")
+		}
+	}
+}

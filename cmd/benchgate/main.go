@@ -1,0 +1,119 @@
+// Command benchgate is the CI perf-regression gate: it compares two
+// benchjson outputs (see cmd/benchjson) and fails when any benchmark
+// matched by -match regressed in ns/op by more than -max-pct percent.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -old BENCH_PR3.json -new BENCH_PR4.json \
+//	    -match 'BenchmarkDSE|BenchmarkFigure|BenchmarkResweep' -max-pct 25
+//
+// Benchmarks present only in the new file are reported but never fail
+// the gate (they have no baseline); benchmarks that disappeared fail
+// it (a silently-deleted benchmark would otherwise retire its own
+// regression gate). The committed baselines are single-iteration runs
+// (`make bench`), so the threshold is generous by design: the gate is
+// meant to catch order-of-magnitude slips and accidental algorithmic
+// regressions, not nanosecond drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Entry mirrors cmd/benchjson's output schema.
+type Entry struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func load(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Entry)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// gate compares the matched benchmarks and returns human-readable
+// report lines plus the failures.
+func gate(old, new map[string]Entry, match *regexp.Regexp, maxPct float64) (report, failures []string) {
+	names := make([]string, 0, len(new))
+	for name := range new {
+		if match.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := new[name]
+		o, ok := old[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("%-36s %12.0f ns/op  (new benchmark, no baseline)", name, n.NsPerOp))
+			continue
+		}
+		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		line := fmt.Sprintf("%-36s %12.0f -> %12.0f ns/op  (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, pct)
+		report = append(report, line)
+		if pct > maxPct {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (> %.0f%% allowed)", name, pct, maxPct))
+		}
+	}
+	for name := range old {
+		if match.MatchString(name) {
+			if _, ok := new[name]; !ok {
+				failures = append(failures, fmt.Sprintf("%s present in baseline but missing from new results", name))
+			}
+		}
+	}
+	sort.Strings(failures)
+	return report, failures
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson file")
+	newPath := flag.String("new", "", "candidate benchjson file")
+	matchExpr := flag.String("match", "BenchmarkDSE|BenchmarkFigure6|BenchmarkFigure11|BenchmarkFigure13|BenchmarkResweep", "regexp of benchmarks to gate (sweep-scale ones; microsecond artifacts are too noisy at -benchtime 1x)")
+	maxPct := flag.Float64("max-pct", 25, "maximum allowed ns/op regression in percent")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	match, err := regexp.Compile(*matchExpr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	old, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report, failures := gate(old, cur, match, *maxPct)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK (%d benchmarks within %.0f%%)\n", len(report), *maxPct)
+}

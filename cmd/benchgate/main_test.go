@@ -1,0 +1,61 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestGate(t *testing.T) {
+	old := map[string]Entry{
+		"BenchmarkDSE":      {NsPerOp: 1000},
+		"BenchmarkFigure11": {NsPerOp: 2000},
+		"BenchmarkOther":    {NsPerOp: 10},
+	}
+	match := regexp.MustCompile(`BenchmarkDSE|BenchmarkFigure`)
+
+	// Improvement and small regression pass.
+	cur := map[string]Entry{
+		"BenchmarkDSE":      {NsPerOp: 500},
+		"BenchmarkFigure11": {NsPerOp: 2400}, // +20%
+		"BenchmarkOther":    {NsPerOp: 9999}, // unmatched: ignored
+	}
+	report, failures := gate(old, cur, match, 25)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(report) != 2 {
+		t.Fatalf("report covers %d benchmarks, want 2: %v", len(report), report)
+	}
+
+	// A regression beyond the threshold fails.
+	cur["BenchmarkFigure11"] = Entry{NsPerOp: 2600} // +30%
+	_, failures = gate(old, cur, match, 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkFigure11") {
+		t.Fatalf("regression not caught: %v", failures)
+	}
+
+	// A new benchmark without a baseline is reported, never failed.
+	cur["BenchmarkFigure11"] = Entry{NsPerOp: 2000}
+	cur["BenchmarkDSEPruned"] = Entry{NsPerOp: 123}
+	report, failures = gate(old, cur, match, 25)
+	if len(failures) != 0 {
+		t.Fatalf("new benchmark failed the gate: %v", failures)
+	}
+	found := false
+	for _, line := range report {
+		if strings.Contains(line, "BenchmarkDSEPruned") && strings.Contains(line, "no baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new benchmark not reported: %v", report)
+	}
+
+	// A deleted benchmark fails the gate.
+	delete(cur, "BenchmarkDSE")
+	_, failures = gate(old, cur, match, 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("deleted benchmark not caught: %v", failures)
+	}
+}

@@ -20,6 +20,7 @@
 //	go run ./cmd/heraldd -class edge -partition "nvdla:512:8,shi-diannao:512:8"
 //	go run ./cmd/heraldd -class edge -replicas 4 -fleet-policy cost-aware
 //	go run ./cmd/heraldd -class edge -replicas 3 -fleet-topk
+//	go run ./cmd/heraldd -class edge -replicas 2 -resweep-every 30s
 //
 // API (see internal/serve; fleets serve internal/fleet's API, which
 // adds GET /v1/fleet/stats and /v1/replicas/{i}/... delegation):
@@ -39,6 +40,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	herald "repro"
 )
@@ -59,6 +61,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replica serving engines; > 1 serves a fleet")
 	fleetPolicy := flag.String("fleet-policy", "cost-aware", "fleet routing policy: round-robin, least-outstanding, cost-aware")
 	fleetTopK := flag.Bool("fleet-topk", false, "heterogeneous fleet: replicas take the top-K bootstrap-DSE points instead of K copies of the best")
+	resweepEvery := flag.Duration("resweep-every", 0, "periodically re-run the partition DSE on the observed tenant mix and log the winner (0 = off; log-only, does not respawn replicas yet)")
 	flag.Parse()
 
 	class, err := herald.ParseClass(*className)
@@ -104,7 +107,7 @@ func main() {
 	srvOpts.MaxBatch = *maxBatch
 
 	var handler http.Handler
-	if *replicas == 1 {
+	if *replicas == 1 && *resweepEvery <= 0 {
 		engine, err := herald.NewServingEngine(cache, hdas[0], srvOpts)
 		if err != nil {
 			log.Fatal(err)
@@ -112,11 +115,22 @@ func main() {
 		handler = engine.Handler()
 		log.Printf("heraldd listening on %s (HDA %v, clock %g GHz)", *addr, hdas[0], *clockGHz)
 	} else {
+		// A resweep probe needs the fleet dispatcher's observed-mix
+		// accounting, so -resweep-every promotes even a single replica
+		// to a fleet of one.
 		policy, err := herald.ParseFleetPolicy(*fleetPolicy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fl, err := herald.NewFleet(cache, hdas, herald.FleetOptions{Serve: srvOpts, Policy: policy})
+		fopts := herald.FleetOptions{Serve: srvOpts, Policy: policy}
+		if *resweepEvery > 0 {
+			sw, err := resweepSweeper(cache, class, *stylesFlag, *peUnits, *bwUnits, *strategyFlag, *objectiveFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fopts.Sweeper = sw
+		}
+		fl, err := herald.NewFleet(cache, hdas, fopts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -125,9 +139,56 @@ func main() {
 			log.Printf("  replica %d: %v", i, h)
 		}
 		log.Printf("heraldd fleet listening on %s (%d replicas, %s routing, clock %g GHz)",
-			*addr, *replicas, policy, *clockGHz)
+			*addr, len(hdas), policy, *clockGHz)
+		if *resweepEvery > 0 {
+			log.Printf("resweep probe every %v (log-only)", *resweepEvery)
+			go resweepLoop(fl, *resweepEvery, log.Printf)
+		}
 	}
 	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// resweepSweeper builds the reusable partition-search handle the fleet
+// probes with: the bootstrap space, in pruned best-only mode (a probe
+// only needs the winner).
+func resweepSweeper(cache *herald.CostCache, class herald.Class, stylesCSV string, peUnits, bwUnits int, strategy, objective string) (*herald.Sweeper, error) {
+	var styles []herald.Style
+	for _, s := range strings.Split(stylesCSV, ",") {
+		st, err := herald.ParseStyle(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		styles = append(styles, st)
+	}
+	opts, err := searchOptions(strategy, objective)
+	if err != nil {
+		return nil, err
+	}
+	opts.BestOnly = true
+	opts.Prune = true
+	sp := herald.SearchSpace{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
+	return herald.NewSweeper(cache, sp, opts)
+}
+
+// resweepLoop periodically fires resweepProbe and logs the outcome.
+func resweepLoop(fl *herald.Fleet, every time.Duration, logf func(string, ...any)) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for range tick.C {
+		logf("%s", resweepProbe(fl))
+	}
+}
+
+// resweepProbe runs one observed-mix resweep and renders the log line:
+// what partition today's traffic would pick. It never acts on the
+// result — that is the future repartitioning controller's job.
+func resweepProbe(fl *herald.Fleet) string {
+	res, err := fl.Resweep(nil)
+	if err != nil {
+		return fmt.Sprintf("resweep probe: %v", err)
+	}
+	return fmt.Sprintf("resweep probe: observed mix would pick %v (EDP %.4g J*s, latency %.3f ms; %d evaluated, %d pruned)",
+		res.Best.HDA, res.Best.EDP, res.Best.LatencySec*1e3, res.Explored, res.Pruned)
 }
 
 // repeatHDA builds a homogeneous replica list.
@@ -167,6 +228,20 @@ func bootstrapSearch(cache *herald.CostCache, class herald.Class, stylesCSV stri
 	if err != nil {
 		return nil, 0, err
 	}
+	opts, err := searchOptions(strategy, objective)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp := herald.SearchSpace{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
+	res, err := herald.Search(cache, sp, w, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bootstrap DSE: %w", err)
+	}
+	return res, opts.Objective, nil
+}
+
+// searchOptions resolves the -strategy and -objective flags.
+func searchOptions(strategy, objective string) (herald.SearchOptions, error) {
 	opts := herald.DefaultSearchOptions()
 	switch strategy {
 	case "exhaustive":
@@ -176,7 +251,7 @@ func bootstrapSearch(cache *herald.CostCache, class herald.Class, stylesCSV stri
 	case "random":
 		opts.Strategy = herald.Random
 	default:
-		return nil, 0, fmt.Errorf("unknown strategy %q", strategy)
+		return opts, fmt.Errorf("unknown strategy %q", strategy)
 	}
 	switch objective {
 	case "edp":
@@ -186,14 +261,9 @@ func bootstrapSearch(cache *herald.CostCache, class herald.Class, stylesCSV stri
 	case "energy":
 		opts.Objective = herald.ObjectiveEnergy
 	default:
-		return nil, 0, fmt.Errorf("unknown objective %q", objective)
+		return opts, fmt.Errorf("unknown objective %q", objective)
 	}
-	sp := herald.SearchSpace{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
-	res, err := herald.Search(cache, sp, w, opts)
-	if err != nil {
-		return nil, 0, fmt.Errorf("bootstrap DSE: %w", err)
-	}
-	return res, opts.Objective, nil
+	return opts, nil
 }
 
 func bootstrapWorkload(name string) (*herald.Workload, error) {

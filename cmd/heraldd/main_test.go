@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	herald "repro"
@@ -69,6 +71,63 @@ func TestBootstrapSearch(t *testing.T) {
 	}
 	if _, _, err := bootstrapSearch(cache, herald.Edge, "nvdla,warp", 4, 2, "exhaustive", "edp", "arvr-a"); err == nil {
 		t.Error("bad style accepted")
+	}
+}
+
+// TestResweepProbe: the -resweep-every machinery end to end — a fleet
+// of one with the flag-built sweeper reports "no traffic" before any
+// request, and after serving a mixed load the probe names the
+// partition the observed mix would pick.
+func TestResweepProbe(t *testing.T) {
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+	sw, err := resweepSweeper(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "edp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hda, err := herald.NewHDA("probe", herald.Edge, []herald.Partition{
+		{Style: herald.NVDLA, PEs: 512, BWGBps: 8},
+		{Style: herald.ShiDiannao, PEs: 512, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := herald.DefaultFleetOptions()
+	opts.Sweeper = sw
+	fl, err := herald.NewReplicatedFleet(cache, hda, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if line := resweepProbe(fl); !strings.Contains(line, "no traffic") {
+		t.Errorf("probe before traffic: %q", line)
+	}
+
+	for _, model := range []string{"mobilenetv1", "mobilenetv1", "resnet50"} {
+		tk, err := fl.Submit(herald.InferenceRequest{Tenant: "t", Model: model, ArrivalCycle: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	line := resweepProbe(fl)
+	if !strings.Contains(line, "would pick") || !strings.Contains(line, "evaluated") {
+		t.Errorf("probe after traffic: %q", line)
+	}
+	if _, err := fl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flag parsers behind the sweeper must keep rejecting garbage.
+	if _, err := resweepSweeper(cache, herald.Edge, "warp", 4, 2, "exhaustive", "edp"); err == nil {
+		t.Error("bad style accepted")
+	}
+	if _, err := resweepSweeper(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "nope", "edp"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	if _, err := resweepSweeper(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "nope"); err == nil {
+		t.Error("bad objective accepted")
 	}
 }
 

@@ -55,5 +55,5 @@ func main() {
 		fmt.Printf("  %-20s %5.1f%% busy (%d PEs, %g GB/s)\n", sub.Name, 100*u, sub.HW.PEs, sub.HW.BWGBps)
 	}
 	fmt.Printf("  peak shared-buffer occupancy: %.2f MiB of %d MiB\n",
-		float64(design.Schedule.PeakOccupancyBytes)/(1<<20), herald.Edge.GlobalBufBytes>>20)
+		float64(design.Schedule.PeakOccupancyBytes())/(1<<20), herald.Edge.GlobalBufBytes>>20)
 }

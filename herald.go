@@ -277,7 +277,10 @@ func Search(cache *CostCache, space SearchSpace, w *Workload, opts SearchOptions
 	return dse.Search(cache, space, w, opts)
 }
 
-// SearchOptions configures a DSE run.
+// SearchOptions configures a DSE run. BestOnly drops the design cloud
+// (memory O(workers) instead of O(space)); Prune additionally skips
+// scheduling partitions whose objective lower bound provably cannot
+// win — Best is bit-identical either way.
 type SearchOptions = dse.Options
 
 // SearchResult is a DSE outcome (cloud, Pareto front, best point).
@@ -286,6 +289,18 @@ type SearchResult = dse.Result
 // DefaultSearchOptions returns an exhaustive search with default
 // scheduling.
 func DefaultSearchOptions() SearchOptions { return dse.DefaultOptions() }
+
+// Sweeper is a reusable DSE handle: per-worker schedulers, partition
+// HDAs and bound memo tables stay warm across Sweep calls, so
+// re-running a search (e.g. a fleet probing repartitioning on its
+// observed traffic) costs a warm sweep instead of a cold one.
+type Sweeper = dse.Sweeper
+
+// NewSweeper builds a reusable sweep handle over one (space, options)
+// search configuration.
+func NewSweeper(cache *CostCache, space SearchSpace, opts SearchOptions) (*Sweeper, error) {
+	return dse.NewSweeper(cache, space, opts)
+}
 
 // --- Schedule inspection and export (internal/trace) ---
 

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/dataflow"
@@ -36,6 +37,12 @@ import (
 type Herald struct {
 	cache *maestro.Cache
 	opts  sched.Options
+
+	// schedPool recycles Compile's schedulers: a Scheduler is not
+	// concurrency-safe, but its scratch state (run arrays, ledger,
+	// post-processing buffers) is expensive to rebuild per call, so
+	// concurrent Compiles each borrow one.
+	schedPool sync.Pool
 }
 
 // New returns a Herald over a fresh cost cache with the given
@@ -77,11 +84,14 @@ type Design struct {
 	EnergyMJ   float64
 	EDP        float64
 
-	// Explored is the number of design points evaluated.
+	// Explored is the number of design points the search covered
+	// (scheduled plus bound-pruned).
 	Explored int
-	// Pareto is the latency-energy front over the explored cloud.
+	// Pareto is the latency-energy front over the explored cloud
+	// (nil for CoDesignBest, which does not retain the cloud).
 	Pareto []dse.Point
-	// Cloud is every explored point (Fig. 6 / Fig. 11 raw data).
+	// Cloud is every explored point (Fig. 6 / Fig. 11 raw data; nil
+	// for CoDesignBest).
 	Cloud []dse.Point
 }
 
@@ -95,6 +105,28 @@ func (h *Herald) CoDesign(class accel.Class, styles []dataflow.Style, w *workloa
 	if err != nil {
 		return nil, fmt.Errorf("core: co-design failed: %w", err)
 	}
+	return DesignFromResult(res), nil
+}
+
+// CoDesignBest is CoDesign for callers that only need the winning
+// partition: the design cloud is streamed, not retained, and the
+// objective lower bound prunes partitions that provably cannot win
+// (dse.Options.BestOnly + Prune) — the Best point is bit-identical to
+// CoDesign's, a few times cheaper, and Design.Cloud/Pareto stay nil.
+func (h *Herald) CoDesignBest(class accel.Class, styles []dataflow.Style, w *workload.Workload, peUnits, bwUnits int, strategy dse.Strategy) (*Design, error) {
+	sp := dse.Space{Class: class, Styles: styles, PEUnits: peUnits, BWUnits: bwUnits}
+	opts := dse.Options{Strategy: strategy, Sched: h.opts, BestOnly: true, Prune: true}
+	res, err := dse.Search(h.cache, sp, w, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: co-design failed: %w", err)
+	}
+	return DesignFromResult(res), nil
+}
+
+// DesignFromResult converts a search outcome into the Fig. 10 output
+// (callers running their own dse.Sweeper, e.g. the experiment
+// drivers' memoized sweep handles).
+func DesignFromResult(res *dse.Result) *Design {
 	best := res.Best
 	return &Design{
 		HDA:        best.HDA,
@@ -102,15 +134,19 @@ func (h *Herald) CoDesign(class accel.Class, styles []dataflow.Style, w *workloa
 		LatencySec: best.LatencySec,
 		EnergyMJ:   best.EnergyMJ,
 		EDP:        best.EDP,
-		Explored:   len(res.Points),
+		Explored:   res.Explored + res.Pruned,
 		Pareto:     res.Pareto,
 		Cloud:      res.Points,
-	}, nil
+	}
 }
 
 // Compile schedules workload w on a fixed HDA (compile-time mode).
 func (h *Herald) Compile(hda *accel.HDA, w *workload.Workload) (*sched.Schedule, error) {
-	s := sched.MustNew(h.cache, h.opts)
+	s, _ := h.schedPool.Get().(*sched.Scheduler)
+	if s == nil {
+		s = sched.MustNew(h.cache, h.opts)
+	}
+	defer h.schedPool.Put(s)
 	return s.Schedule(hda, w)
 }
 

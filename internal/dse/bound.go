@@ -1,0 +1,174 @@
+package dse
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/accel"
+	"repro/internal/dnn"
+	"repro/internal/maestro"
+	"repro/internal/workload"
+)
+
+// Bound-based pruning (Options.Prune): before scheduling a partition,
+// the sweep computes lower bounds on the objective from cost-model
+// columns alone — no scheduling — and skips the full evaluation when
+// a bound cannot beat the best value any worker has seen so far.
+//
+// The bound uses each sub-accelerator's actual substrate columns —
+// the very columns the scheduler needs anyway, so when it fails to
+// prune, the cost-model work is reused by the evaluation. (A cheaper
+// bandwidth-independent tier — every sub-accelerator priced at the
+// full class bandwidth — was tried and pruned nothing: shared-NoC
+// shares are small enough that full-bandwidth latencies flatten the
+// whole space below any real objective value.)
+//
+// Soundness. For any legal schedule on a partition:
+//
+//   - every layer executes on some sub-accelerator, so its cycles
+//     (energy) are >= the minimum across that partition's
+//     sub-accelerators of the layer's cost-model cycles (energy);
+//   - an instance's layers form a dependence chain, so its completion
+//     is >= arrival + the sum of its per-layer cycle minima, and the
+//     makespan >= the maximum of that over instances;
+//   - every assigned cycle occupies one of nAcc sub-accelerators
+//     within [0, makespan], so makespan >= ceil(sum of all per-layer
+//     cycle minima / nAcc);
+//   - total energy >= the sum of per-layer energy minima. The energy
+//     sum is scaled by (1 - 1e-9) to absorb float summation-order
+//     differences against the scheduler's commit-order accumulation
+//     (the terms are exact per-layer minima; only association
+//     differs, which is orders of magnitude below the slack).
+//
+// The objective bounds compose from these: latency uses the cycle
+// bound at the same 1 GHz conversion Point uses; energy uses the
+// energy bound; EDP multiplies the two (IEEE multiplication of
+// positive values is monotone, so the product of lower bounds is a
+// lower bound of the product).
+//
+// Why pruning provably cannot change Best: a partition is skipped only
+// when some valid bound > current-best value. Since current-best >=
+// the true optimum v*, a skipped partition has objective >= bound >
+// v* — it is not an optimum. Every partition achieving v* has bound
+// <= v* <= current-best at any moment, so it is always evaluated; the
+// best-value set is evaluated in full and the earliest-index tie-break
+// reproduces the unpruned choice exactly. (The skip test is strictly
+// ">": with ">=", a partition whose bound coincides with its own
+// optimal objective could be skipped after another optimum was found,
+// losing the index tie-break.)
+
+// energySlack absorbs summation-order float differences between the
+// bound's per-layer energy sum and the scheduler's commit-order sum.
+const energySlack = 1 - 1e-9
+
+// bestTracker shares the lowest objective value seen across sweep
+// workers (float64 bits in an atomic, updated by CAS-min on the
+// decoded values; objective values are non-negative).
+type bestTracker struct {
+	bits atomic.Uint64
+}
+
+func newBestTracker() *bestTracker {
+	t := &bestTracker{}
+	t.bits.Store(math.Float64bits(math.Inf(1)))
+	return t
+}
+
+func (t *bestTracker) load() float64 { return math.Float64frombits(t.bits.Load()) }
+
+// offer lowers the shared best to v if v is smaller (CAS-min loop).
+func (t *bestTracker) offer(v float64) {
+	for {
+		old := t.bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if t.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// modelBound is one model's scheduling-free summary on one substrate
+// set: the dependence-chain cycle bound (sum over layers of the
+// cheapest sub-accelerator's cycles) and the matching per-layer
+// energy-minimum sum. Worker-private memoization makes repeated
+// re-sweeps (fleet.Resweep, figure sweeps over several workloads)
+// reuse the arithmetic; the cost columns underneath are interned in
+// the shared maestro cache.
+type modelBound struct {
+	chainCycles int64
+	energyPJ    float64
+}
+
+// boundKey identifies a memoized model bound: the packed unit vector
+// of the partition plus the interned model.
+type boundKey struct {
+	part  string
+	model *dnn.Model
+}
+
+// minsOver folds per-layer cycle/energy minima across a column set
+// into a modelBound.
+func minsOver(cols [][]*maestro.Cost, layers int) modelBound {
+	var mb modelBound
+	for li := 0; li < layers; li++ {
+		minC := cols[0][li].Cycles
+		minE := cols[0][li].Energy.Total()
+		for a := 1; a < len(cols); a++ {
+			if c := cols[a][li].Cycles; c < minC {
+				minC = c
+			}
+			if e := cols[a][li].Energy.Total(); e < minE {
+				minE = e
+			}
+		}
+		mb.chainCycles += minC
+		mb.energyPJ += minE
+	}
+	return mb
+}
+
+// aggregate folds per-instance model bounds into the objective bound.
+func aggregate(o Objective, w *workload.Workload, nAcc int, mbOf func(*dnn.Model) modelBound) float64 {
+	var maxChain, totalCycles int64
+	var totalE float64
+	for i := range w.Instances {
+		in := &w.Instances[i]
+		mb := mbOf(in.Model)
+		if c := in.ArrivalCycle + mb.chainCycles; c > maxChain {
+			maxChain = c
+		}
+		totalCycles += mb.chainCycles
+		totalE += mb.energyPJ
+	}
+	n := int64(nAcc)
+	if perAcc := (totalCycles + n - 1) / n; perAcc > maxChain {
+		maxChain = perAcc
+	}
+	latLB := float64(maxChain) / 1e9 // Point.LatencySec at the 1 GHz reference
+	energyLB := totalE * energySlack
+	switch o {
+	case ObjectiveLatency:
+		return latLB
+	case ObjectiveEnergy:
+		return energyLB * 1e-9 // Point.EnergyMJ
+	default: // EDP, joule-seconds: EnergyPJ * 1e-12 * LatencySec
+		return energyLB * 1e-12 * latLB
+	}
+}
+
+// lowerBound computes the objective bound from each sub-accelerator's
+// actual substrate columns (the ones a subsequent evaluation reuses),
+// memoized per (partition, model).
+func (wk *sweepWorker) lowerBound(o Objective, h *accel.HDA, part string, w *workload.Workload) float64 {
+	return aggregate(o, w, len(h.Subs), func(m *dnn.Model) modelBound {
+		key := boundKey{part: part, model: m}
+		if mb, ok := wk.bounds[key]; ok {
+			return mb
+		}
+		mb := minsOver(wk.colsFor(h, m), len(m.Layers))
+		wk.bounds[key] = mb
+		return mb
+	})
+}

@@ -7,15 +7,20 @@
 // Exhaustive search at user-set granularity is the default; binary
 // sampling and random search trade optimality for speed, as in the
 // paper.
+//
+// The sweep machinery is built for repeated online use, not just
+// design time: enumeration streams through a bounded channel (memory
+// O(workers), not O(space)); Options.BestOnly drops the design cloud;
+// Options.Prune skips scheduling partitions whose objective lower
+// bound (bound.go) provably cannot win; and a reusable Sweeper handle
+// (sweeper.go) keeps schedulers, HDAs and memo tables warm across
+// sweeps — the substrate for fleet.Resweep's dynamic-repartitioning
+// probes.
 package dse
 
 import (
 	"fmt"
-	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/dataflow"
@@ -148,6 +153,22 @@ type Options struct {
 
 	// Workers bounds the scheduling goroutines; 0 = GOMAXPROCS.
 	Workers int
+
+	// BestOnly drops the per-point design cloud: Result.Points and
+	// Result.Pareto stay nil (TopK over the cloud is unavailable) and
+	// only Best plus the Explored/Pruned counters are returned. Sweep
+	// memory becomes O(workers) instead of O(space) — the right mode
+	// for online re-sweeps that only need the winning partition.
+	BestOnly bool
+
+	// Prune enables bound-based pruning: partitions whose objective
+	// lower bound (computed from cost-model columns alone, no
+	// scheduling) cannot beat the best value seen so far are skipped.
+	// Pruning provably never changes Best (see bound.go). It requires
+	// BestOnly — when the full design cloud / Pareto front is
+	// requested, pruning is automatically disabled, because skipped
+	// points could be cloud or front members.
+	Prune bool
 }
 
 // DefaultOptions returns an exhaustive search with Herald's default
@@ -170,120 +191,37 @@ type Point struct {
 // Result is the outcome of a search.
 type Result struct {
 	Space  Space
-	Points []Point // in deterministic enumeration order
+	Points []Point // in deterministic enumeration order; nil under BestOnly
 	Best   Point   // minimizes Options.Objective (EDP by default)
-	Pareto []Point // latency-energy non-dominated set, by latency
+	Pareto []Point // latency-energy non-dominated set, by latency; nil under BestOnly
+
+	// Explored counts fully-scheduled partitions; Pruned counts those
+	// the objective lower bound skipped. Explored+Pruned is the whole
+	// enumerated space (Pruned is always 0 unless Prune && BestOnly).
+	Explored int
+	Pruned   int
 }
 
 // Search explores the space, scheduling workload w on every candidate
-// partition, and returns the evaluated design cloud.
+// partition, and returns the evaluated design cloud. It is the
+// one-shot form of NewSweeper + Sweep; callers that re-sweep (serving
+// fleets probing repartitioning) should hold a Sweeper instead.
 func Search(cache *maestro.Cache, sp Space, w *workload.Workload, opts Options) (*Result, error) {
-	if w == nil || len(w.Instances) == 0 {
-		return nil, fmt.Errorf("dse: nil or empty workload")
-	}
-	sp = sp.withDefaults()
-	if err := sp.Validate(); err != nil {
-		return nil, err
-	}
-	if err := opts.Sched.Validate(); err != nil {
-		return nil, err
-	}
-
-	parts, err := enumerate(sp, opts)
+	sw, err := NewSweeper(cache, sp, opts)
 	if err != nil {
 		return nil, err
 	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("dse: empty partition set for %s", sp.Class.Name)
-	}
-
-	points := make([]Point, len(parts))
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(parts) {
-		workers = len(parts)
-	}
-
-	// Each worker owns one scheduler (with its private L0 cost cache
-	// and scratch state) for its whole share of the space, tracks its
-	// local best point as results stream in, and checks the shared
-	// stop flag so one failed partition short-circuits the rest of the
-	// enumeration instead of burning the full space.
-	var (
-		wg       sync.WaitGroup
-		stop     atomic.Bool
-		errMu    sync.Mutex
-		firstErr error
-	)
-	bestIdx := make([]int, workers)
-	work := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			s := sched.MustNew(cache, opts.Sched)
-			best := -1
-			for i := range work {
-				if stop.Load() {
-					continue // drain the channel without evaluating
-				}
-				p, err := evaluate(s, sp, w, parts[i], i)
-				if err != nil {
-					stop.Store(true)
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					continue
-				}
-				points[i] = p
-				if best < 0 || betterPoint(opts.Objective, p, i, points[best], best) {
-					best = i
-				}
-			}
-			bestIdx[wk] = best
-		}(wk)
-	}
-	for i := range parts {
-		if stop.Load() {
-			break
-		}
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	// Merge the workers' streamed bests: lowest objective, earliest
-	// enumeration index on ties (identical to a sequential scan).
-	res := &Result{Space: sp, Points: points}
-	best := -1
-	for _, bi := range bestIdx {
-		if bi < 0 {
-			continue
-		}
-		if best < 0 || betterPoint(opts.Objective, points[bi], bi, points[best], best) {
-			best = bi
-		}
-	}
-	res.Best = points[best]
-	res.Pareto = ParetoFront(points)
-	return res, nil
+	return sw.Sweep(w)
 }
 
 // TopK returns the k best evaluated points under the objective, best
 // first, breaking ties toward the earlier enumeration index (the same
 // convention as Result.Best, so TopK(o, 1)[0] == Best when o is the
 // search objective). k beyond the design cloud returns every point;
-// k <= 0 returns nil. Heterogeneous serving fleets take their replica
-// HDAs from this list: the runner-up partitions trade the bootstrap
-// workload's optimum for dataflow diversity.
+// k <= 0 (or a BestOnly result, which retains no cloud) returns nil.
+// Heterogeneous serving fleets take their replica HDAs from this
+// list: the runner-up partitions trade the bootstrap workload's
+// optimum for dataflow diversity.
 func (r *Result) TopK(o Objective, k int) []Point {
 	if k <= 0 || len(r.Points) == 0 {
 		return nil
@@ -316,181 +254,31 @@ func betterPoint(o Objective, p Point, pi int, q Point, qi int) bool {
 	return pi < qi
 }
 
-// evaluate builds the HDA for one partition and schedules the workload
-// on it with the calling worker's scheduler.
-func evaluate(s *sched.Scheduler, sp Space, w *workload.Workload, part []int, idx int) (Point, error) {
-	peUnit := sp.Class.PEs / sp.PEUnits
-	bwUnit := sp.Class.BWGBps / float64(sp.BWUnits)
-	n := len(sp.Styles)
-	ps := make([]accel.Partition, n)
-	for i := 0; i < n; i++ {
-		ps[i] = accel.Partition{
-			Style:  sp.Styles[i],
-			PEs:    part[i] * peUnit,
-			BWGBps: float64(part[n+i]) * bwUnit,
-		}
-	}
-	h, err := accel.New(fmt.Sprintf("hda-%d", idx), sp.Class, ps)
-	if err != nil {
-		return Point{}, err
-	}
-	schd, err := s.Schedule(h, w)
-	if err != nil {
-		return Point{}, err
-	}
-	return Point{
-		HDA:        h,
-		Schedule:   schd,
-		LatencySec: schd.LatencySeconds(1.0),
-		EnergyMJ:   schd.EnergyMJ(),
-		EDP:        schd.EDP(1.0),
-	}, nil
-}
-
 // ParetoFront returns the latency-energy non-dominated subset of the
-// points, sorted by latency ascending.
+// points, sorted by latency ascending (energy ascending within equal
+// latency). The scan is sort + single pass — O(n log n), never the
+// O(n²) pairwise-dominance test — and sorts an index array so the
+// points themselves are copied once, straight into the front.
 func ParetoFront(points []Point) []Point {
-	sorted := append([]Point(nil), points...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].LatencySec != sorted[j].LatencySec {
-			return sorted[i].LatencySec < sorted[j].LatencySec
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := &points[idx[a]], &points[idx[b]]
+		if pa.LatencySec != pb.LatencySec {
+			return pa.LatencySec < pb.LatencySec
 		}
-		return sorted[i].EnergyMJ < sorted[j].EnergyMJ
+		return pa.EnergyMJ < pb.EnergyMJ
 	})
 	var front []Point
 	bestE := 0.0
-	for _, p := range sorted {
+	for _, i := range idx {
+		p := &points[i]
 		if len(front) == 0 || p.EnergyMJ < bestE {
-			front = append(front, p)
+			front = append(front, *p)
 			bestE = p.EnergyMJ
 		}
 	}
 	return front
-}
-
-// enumerate lists partitions as unit-count vectors: part[0:n] are PE
-// units per sub-accelerator, part[n:2n] are BW units; each entry >= 1,
-// sums equal the unit totals.
-func enumerate(sp Space, opts Options) ([][]int, error) {
-	n := len(sp.Styles)
-	peComps := compositions(sp.PEUnits, n)
-	bwComps := compositions(sp.BWUnits, n)
-
-	switch opts.Strategy {
-	case Binary:
-		// The Binary strategy keeps only all-power-of-two shares. Some
-		// granularities admit no such composition at all (e.g. 7 units
-		// across 2 sub-accelerators: no pair of powers of two sums to
-		// 7), which would otherwise surface as a confusing generic
-		// "empty partition set" failure.
-		if peComps = filterPow2(peComps); len(peComps) == 0 {
-			return nil, binaryEmptyErr("PE", sp.PEUnits, n)
-		}
-		if bwComps = filterPow2(bwComps); len(bwComps) == 0 {
-			return nil, binaryEmptyErr("bandwidth", sp.BWUnits, n)
-		}
-	case Random:
-		k := opts.Samples
-		if k <= 0 {
-			k = 32
-		}
-		return randomPartitions(sp, k, opts.Seed), nil
-	}
-
-	out := make([][]int, 0, len(peComps)*len(bwComps))
-	for _, pe := range peComps {
-		for _, bw := range bwComps {
-			part := make([]int, 2*n)
-			copy(part, pe)
-			copy(part[n:], bw)
-			out = append(out, part)
-		}
-	}
-	return out, nil
-}
-
-// binaryEmptyErr names the Binary pow2 constraint when it filters a
-// resource's composition space to nothing. The suggested granularity
-// is the smallest power of two >= units: any power-of-two total >= n
-// splits greedily into n power-of-two parts (Space.Validate already
-// guarantees units >= n).
-func binaryEmptyErr(resource string, units, n int) error {
-	pow2 := 1
-	for pow2 < units {
-		pow2 <<= 1
-	}
-	return fmt.Errorf("dse: Binary strategy requires every sub-accelerator's share to be a power of two, "+
-		"but %d %s units cannot be split into %d power-of-two parts; "+
-		"use a pow2-friendly granularity (e.g. %d units) or the Exhaustive/Random strategy",
-		units, resource, n, pow2)
-}
-
-// compositions enumerates all ways to write `total` as an ordered sum
-// of n parts, each >= 1.
-func compositions(total, n int) [][]int {
-	if n == 1 {
-		return [][]int{{total}}
-	}
-	var out [][]int
-	cur := make([]int, n)
-	var rec func(pos, left int)
-	rec = func(pos, left int) {
-		if pos == n-1 {
-			cur[pos] = left
-			out = append(out, append([]int(nil), cur...))
-			return
-		}
-		for v := 1; v <= left-(n-1-pos); v++ {
-			cur[pos] = v
-			rec(pos+1, left-v)
-		}
-	}
-	rec(0, total)
-	return out
-}
-
-// filterPow2 keeps compositions whose entries are all powers of two.
-func filterPow2(comps [][]int) [][]int {
-	var out [][]int
-	for _, c := range comps {
-		ok := true
-		for _, v := range c {
-			if v&(v-1) != 0 {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-// randomPartitions samples k unit-count vectors uniformly from the
-// composition space (with replacement; deterministic for a seed).
-func randomPartitions(sp Space, k int, seed int64) [][]int {
-	n := len(sp.Styles)
-	r := rand.New(rand.NewSource(seed))
-	sample := func(total int) []int {
-		// Stars-and-bars: choose n-1 distinct cut points.
-		cuts := r.Perm(total - 1)[: n-1 : n-1]
-		sort.Ints(cuts)
-		parts := make([]int, n)
-		prev := 0
-		for i, c := range cuts {
-			parts[i] = c + 1 - prev
-			prev = c + 1
-		}
-		parts[n-1] = total - prev
-		return parts
-	}
-	out := make([][]int, k)
-	for i := 0; i < k; i++ {
-		part := make([]int, 2*n)
-		copy(part, sample(sp.PEUnits))
-		copy(part[n:], sample(sp.BWUnits))
-		out[i] = part
-	}
-	return out
 }

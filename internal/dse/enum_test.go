@@ -1,0 +1,108 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+)
+
+// TestCompIterMatchesRecursive: the streaming composition iterator
+// must reproduce the eager recursive enumeration exactly — same
+// compositions, same order — for every shape the seed spaces use.
+func TestCompIterMatchesRecursive(t *testing.T) {
+	cases := [][2]int{{8, 2}, {16, 2}, {8, 3}, {16, 3}, {4, 1}, {3, 3}, {12, 4}}
+	for _, c := range cases {
+		total, n := c[0], c[1]
+		want := compositions(total, n)
+		it := newCompIter(total, n)
+		var got [][]int
+		for ok := !it.done; ok; ok = it.next() {
+			got = append(got, append([]int(nil), it.cur...))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("compIter(%d,%d): %d compositions, want %d", total, n, len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("compIter(%d,%d)[%d] = %v, want %v", total, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceSizeMatchesStream: the combinatorial count must equal the
+// number of partitions the stream yields, for every strategy.
+func TestSpaceSizeMatchesStream(t *testing.T) {
+	spaces := []Space{
+		edgeSpace(),
+		{Class: accel.Edge, Styles: []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao, dataflow.Eyeriss},
+			PEUnits: 8, BWUnits: 4},
+		{Class: accel.Mobile, Styles: []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao},
+			PEUnits: 16, BWUnits: 8},
+	}
+	for _, sp := range spaces {
+		sp = sp.withDefaults()
+		for _, strat := range []Strategy{Exhaustive, Binary, Random} {
+			opts := DefaultOptions()
+			opts.Strategy = strat
+			opts.Samples = 9
+			want, err := spaceSize(sp, opts)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", sp.Styles, strat, err)
+			}
+			got := 0
+			lastIdx := -1
+			streamPartitions(sp, opts, func(idx int, part []int) bool {
+				if idx != lastIdx+1 {
+					t.Fatalf("%v/%v: stream index %d after %d", sp.Styles, strat, idx, lastIdx)
+				}
+				lastIdx = idx
+				checkComposition(t, sp, part)
+				got++
+				return true
+			})
+			if got != want {
+				t.Errorf("%v/%v: spaceSize %d, stream yielded %d", sp.Styles, strat, want, got)
+			}
+		}
+	}
+}
+
+// TestSpaceSizeBinaryEmpty: the Binary count path must surface the
+// named pow2 error, same as the old filter did.
+func TestSpaceSizeBinaryEmpty(t *testing.T) {
+	sp := edgeSpace()
+	sp.BWUnits = 7
+	opts := DefaultOptions()
+	opts.Strategy = Binary
+	if _, err := spaceSize(sp.withDefaults(), opts); err == nil {
+		t.Fatal("7 BW units into 2 pow2 parts accepted")
+	}
+}
+
+// TestPow2CompCount pins the DP against the filtered eager reference.
+func TestPow2CompCount(t *testing.T) {
+	for _, c := range [][2]int{{8, 2}, {16, 2}, {8, 3}, {7, 2}, {12, 3}} {
+		total, n := c[0], c[1]
+		want := len(filterPow2(compositions(total, n)))
+		if got := pow2CompCount(total, n); got != want {
+			t.Errorf("pow2CompCount(%d,%d) = %d, want %d", total, n, got, want)
+		}
+	}
+}
+
+// TestStreamEarlyStop: returning false from yield stops the stream.
+func TestStreamEarlyStop(t *testing.T) {
+	sp := edgeSpace().withDefaults()
+	n := 0
+	streamPartitions(sp, DefaultOptions(), func(int, []int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("stream yielded %d partitions after early stop, want 3", n)
+	}
+}

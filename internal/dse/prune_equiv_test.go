@@ -1,0 +1,173 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/workload"
+)
+
+// The equivalence guard of the pruned sweep (same spirit as the
+// scheduler's golden/equivalence tests): over the seed spaces, every
+// strategy and every objective, a pruned BestOnly search must return a
+// Best point bit-identical to the unpruned full search's, and a Prune
+// request without BestOnly must fall back to full evaluation with
+// identical Points, TopK and Pareto front.
+
+func equivSpaces() []Space {
+	return []Space{
+		edgeSpace(), // 2-way, 8x4
+		{Class: accel.Edge,
+			Styles:  []dataflow.Style{dataflow.NVDLA, dataflow.ShiDiannao, dataflow.Eyeriss},
+			PEUnits: 8, BWUnits: 4}, // 3-way
+		{Class: accel.Mobile,
+			Styles:  []dataflow.Style{dataflow.ShiDiannao, dataflow.NVDLA},
+			PEUnits: 8, BWUnits: 8}, // pow2-friendly for Binary
+	}
+}
+
+func samePoint(t *testing.T, label string, a, b Point) {
+	t.Helper()
+	if a.HDA.Name != b.HDA.Name || a.HDA.String() != b.HDA.String() {
+		t.Errorf("%s: HDA %v (%s) != %v (%s)", label, a.HDA, a.HDA.Name, b.HDA, b.HDA.Name)
+	}
+	if a.LatencySec != b.LatencySec || a.EnergyMJ != b.EnergyMJ || a.EDP != b.EDP {
+		t.Errorf("%s: metrics (%g,%g,%g) != (%g,%g,%g)",
+			label, a.LatencySec, a.EnergyMJ, a.EDP, b.LatencySec, b.EnergyMJ, b.EDP)
+	}
+}
+
+func TestPrunedSearchEquivalence(t *testing.T) {
+	cache := testCache()
+	w := workload.MustNew("equiv", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 2},
+		{Model: "brq-handpose", Batches: 1},
+	})
+	for _, sp := range equivSpaces() {
+		for _, strat := range []Strategy{Exhaustive, Binary, Random} {
+			for _, obj := range []Objective{ObjectiveEDP, ObjectiveLatency, ObjectiveEnergy} {
+				label := sp.Class.Name + "/" + strat.String() + "/" + obj.String()
+
+				base := DefaultOptions()
+				base.Strategy = strat
+				base.Objective = obj
+				base.Samples = 10
+				base.Seed = 5
+
+				full, err := Search(cache, sp, w, base)
+				if err != nil {
+					t.Fatalf("%s: unpruned: %v", label, err)
+				}
+
+				// Pruned best-only search: identical Best.
+				pruned := base
+				pruned.Prune = true
+				pruned.BestOnly = true
+				fast, err := Search(cache, sp, w, pruned)
+				if err != nil {
+					t.Fatalf("%s: pruned: %v", label, err)
+				}
+				samePoint(t, label+"/best", fast.Best, full.Best)
+				samePoint(t, label+"/best-vs-top1", fast.Best, full.TopK(obj, 1)[0])
+				if fast.Explored+fast.Pruned != full.Explored {
+					t.Errorf("%s: pruned coverage %d+%d != space %d",
+						label, fast.Explored, fast.Pruned, full.Explored)
+				}
+				if fast.Points != nil || fast.Pareto != nil {
+					t.Errorf("%s: BestOnly retained a cloud (%d points, %d front)",
+						label, len(fast.Points), len(fast.Pareto))
+				}
+
+				// Prune without BestOnly: the full front is requested, so
+				// pruning must disable itself and everything matches.
+				cloud := base
+				cloud.Prune = true
+				wide, err := Search(cache, sp, w, cloud)
+				if err != nil {
+					t.Fatalf("%s: prune-with-cloud: %v", label, err)
+				}
+				if wide.Pruned != 0 {
+					t.Errorf("%s: pruning fired (%d) despite a requested Pareto front", label, wide.Pruned)
+				}
+				if len(wide.Points) != len(full.Points) {
+					t.Fatalf("%s: cloud %d points != %d", label, len(wide.Points), len(full.Points))
+				}
+				for i := range full.Points {
+					samePoint(t, label+"/cloud", wide.Points[i], full.Points[i])
+				}
+				if len(wide.Pareto) != len(full.Pareto) {
+					t.Fatalf("%s: Pareto %d != %d", label, len(wide.Pareto), len(full.Pareto))
+				}
+				for i := range full.Pareto {
+					samePoint(t, label+"/pareto", wide.Pareto[i], full.Pareto[i])
+				}
+				wantTop := full.TopK(obj, 3)
+				gotTop := wide.TopK(obj, 3)
+				for i := range wantTop {
+					samePoint(t, label+"/topk", gotTop[i], wantTop[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBoundIsSound: on every point of a full sweep, the objective
+// lower bound must not exceed the point's true objective — the
+// property the pruning-identity argument rests on.
+func TestBoundIsSound(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	sp := edgeSpace()
+	for _, obj := range []Objective{ObjectiveEDP, ObjectiveLatency, ObjectiveEnergy} {
+		opts := DefaultOptions()
+		opts.Objective = obj
+		sw, err := NewSweeper(cache, sp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sw.Sweep(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wk := sw.workers[0]
+		i := 0
+		streamPartitions(sw.sp, sw.opts, func(idx int, part []int) bool {
+			key := wk.partKey(part)
+			h, err := wk.hda(sw.sp, key, part, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := obj.value(res.Points[idx])
+			if bound := wk.lowerBound(obj, h, key, w); bound > v {
+				t.Errorf("%s: point %d bound %g exceeds objective %g", obj, idx, bound, v)
+			}
+			i++
+			return true
+		})
+		if i != len(res.Points) {
+			t.Fatalf("checked %d of %d points", i, len(res.Points))
+		}
+	}
+}
+
+// TestPrunedSweepPrunes: on the seed space the bound must actually
+// fire for a meaningful share of the partitions (otherwise the fast
+// path is dead weight) — and the winner must still match.
+func TestPrunedSweepPrunes(t *testing.T) {
+	cache := testCache()
+	w := smallWorkload()
+	opts := DefaultOptions()
+	opts.Prune = true
+	opts.BestOnly = true
+	res, err := Search(cache, edgeSpace(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned == 0 {
+		t.Logf("warning: bound pruned nothing on the seed space (explored %d)", res.Explored)
+	}
+	if res.Explored+res.Pruned != 21 {
+		t.Errorf("coverage %d+%d != 21", res.Explored, res.Pruned)
+	}
+}

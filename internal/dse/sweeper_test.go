@@ -1,0 +1,121 @@
+package dse
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSweeperReuse: repeated Sweep calls on one handle must return
+// identical results (warm HDA/cost/bound memos must not change
+// anything), including across different workloads.
+func TestSweeperReuse(t *testing.T) {
+	cache := testCache()
+	opts := DefaultOptions()
+	opts.Prune = true
+	opts.BestOnly = true
+	sw, err := NewSweeper(cache, edgeSpace(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wA := smallWorkload()
+	wB := workload.MustNew("shifted", []workload.Entry{
+		{Model: "mobilenetv1", Batches: 1},
+		{Model: "unet", Batches: 1},
+	})
+
+	coldA, err := sw.Sweep(wA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Sweep(wB); err != nil { // interleave another mix
+		t.Fatal(err)
+	}
+	warmA, err := sw.Sweep(wA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoint(t, "cold-vs-warm", warmA.Best, coldA.Best)
+	if warmA.Explored+warmA.Pruned != coldA.Explored+coldA.Pruned {
+		t.Errorf("coverage changed across reuse: %d+%d vs %d+%d",
+			warmA.Explored, warmA.Pruned, coldA.Explored, coldA.Pruned)
+	}
+
+	// The warm sweep must reuse cached HDAs: the same partition must
+	// resolve to the same pointer within a worker.
+	wk := sw.workers[0]
+	part := []int{4, 4, 2, 2}
+	h1, err := wk.hda(sw.sp, wk.partKey(part), part, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := wk.hda(sw.sp, wk.partKey(part), part, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("worker rebuilt a cached HDA")
+	}
+}
+
+// TestSweeperBestOnlyKeepsSchedule: the retained Best point must carry
+// its schedule even when the cloud is dropped (core.Design needs it).
+func TestSweeperBestOnlyKeepsSchedule(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BestOnly = true
+	res, err := Search(testCache(), edgeSpace(), smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Schedule == nil {
+		t.Fatal("BestOnly Best has no schedule")
+	}
+	if err := res.Best.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepRaceHammer exercises the memo/bound paths under maximum
+// worker parallelism — the sweep-local tables are worker-private by
+// construction and must stay that way (run under `make race`).
+func TestSweepRaceHammer(t *testing.T) {
+	cache := testCache()
+	for _, bestOnly := range []bool{false, true} {
+		opts := DefaultOptions()
+		opts.Workers = 8
+		opts.Prune = true
+		opts.BestOnly = bestOnly
+		sw, err := NewSweeper(cache, edgeSpace(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref atomic.Pointer[Point]
+		for round := 0; round < 3; round++ {
+			res, err := sw.Sweep(smallWorkload())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev := ref.Load(); prev != nil {
+				samePoint(t, "race-hammer", res.Best, *prev)
+			}
+			best := res.Best
+			ref.Store(&best)
+		}
+	}
+}
+
+// TestSearchWorkersClamped: more workers than partitions must not
+// break anything (the pool idles, results unchanged).
+func TestSearchWorkersClamped(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 64
+	res, err := Search(testCache(), edgeSpace(), smallWorkload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 21 || res.Explored != 21 {
+		t.Errorf("explored %d points (cloud %d), want 21", res.Explored, len(res.Points))
+	}
+}

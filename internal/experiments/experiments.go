@@ -29,8 +29,18 @@ type Config struct {
 	PEUnits2, BWUnits2 int
 	PEUnits3, BWUnits3 int
 
-	mu      sync.Mutex
-	designs map[string]*core.Design
+	mu       sync.Mutex
+	designs  map[string]*core.Design
+	sweepers map[string]*sweeperEntry
+}
+
+// sweeperEntry is one memoized dse.Sweeper plus its own lock: a
+// Sweeper is not safe for concurrent Sweeps, and serializing per
+// (class, styles) handle — instead of per Config — keeps unrelated
+// scenario searches parallel.
+type sweeperEntry struct {
+	mu sync.Mutex
+	sw *dse.Sweeper
 }
 
 // New returns the full-fidelity configuration used by cmd/experiments
@@ -40,7 +50,8 @@ func New() *Config {
 		H:        core.Default(),
 		PEUnits2: 16, BWUnits2: 8,
 		PEUnits3: 8, BWUnits3: 4,
-		designs: map[string]*core.Design{},
+		designs:  map[string]*core.Design{},
+		sweepers: map[string]*sweeperEntry{},
 	}
 }
 
@@ -50,7 +61,8 @@ func NewQuick() *Config {
 		H:        core.Default(),
 		PEUnits2: 8, BWUnits2: 4,
 		PEUnits3: 4, BWUnits3: 3,
-		designs: map[string]*core.Design{},
+		designs:  map[string]*core.Design{},
+		sweepers: map[string]*sweeperEntry{},
 	}
 }
 
@@ -82,7 +94,12 @@ func MaelstromStyles() []dataflow.Style {
 func Workloads() []*workload.Workload { return workload.Evaluated() }
 
 // Design co-designs (and memoizes) the best HDA for a style combo on a
-// workload and class.
+// workload and class. The search runs on a memoized per-(class,
+// styles) dse.Sweeper in pruned best-only mode: the figure drivers
+// only read the winning partition and its metrics, so the cloud is
+// streamed rather than retained, provably-losing partitions are bound-
+// pruned, and re-designs of the same space for another workload (the
+// Figure 11/13 grids) reuse warm schedulers, HDAs and cost columns.
 func (c *Config) Design(class accel.Class, styles []dataflow.Style, w *workload.Workload) (*core.Design, error) {
 	key := class.Name + "|" + w.Name + "|" + comboKey(styles)
 	c.mu.Lock()
@@ -91,18 +108,52 @@ func (c *Config) Design(class accel.Class, styles []dataflow.Style, w *workload.
 	if ok {
 		return d, nil
 	}
-	pe, bw := c.PEUnits2, c.BWUnits2
-	if len(styles) >= 3 {
-		pe, bw = c.PEUnits3, c.BWUnits3
-	}
-	d, err := c.H.CoDesign(class, styles, w, pe, bw, dse.Exhaustive)
+	entry, err := c.sweeper(class, styles)
 	if err != nil {
 		return nil, err
 	}
+	entry.mu.Lock()
+	res, err := entry.sw.Sweep(w)
+	entry.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	d = core.DesignFromResult(res)
 	c.mu.Lock()
 	c.designs[key] = d
 	c.mu.Unlock()
 	return d, nil
+}
+
+// sweeper returns (building and memoizing) the pruned best-only
+// Sweeper of one (class, styles) space.
+func (c *Config) sweeper(class accel.Class, styles []dataflow.Style) (*sweeperEntry, error) {
+	pe, bw := c.PEUnits2, c.BWUnits2
+	if len(styles) >= 3 {
+		pe, bw = c.PEUnits3, c.BWUnits3
+	}
+	key := class.Name + "|" + comboKey(styles)
+	c.mu.Lock()
+	entry, ok := c.sweepers[key]
+	c.mu.Unlock()
+	if ok {
+		return entry, nil
+	}
+	sp := dse.Space{Class: class, Styles: styles, PEUnits: pe, BWUnits: bw}
+	opts := dse.Options{Strategy: dse.Exhaustive, Sched: c.H.SchedOptions(), BestOnly: true, Prune: true}
+	sw, err := dse.NewSweeper(c.H.Cache(), sp, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.sweepers[key]; ok {
+		entry = prev // lost the build race; keep one canonical handle
+	} else {
+		entry = &sweeperEntry{sw: sw}
+		c.sweepers[key] = entry
+	}
+	c.mu.Unlock()
+	return entry, nil
 }
 
 // Maelstrom co-designs the NVDLA+Shi-diannao HDA for a scenario.

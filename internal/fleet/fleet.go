@@ -30,6 +30,12 @@
 // LeastOutstanding is the exception: it probes live engine state, so
 // its assignments depend on how far each engine's scheduling
 // goroutine has progressed.
+//
+// A fleet equipped with a dse.Sweeper (Options.Sweeper) additionally
+// supports Resweep: re-running the hardware-partition search on the
+// observed tenant mix against warm sweep state. This is the probe the
+// roadmap's dynamic-repartitioning controller builds on — it reports
+// what partition today's traffic would pick, without acting on it.
 package fleet
 
 import (
@@ -44,8 +50,10 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/dnn"
+	"repro/internal/dse"
 	"repro/internal/maestro"
 	"repro/internal/serve"
+	"repro/internal/workload"
 )
 
 // Policy selects how submissions are routed across replicas.
@@ -93,6 +101,14 @@ type Options struct {
 	Serve serve.Options
 	// Policy selects the routing policy (default CostAware).
 	Policy Policy
+
+	// Sweeper optionally equips the fleet with a reusable DSE handle
+	// over the partition space its HDAs came from. It is what makes
+	// Resweep possible: re-running the partition search on the
+	// observed tenant mix against warm schedulers and memo tables —
+	// the probe a dynamic-repartitioning controller periodically
+	// fires to learn whether workload drift has moved the optimum.
+	Sweeper *dse.Sweeper
 }
 
 // DefaultOptions returns a cost-aware fleet over the serving-engine
@@ -160,6 +176,15 @@ type Fleet struct {
 	mu       sync.Mutex
 	rrNext   int
 	draining bool
+
+	// modelCounts tracks accepted submissions per model name (under
+	// mu) — the observed tenant mix Resweep searches over.
+	modelCounts map[string]int64
+
+	// resweepMu serializes Resweep calls: a dse.Sweeper is a reusable
+	// handle but not safe for concurrent sweeps.
+	resweepMu sync.Mutex
+	sweeper   *dse.Sweeper
 }
 
 // New starts one serving engine per HDA, all sharing one cost cache.
@@ -176,7 +201,13 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 	if opts.Policy < RoundRobin || opts.Policy > CostAware {
 		return nil, fmt.Errorf("fleet: unknown policy %d", int(opts.Policy))
 	}
-	f := &Fleet{cache: cache, policy: opts.Policy, start: time.Now()}
+	f := &Fleet{
+		cache:       cache,
+		policy:      opts.Policy,
+		start:       time.Now(),
+		modelCounts: make(map[string]int64),
+		sweeper:     opts.Sweeper,
+	}
 	for i, h := range hdas {
 		r := &replica{id: i, hda: h, est: make(map[*dnn.Model]int64)}
 		so := opts.Serve
@@ -255,6 +286,9 @@ func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
 		return nil, err
 	}
 	r.dispatched++
+	if model != nil {
+		f.modelCounts[model.Name]++
+	}
 	if f.policy == CostAware {
 		r.horizon = eta
 	}
@@ -432,6 +466,77 @@ func (f *Fleet) Stats() Stats {
 		st.SimThroughputRPS = float64(st.Completed) / simSeconds
 	}
 	return st
+}
+
+// ObservedMix snapshots the fleet's served traffic as a workload: one
+// entry per model the dispatcher accepted, batch counts scaled to the
+// smallest observed share (min positive count = 1 batch, others
+// rounded to the nearest ratio — ceiling rounding would turn a 9:8
+// mix into a 2:1 probe) and capped at maxMixBatches so a probe sweep
+// stays cheap regardless of absolute traffic volume. Returns nil when
+// nothing has been observed yet. The mix is deterministic for a fixed
+// submission history.
+func (f *Fleet) ObservedMix(name string) *workload.Workload {
+	f.mu.Lock()
+	counts := make(map[string]int64, len(f.modelCounts))
+	for m, n := range f.modelCounts {
+		counts[m] = n
+	}
+	f.mu.Unlock()
+	if len(counts) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(counts))
+	minCount := int64(0)
+	for m, n := range counts {
+		names = append(names, m)
+		if minCount == 0 || n < minCount {
+			minCount = n
+		}
+	}
+	sort.Strings(names)
+	entries := make([]workload.Entry, 0, len(names))
+	for _, m := range names {
+		b := int((counts[m] + minCount/2) / minCount) // round to nearest share
+		if b < 1 {
+			b = 1
+		}
+		if b > maxMixBatches {
+			b = maxMixBatches
+		}
+		entries = append(entries, workload.Entry{Model: m, Batches: b})
+	}
+	w, err := workload.New(name, entries)
+	if err != nil {
+		return nil // defensive: counted models come from the zoo
+	}
+	return w
+}
+
+// maxMixBatches caps each model's batch count in ObservedMix: the mix
+// is a representative ratio, not a replay, and probe sweeps must stay
+// cheap under heavy traffic.
+const maxMixBatches = 8
+
+// Resweep re-runs the fleet's partition search (Options.Sweeper) on
+// workload w — or on the observed tenant mix when w is nil — and
+// returns the search result. It only reports what partition the
+// current traffic would pick; acting on it (spawning replicas on the
+// winner and draining the old ones) is the dynamic-repartitioning
+// controller's job, which builds on this probe. Sweeps are serialized
+// but do not block dispatch.
+func (f *Fleet) Resweep(w *workload.Workload) (*dse.Result, error) {
+	if f.sweeper == nil {
+		return nil, fmt.Errorf("fleet: no sweeper configured (set Options.Sweeper to enable Resweep)")
+	}
+	if w == nil {
+		if w = f.ObservedMix("observed-mix"); w == nil {
+			return nil, fmt.Errorf("fleet: no traffic observed yet")
+		}
+	}
+	f.resweepMu.Lock()
+	defer f.resweepMu.Unlock()
+	return f.sweeper.Sweep(w)
 }
 
 // Drain stops admissions, fans the drain out to every replica, joins

@@ -1,7 +1,7 @@
 package maestro
 
 import (
-	"hash/maphash"
+	"math"
 	"sync"
 
 	"repro/internal/dataflow"
@@ -13,6 +13,7 @@ import (
 //
 //	L1 mapping cache:  (shape, style, PEs)        -> dataflow.Mapping
 //	L1 cost cache:     (shape, style, full HW)    -> Cost, sharded
+//	column cache:      (model, style, full HW)    -> []*Cost
 //
 // The mapping level exists because dataflow.Map depends only on the
 // layer shape, the style and the PE count — not on the bandwidth or
@@ -48,6 +49,14 @@ type mapKey struct {
 	pes   int
 }
 
+// columnKey identifies a whole-model cost column. Zoo models are
+// interned (dnn.ByName caches), so the pointer is a stable identity.
+type columnKey struct {
+	model *dnn.Model
+	style dataflow.Style
+	hw    HW
+}
+
 type costShard struct {
 	mu sync.RWMutex
 	m  map[costKey]*Cost
@@ -57,18 +66,35 @@ type costShard struct {
 // for concurrent use.
 type Cache struct {
 	table energy.Table
-	seed  maphash.Seed
 
-	// mappings is the shared (shape, style, PEs) -> dataflow.Mapping
-	// level; sync.Map suits its read-mostly, write-once population.
-	mappings sync.Map
+	// mappings is the shared (shape, style, PEs) -> *dataflow.Mapping
+	// level. A typed RWMutex map, not a sync.Map: lookups happen only
+	// on cost-entry misses, where sync.Map's per-Load interface boxing
+	// and type hashing profiled as a double-digit share of a cold DSE
+	// sweep.
+	mappings struct {
+		mu sync.RWMutex
+		m  map[mapKey]*dataflow.Mapping
+	}
+
+	// columns interns whole-model cost rows: (model, style, HW) ->
+	// []*Cost, one interned entry per layer. Schedulers and DSE bound
+	// computations that walk a model's layers on one substrate share a
+	// single column instead of re-hashing one cost key per layer; like
+	// mappings, the population is read-mostly and write-once.
+	columns struct {
+		mu sync.RWMutex
+		m  map[columnKey][]*Cost
+	}
 
 	shards [costShards]costShard
 }
 
 // NewCache returns an empty cost cache bound to the given energy table.
 func NewCache(et energy.Table) *Cache {
-	c := &Cache{table: et, seed: maphash.MakeSeed()}
+	c := &Cache{table: et}
+	c.mappings.m = make(map[mapKey]*dataflow.Mapping)
+	c.columns.m = make(map[columnKey][]*Cost)
 	for i := range c.shards {
 		c.shards[i].m = make(map[costKey]*Cost)
 	}
@@ -79,7 +105,20 @@ func NewCache(et energy.Table) *Cache {
 func (c *Cache) Table() energy.Table { return c.table }
 
 func (c *Cache) shard(key costKey) *costShard {
-	return &c.shards[maphash.Comparable(c.seed, key)&(costShards-1)]
+	// Shard selection only needs to spread contention, not be a
+	// cryptographic hash: a multiplicative mix of the fields that
+	// actually vary (layer shape, style, substrate) replaces a full
+	// maphash over the ~100-byte key, which profiled at several
+	// percent of a DSE sweep on its own.
+	h := uint64(key.shape.K)
+	h = h*0x9E3779B97F4A7C15 + uint64(key.shape.C)
+	h = h*0x9E3779B97F4A7C15 + uint64(key.shape.Y)
+	h = h*0x9E3779B97F4A7C15 + uint64(key.shape.X+key.shape.R+key.shape.S)
+	h = h*0x9E3779B97F4A7C15 + uint64(key.shape.Op)<<8 + uint64(key.style)
+	h = h*0x9E3779B97F4A7C15 + uint64(key.hw.PEs)
+	h = h*0x9E3779B97F4A7C15 + math.Float64bits(key.hw.BWGBps)
+	h ^= h >> 29
+	return &c.shards[(h*0x9E3779B97F4A7C15>>52)&(costShards-1)]
 }
 
 // Estimate returns the (possibly memoized) cost of layer l under style
@@ -100,7 +139,7 @@ func (c *Cache) EstimateRef(l *dnn.Layer, style dataflow.Style, hw HW) *Cost {
 	if ok {
 		return p
 	}
-	cost := EstimateMapping(l, c.Mapping(l, style, hw.PEs), hw, c.table)
+	cost := estimate(l, c.mappingRef(l, style, hw.PEs), hw, c.table)
 	sh.mu.Lock()
 	if q, ok := sh.m[key]; ok {
 		p = q // another goroutine won the race; keep one canonical entry
@@ -112,18 +151,93 @@ func (c *Cache) EstimateRef(l *dnn.Layer, style dataflow.Style, hw HW) *Cost {
 	return p
 }
 
+// CostColumn returns model m's per-layer interned costs under style on
+// substrate hw — the scheduling-free "busy-cycle row" view that the
+// scheduler's L0 tables, the DSE's objective lower bounds, and fleet
+// ETA estimates consume. The column (and each entry) is shared and
+// must not be modified.
+//
+// Misses are filled through fixed-size slab blocks instead of one
+// heap object per layer: a DSE sweep interns tens of thousands of
+// Cost entries, and slab-backed entries cut both the allocation count
+// and the garbage collector's scan set. A block never reallocates
+// once a pointer into it is published (appends move to a fresh block
+// when one fills), so interned pointers stay valid.
+func (c *Cache) CostColumn(m *dnn.Model, style dataflow.Style, hw HW) []*Cost {
+	key := columnKey{model: m, style: style, hw: hw}
+	c.columns.mu.RLock()
+	col, ok := c.columns.m[key]
+	c.columns.mu.RUnlock()
+	if ok {
+		return col
+	}
+	const slabBlock = 16
+	col = make([]*Cost, len(m.Layers))
+	var slab []Cost
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		ck := costKey{shape: l.Key(), style: style, hw: hw}
+		sh := c.shard(ck)
+		sh.mu.RLock()
+		p, ok := sh.m[ck]
+		sh.mu.RUnlock()
+		if !ok {
+			cost := estimate(l, c.mappingRef(l, style, hw.PEs), hw, c.table)
+			sh.mu.Lock()
+			if q, ok := sh.m[ck]; ok {
+				p = q // another goroutine won the race; keep one canonical entry
+			} else {
+				if len(slab) == cap(slab) {
+					slab = make([]Cost, 0, min(slabBlock, len(m.Layers)-i))
+				}
+				slab = append(slab, cost)
+				p = &slab[len(slab)-1]
+				sh.m[ck] = p
+			}
+			sh.mu.Unlock()
+		}
+		col[i] = p
+	}
+	c.columns.mu.Lock()
+	if q, ok := c.columns.m[key]; ok {
+		col = q // another goroutine won the race; keep one canonical column
+	} else {
+		c.columns.m[key] = col
+	}
+	c.columns.mu.Unlock()
+	return col
+}
+
 // Mapping returns the (possibly memoized) dataflow mapping of layer l
 // under style on a pes-sized array — the expensive half of a cost
 // query, shared across substrates that differ only in bandwidth or
 // buffer shares.
 func (c *Cache) Mapping(l *dnn.Layer, style dataflow.Style, pes int) dataflow.Mapping {
+	return *c.mappingRef(l, style, pes)
+}
+
+// mappingRef is Mapping returning the interned entry itself — the
+// pointer Cost.Mapping carries, so every cost of a (shape, style,
+// PEs) triple shares one mapping struct. The pointee must not be
+// modified.
+func (c *Cache) mappingRef(l *dnn.Layer, style dataflow.Style, pes int) *dataflow.Mapping {
 	mk := mapKey{shape: l.Key(), style: style, pes: pes}
-	if v, ok := c.mappings.Load(mk); ok {
-		return v.(dataflow.Mapping)
+	c.mappings.mu.RLock()
+	p, ok := c.mappings.m[mk]
+	c.mappings.mu.RUnlock()
+	if ok {
+		return p
 	}
 	m := dataflow.Map(style, l, pes)
-	c.mappings.Store(mk, m)
-	return m
+	c.mappings.mu.Lock()
+	if q, ok := c.mappings.m[mk]; ok {
+		p = q // another goroutine won the race; keep one canonical entry
+	} else {
+		p = &m
+		c.mappings.m[mk] = p
+	}
+	c.mappings.mu.Unlock()
+	return p
 }
 
 // Len returns the number of memoized cost entries (diagnostics).
@@ -139,9 +253,9 @@ func (c *Cache) Len() int {
 
 // MappingLen returns the number of memoized mappings (diagnostics).
 func (c *Cache) MappingLen() int {
-	n := 0
-	c.mappings.Range(func(any, any) bool { n++; return true })
-	return n
+	c.mappings.mu.RLock()
+	defer c.mappings.mu.RUnlock()
+	return len(c.mappings.m)
 }
 
 // ModelCost aggregates the sequential execution of a whole model on a

@@ -59,6 +59,14 @@ func TestCacheConcurrentHammer(t *testing.T) {
 						return
 					}
 					want := Estimate(l, st, hw, et)
+					// The cache interns the mapping; the direct path
+					// builds a fresh one. Value-compare the mapping,
+					// bit-compare the rest.
+					if *got.Mapping != *want.Mapping {
+						errs <- "cached mapping differs from direct estimate"
+						return
+					}
+					got.Mapping, want.Mapping = nil, nil
 					if got != want {
 						errs <- "cached cost differs from direct estimate"
 						return

@@ -119,7 +119,11 @@ func (b EnergyBreakdown) Total() float64 {
 // Cost is the estimated execution cost of one layer on one
 // (sub-)accelerator.
 type Cost struct {
-	Mapping dataflow.Mapping
+	// Mapping is the dataflow mapping the cost was derived from —
+	// shared with the mapping cache (a Cost used to embed the whole
+	// ~150-byte struct by value, which doubled the interned cost
+	// cache's footprint); treat the pointee as immutable.
+	Mapping *dataflow.Mapping
 
 	ComputeCycles int64 // PE-array busy cycles
 	MemoryCycles  int64 // NoC/DRAM streaming cycles (overlapped)
@@ -160,16 +164,16 @@ func (c Cost) EDP(clockGHz float64) float64 {
 // on substrate hw with energy table et. The layer must be valid.
 func Estimate(l *dnn.Layer, style dataflow.Style, hw HW, et energy.Table) Cost {
 	m := dataflow.Map(style, l, hw.PEs)
-	return estimate(l, m, hw, et)
+	return estimate(l, &m, hw, et)
 }
 
 // EstimateMapping is Estimate for a pre-computed mapping (callers that
 // cache mappings per layer shape).
 func EstimateMapping(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
-	return estimate(l, m, hw, et)
+	return estimate(l, &m, hw, et)
 }
 
-func estimate(l *dnn.Layer, m dataflow.Mapping, hw HW, et energy.Table) Cost {
+func estimate(l *dnn.Layer, m *dataflow.Mapping, hw HW, et energy.Table) Cost {
 	reps := int64(1)
 	if l.Repeat > 1 {
 		reps = int64(l.Repeat)

@@ -160,7 +160,7 @@ func TestTightMemorySerializes(t *testing.T) {
 	if err := sch.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if sch.PeakOccupancyBytes > tight.GlobalBufBytes {
-		t.Errorf("peak occupancy %d exceeds tight buffer %d", sch.PeakOccupancyBytes, tight.GlobalBufBytes)
+	if sch.PeakOccupancyBytes() > tight.GlobalBufBytes {
+		t.Errorf("peak occupancy %d exceeds tight buffer %d", sch.PeakOccupancyBytes(), tight.GlobalBufBytes)
 	}
 }

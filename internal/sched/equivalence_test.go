@@ -139,7 +139,7 @@ func refTryAssign(cache *maestro.Cache, opts Options, h *accel.HDA, insts []work
 		st.running = append(st.running, runSlot{start: startT, end: endT, occ: c.cost.OccupancyBytes})
 		st.assignments = append(st.assignments, Assignment{
 			Instance: inst, Layer: li, SubAcc: c.acc,
-			Start: startT, End: endT, Cost: c.cost,
+			Start: startT, End: endT, Cost: &c.cost,
 		})
 		return true
 	}

@@ -177,6 +177,5 @@ func (inc *Incremental) Snapshot() *Schedule {
 			sch.MakespanCycles = e
 		}
 	}
-	sch.PeakOccupancyBytes = peakOccupancy(sch.Assignments)
 	return sch
 }

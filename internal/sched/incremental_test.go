@@ -75,7 +75,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	}
 	for i := range snap.Assignments {
 		a, b := snap.Assignments[i], batch.Assignments[i]
-		a.Cost, b.Cost = maestro.Cost{}, maestro.Cost{}
+		a.Cost, b.Cost = nil, nil
 		if a != b {
 			t.Fatalf("assignment %d differs: incremental %+v vs batch %+v", i, snap.Assignments[i], batch.Assignments[i])
 		}
@@ -169,8 +169,8 @@ func TestIncrementalMemoryLedger(t *testing.T) {
 	if err := snap.Validate(); err != nil {
 		t.Fatalf("post-overlap snapshot invalid: %v", err)
 	}
-	if snap.PeakOccupancyBytes > h.Class.GlobalBufBytes {
-		t.Fatalf("peak occupancy %d exceeds buffer %d", snap.PeakOccupancyBytes, h.Class.GlobalBufBytes)
+	if snap.PeakOccupancyBytes() > h.Class.GlobalBufBytes {
+		t.Fatalf("peak occupancy %d exceeds buffer %d", snap.PeakOccupancyBytes(), h.Class.GlobalBufBytes)
 	}
 }
 

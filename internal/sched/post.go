@@ -8,14 +8,51 @@ import (
 	"repro/internal/workload"
 )
 
+// simState is the scheduler's reusable post-processing scratch: the
+// per-trial simulation arrays, a double-buffered assignment store (the
+// next trial writes the buffer the surviving schedule does not hold),
+// and the hoist/flow-time buffers. Post-processing runs up to
+// MaxPostMoves trial simulations per schedule; without this scratch a
+// DSE sweep re-allocated every trial's whole state per design point.
+type simState struct {
+	free, busy []int64
+	pos        []int
+	nextLayer  []int
+	ready      []int64
+	running    []runSlot
+	rows       []costTable // per-instance cost-table resolution
+
+	// assignBuf double-buffers trial assignments: buf[cur] is written
+	// by the next simulate call, the other half may be held by the
+	// surviving schedule. postProcess detaches the survivor with a copy
+	// before returning.
+	assignBuf [2][]Assignment
+	cur       int
+
+	trialSeqs [][]item // hoist scratch, swapped with the live seqs on acceptance
+	liveSeqs  [][]item // extractSeqs scratch (the live set between swaps)
+	finish    []int64  // flowTime scratch
+	timeline  map[item]int
+}
+
 // extractSeqs converts a schedule into per-sub-accelerator item
 // sequences in start order (assignments are already in commit order,
-// which is start order per sub-accelerator).
-func extractSeqs(h *accel.HDA, sch *Schedule) [][]item {
-	seqs := make([][]item, len(h.Subs))
+// which is start order per sub-accelerator). The sequences live in
+// scheduler scratch, reused across post-processing passes.
+func (s *Scheduler) extractSeqs(h *accel.HDA, sch *Schedule) [][]item {
+	seqs := s.sim.liveSeqs
+	if len(seqs) != len(h.Subs) {
+		seqs = make([][]item, len(h.Subs))
+	}
+	for a := range seqs {
+		if seqs[a] != nil {
+			seqs[a] = seqs[a][:0]
+		}
+	}
 	for _, a := range sch.Assignments {
 		seqs[a.SubAcc] = append(seqs[a.SubAcc], item{inst: a.Instance, layer: a.Layer})
 	}
+	s.sim.liveSeqs = seqs
 	return seqs
 }
 
@@ -25,36 +62,42 @@ func extractSeqs(h *accel.HDA, sch *Schedule) [][]item {
 // with the earliest feasible start time, respecting dependence, memory
 // and sub-accelerator serialization. Returns an error when the
 // sequences cross-block (which a reorder can introduce; callers then
-// revert). PeakOccupancyBytes is left unset: postProcess evaluates
-// trials by makespan and flow time only, and fills the peak in once
-// for the surviving schedule.
+// revert). Peak occupancy stays lazy (Schedule.PeakOccupancyBytes):
+// postProcess evaluates trials by makespan and flow time only. The
+// returned schedule's assignments live in the scheduler's trial
+// scratch until detached.
 func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) (*Schedule, error) {
 	n := len(w.Instances)
-	free := make([]int64, len(h.Subs))
-	busy := make([]int64, len(h.Subs))
-	pos := make([]int, len(h.Subs))
-	nextLayer := make([]int, n)
-	ready := make([]int64, n)
+	nAcc := len(h.Subs)
+	sim := &s.sim
+	sim.free = resetInt64(sim.free, nAcc)
+	sim.busy = resetInt64(sim.busy, nAcc)
+	sim.pos = resetInt(sim.pos, nAcc)
+	sim.nextLayer = resetInt(sim.nextLayer, n)
+	sim.ready = resetInt64(sim.ready, n)
+	sim.running = sim.running[:0]
+	free, busy, pos, nextLayer, ready := sim.free, sim.busy, sim.pos, sim.nextLayer, sim.ready
+	if cap(sim.rows) < n {
+		sim.rows = make([]costTable, n)
+	}
+	rows := sim.rows[:n]
+	table := s.tableFor(h)
 	for i, in := range w.Instances {
 		ready[i] = in.ArrivalCycle
+		rows[i] = s.costCols(h, table, in.Model)
 	}
-	var running []runSlot
-	table := s.tableFor(h)
-	nAcc := len(h.Subs)
 	costAt := func(a int, it item) *maestro.Cost {
-		m := w.Instances[it.inst].Model
-		row, ok := table[m]
-		if !ok {
-			row = s.costRow(h, table, m)
-		}
-		return row[it.layer*nAcc+a]
+		return rows[it.inst].cols[a][it.layer]
 	}
 
 	total := 0
 	for a := range seqs {
 		total += len(seqs[a])
 	}
-	assignments := make([]Assignment, 0, total)
+	if cap(sim.assignBuf[sim.cur]) < total {
+		sim.assignBuf[sim.cur] = make([]Assignment, 0, total)
+	}
+	assignments := sim.assignBuf[sim.cur][:0]
 	var energy float64
 
 	for committed := 0; committed < total; {
@@ -70,7 +113,7 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 			}
 			startT := max(free[a], ready[it.inst])
 			cost := costAt(a, it)
-			startT, ok := memFeasibleStart(h, running, startT, cost.Cycles, cost.OccupancyBytes)
+			startT, ok := memFeasibleStart(h, sim.running, startT, cost.Cycles, cost.OccupancyBytes)
 			if !ok {
 				continue
 			}
@@ -93,20 +136,21 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 		busy[a] += cost.Cycles
 		ready[it.inst] = end
 		energy += cost.Energy.Total()
-		running = pruneSlots(running, bestStart)
-		running = append(running, runSlot{start: bestStart, end: end, occ: cost.OccupancyBytes})
+		sim.running = pruneSlots(sim.running, bestStart)
+		sim.running = append(sim.running, runSlot{start: bestStart, end: end, occ: cost.OccupancyBytes})
 		assignments = append(assignments, Assignment{
 			Instance: it.inst, Layer: it.layer, SubAcc: a,
-			Start: bestStart, End: end, Cost: *cost,
+			Start: bestStart, End: end, Cost: cost,
 		})
 		committed++
 	}
+	sim.assignBuf[sim.cur] = assignments
 
 	sch := &Schedule{
 		HDA: h, Workload: w,
 		Assignments:   assignments,
 		EnergyPJ:      energy,
-		SubBusyCycles: busy,
+		SubBusyCycles: append([]int64(nil), busy...),
 	}
 	for i := range assignments {
 		if e := assignments[i].End; e > sch.MakespanCycles {
@@ -114,6 +158,31 @@ func (s *Scheduler) simulate(h *accel.HDA, w *workload.Workload, seqs [][]item) 
 		}
 	}
 	return sch, nil
+}
+
+// resetInt64 returns a zeroed int64 slice of length n, reusing buf's
+// capacity when possible.
+func resetInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// resetInt is resetInt64 for int slices.
+func resetInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // pruneSlots drops slots that ended at or before t. Safe here because
@@ -169,22 +238,25 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 	if s.opts.LookAhead <= 0 {
 		return sch, nil
 	}
-	seqs := extractSeqs(h, sch)
+	seqs := s.extractSeqs(h, sch)
 	cur := sch
 	moves := 0
 
 	// timeline maps each (instance, layer) to its assignment index in
-	// cur.Assignments (indices, not copies: Assignment embeds a full
-	// Cost and this map is rebuilt after every accepted move).
-	timeline := func(sc *Schedule) map[item]int {
-		m := make(map[item]int, len(sc.Assignments))
+	// cur.Assignments (indices, not copies; the scratch map is rebuilt
+	// after every accepted move).
+	if s.sim.timeline == nil {
+		s.sim.timeline = make(map[item]int, len(sch.Assignments))
+	}
+	tl := s.sim.timeline
+	timeline := func(sc *Schedule) {
+		clear(tl)
 		for i := range sc.Assignments {
 			a := &sc.Assignments[i]
-			m[item{a.Instance, a.Layer}] = i
+			tl[item{a.Instance, a.Layer}] = i
 		}
-		return m
 	}
-	tl := timeline(cur)
+	timeline(cur)
 
 	for a := range seqs {
 		for i := 0; i+1 < len(seqs[a]) && moves < s.opts.MaxPostMoves; i++ {
@@ -212,23 +284,31 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 					continue
 				}
 				moves++
-				trial := hoist(seqs, a, i+1, j)
+				trial := s.hoist(seqs, a, i+1, j)
 				newSch, err := s.simulate(h, w, trial)
 				if err != nil || newSch.MakespanCycles > cur.MakespanCycles ||
-					flowTime(newSch) > flowTime(cur) {
-					continue // revert (seqs unchanged; trial was a copy)
+					s.flowTime(newSch) > s.flowTime(cur) {
+					continue // revert (seqs unchanged; trial was scratch)
 				}
-				seqs = trial
+				// Accept: the trial sequences become live (the old live
+				// set becomes the next hoist scratch), and the trial
+				// assignment buffer is retired from the double buffer
+				// while cur holds it.
+				s.sim.trialSeqs, seqs = seqs, trial
+				s.sim.liveSeqs = seqs
+				s.sim.cur = 1 - s.sim.cur
 				cur = newSch
-				tl = timeline(cur)
+				timeline(cur)
 				break
 			}
 		}
 	}
 	if cur != sch {
-		// Simulated schedules defer the peak-occupancy sweep (see
-		// simulate); materialize it for the one that survived.
-		cur.PeakOccupancyBytes = peakOccupancy(cur.Assignments)
+		// cur's assignments live in the trial scratch; detach them.
+		// The superseded input schedule is dropped right here, so its
+		// assignment storage goes back to the scheduler.
+		cur.Assignments = append([]Assignment(nil), cur.Assignments...)
+		s.Recycle(sch)
 	}
 	return cur, nil
 }
@@ -236,10 +316,11 @@ func (s *Scheduler) postProcess(h *accel.HDA, w *workload.Workload, sch *Schedul
 // flowTime sums per-instance completion times — the guard that keeps
 // post-processing from trading one instance's response time for
 // another's idle slot without improving the makespan.
-func flowTime(s *Schedule) int64 {
-	finish := make([]int64, len(s.Workload.Instances))
-	for i := range s.Assignments {
-		a := &s.Assignments[i]
+func (s *Scheduler) flowTime(sc *Schedule) int64 {
+	s.sim.finish = resetInt64(s.sim.finish, len(sc.Workload.Instances))
+	finish := s.sim.finish
+	for i := range sc.Assignments {
+		a := &sc.Assignments[i]
 		if a.End > finish[a.Instance] {
 			finish[a.Instance] = a.End
 		}
@@ -263,13 +344,20 @@ func sameInstanceBetween(seq []item, from, to int, inst int) bool {
 	return false
 }
 
-// hoist returns a deep-copied sequence set with seq[acc][j] moved to
-// position `to` (shifting the window right by one).
-func hoist(seqs [][]item, acc, to, j int) [][]item {
-	out := make([][]item, len(seqs))
-	for a := range seqs {
-		out[a] = append([]item(nil), seqs[a]...)
+// hoist returns the sequence set with seq[acc][j] moved to position
+// `to` (shifting the window right by one), written into the
+// scheduler's reusable trial-sequence scratch — the caller must treat
+// the result as invalidated by the next hoist unless it swaps the
+// scratch out (see postProcess).
+func (s *Scheduler) hoist(seqs [][]item, acc, to, j int) [][]item {
+	out := s.sim.trialSeqs
+	if len(out) != len(seqs) {
+		out = make([][]item, len(seqs))
 	}
+	for a := range seqs {
+		out[a] = append(out[a][:0], seqs[a]...)
+	}
+	s.sim.trialSeqs = out
 	moved := out[acc][j]
 	copy(out[acc][to+1:j+1], out[acc][to:j])
 	out[acc][to] = moved

@@ -12,6 +12,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/accel"
@@ -164,7 +165,12 @@ type Assignment struct {
 	SubAcc   int // index into HDA.Subs
 
 	Start, End int64
-	Cost       maestro.Cost
+
+	// Cost is the interned cost-model entry for this (layer,
+	// sub-accelerator) pair. It points into the shared maestro cache
+	// (an Assignment used to embed the ~300-byte Cost by value, which
+	// dominated DSE sweep allocations) and must not be modified.
+	Cost *maestro.Cost
 }
 
 // Schedule is a complete layer execution schedule of a workload on an
@@ -176,14 +182,37 @@ type Schedule struct {
 	// Assignments in commit order (non-decreasing Start).
 	Assignments []Assignment
 
-	MakespanCycles     int64
-	EnergyPJ           float64
-	SubBusyCycles      []int64
-	PeakOccupancyBytes int64
+	MakespanCycles int64
+	EnergyPJ       float64
+	SubBusyCycles  []int64
 
 	// SchedulingTime is the wall-clock time the scheduler itself took
 	// (Table VII's "Scheduling Time").
 	SchedulingTime time.Duration
+
+	// peakPlus1 caches the lazily-computed peak occupancy plus one
+	// (see PeakOccupancyBytes); 0 means not yet computed. Accessed
+	// with atomic free functions (not an atomic.Int64, whose noCopy
+	// would forbid the value copies tests and callers legitimately
+	// make of finished schedules).
+	peakPlus1 int64
+}
+
+// PeakOccupancyBytes returns the schedule's maximum concurrent
+// global-buffer occupancy. It is computed on first use and cached: a
+// DSE sweep discards almost every schedule it produces without ever
+// reading the peak, and the O(n log n) interval sweep was a
+// measurable slice of per-point cost. The cache is a single atomic so
+// a schedule shared across goroutines (stats exporters, trace
+// writers) stays race-free — concurrent first readers may both run
+// the sweep, but it is deterministic, so they store the same value.
+func (s *Schedule) PeakOccupancyBytes() int64 {
+	if v := atomic.LoadInt64(&s.peakPlus1); v > 0 {
+		return v - 1
+	}
+	peak := peakOccupancySweep(s.Assignments)
+	atomic.StoreInt64(&s.peakPlus1, peak+1)
+	return peak
 }
 
 // LatencySeconds converts the makespan to seconds at the given clock.

@@ -26,13 +26,29 @@ type Scheduler struct {
 	opts  Options
 
 	// tables is the scheduler's L0 cost cache: per HDA, each model
-	// resolves to its flat (layer × sub-accelerator) row of interned
-	// cost pointers. The assignment loop indexes these rows instead of
-	// hashing a full (shape, style, HW) key per query — the same
-	// results as the shared sharded cache, minus both the locks and
-	// the hashing. Rows are filled once per (HDA, model) through the
-	// shared cache.
-	tables map[*accel.HDA]map[*dnn.Model][]*maestro.Cost
+	// resolves to its per-sub-accelerator columns of interned cost
+	// pointers plus precomputed ranking metrics (see costTable). The
+	// assignment loop indexes these columns instead of hashing a full
+	// (shape, style, HW) key per query — the same results as the
+	// shared sharded cache, minus both the locks and the hashing.
+	// Columns resolve once per (HDA, model) through the shared cache,
+	// and the columns themselves are interned process-wide, so sibling
+	// DSE partitions that share a sub-accelerator config never re-walk
+	// the cost model.
+	tables map[*accel.HDA]map[*dnn.Model]costTable
+
+	// batch is the reusable run state of the whole-workload path: one
+	// Schedule call's timelines, ledger, heap and scratch buffers are
+	// recycled by the next call, so a DSE sweep's per-partition
+	// allocation is the assignments that escape into the returned
+	// Schedule, not the entire loop state.
+	batch *runState
+
+	// sim is the post-processing trial scratch (see post.go).
+	sim simState
+
+	// spare is a recycled assignment buffer (see Recycle).
+	spare []Assignment
 }
 
 // New returns a scheduler over the given cost cache.
@@ -43,8 +59,19 @@ func New(cache *maestro.Cache, opts Options) (*Scheduler, error) {
 	return &Scheduler{
 		cache:  cache,
 		opts:   opts,
-		tables: make(map[*accel.HDA]map[*dnn.Model][]*maestro.Cost),
+		tables: make(map[*accel.HDA]map[*dnn.Model]costTable),
 	}, nil
+}
+
+// costTable is one (HDA, model) resolution: the interned per-sub
+// cost columns (cols[a][layer]) and the scheduler metric of each
+// entry (metric[a][layer]), precomputed so the hot ranking loop reads
+// a float instead of re-deriving EDP per scheduling step. The values
+// are the exact floats Metric.value produces — computing them once
+// is bit-identical to computing them every step.
+type costTable struct {
+	cols   [][]*maestro.Cost
+	metric [][]float64
 }
 
 // MustNew is New for statically-valid options.
@@ -59,44 +86,95 @@ func MustNew(cache *maestro.Cache, opts Options) *Scheduler {
 // Options returns the scheduler's configuration.
 func (s *Scheduler) Options() Options { return s.opts }
 
-// maxTables bounds the per-HDA cost-row tables a scheduler retains.
+// maxTables bounds the per-HDA cost-column tables a scheduler retains.
 // Tables are keyed by HDA pointer, so entries for discarded HDAs can
-// never be re-hit; a scheduler fed a stream of fresh HDAs (a very
-// large DSE sweep, a user-driven re-partitioning loop) would otherwise
-// grow without bound. Eviction drops everything — rows rebuild cheaply
-// through the shared cache — and never triggers on the steady-state
-// shapes (serving: one HDA; DSE: one Search's partitions per worker).
-const maxTables = 512
+// never be re-hit; a scheduler fed a stream of fresh HDAs (a user-
+// driven re-partitioning loop) would otherwise grow without bound.
+// Eviction drops everything — tables rebuild cheaply through the
+// shared interned column cache — and the cap is sized above any
+// realistic sweep (a dse worker caches one HDA per partition so its
+// tables stay warm across re-sweeps; wiping them mid-sweep would
+// silently forfeit exactly that reuse, hence maxTables matches the
+// sweeper's own memo cap).
+const maxTables = 4096
 
-// tableFor returns (creating if needed) the per-model cost-row table
-// of one HDA.
-func (s *Scheduler) tableFor(h *accel.HDA) map[*dnn.Model][]*maestro.Cost {
+// tableFor returns (creating if needed) the per-model cost-column
+// table of one HDA.
+func (s *Scheduler) tableFor(h *accel.HDA) map[*dnn.Model]costTable {
 	t := s.tables[h]
 	if t == nil {
 		if len(s.tables) >= maxTables {
 			clear(s.tables)
 		}
-		t = make(map[*dnn.Model][]*maestro.Cost)
+		t = make(map[*dnn.Model]costTable)
 		s.tables[h] = t
 	}
 	return t
 }
 
-// costRow returns model m's flat (layer × sub-accelerator) cost row on
-// HDA h, filling it on the model's first appearance.
-func (s *Scheduler) costRow(h *accel.HDA, t map[*dnn.Model][]*maestro.Cost, m *dnn.Model) []*maestro.Cost {
-	if row, ok := t[m]; ok {
-		return row
+// costCols returns model m's cost table on HDA h, resolving the
+// columns through the shared interned column cache (and deriving the
+// metric columns) on the model's first appearance.
+func (s *Scheduler) costCols(h *accel.HDA, t map[*dnn.Model]costTable, m *dnn.Model) costTable {
+	if ct, ok := t[m]; ok {
+		return ct
 	}
-	nAcc := len(h.Subs)
-	row := make([]*maestro.Cost, len(m.Layers)*nAcc)
-	for li := range m.Layers {
-		for a := range h.Subs {
-			row[li*nAcc+a] = s.cache.EstimateRef(&m.Layers[li], h.Subs[a].Style, h.Subs[a].HW)
+	ct := costTable{
+		cols:   make([][]*maestro.Cost, len(h.Subs)),
+		metric: make([][]float64, len(h.Subs)),
+	}
+	for a := range h.Subs {
+		col := s.cache.CostColumn(m, h.Subs[a].Style, h.Subs[a].HW)
+		ct.cols[a] = col
+		mv := make([]float64, len(col))
+		for li, c := range col {
+			mv[li] = s.opts.Metric.value(c)
 		}
+		ct.metric[a] = mv
 	}
-	t[m] = row
-	return row
+	t[m] = ct
+	return ct
+}
+
+// Prewarm resolves the cost columns of every model in w on HDA h
+// without scheduling anything, so a later Schedule/Incremental run (or
+// a DSE bound computation sharing the same interned columns) starts
+// with a hot L0 table — useful for serving cold-start and for sweep
+// handles that keep per-worker schedulers across searches.
+func (s *Scheduler) Prewarm(h *accel.HDA, w *workload.Workload) {
+	if h == nil || w == nil {
+		return
+	}
+	t := s.tableFor(h)
+	for i := range w.Instances {
+		s.costCols(h, t, w.Instances[i].Model)
+	}
+}
+
+// Recycle returns a schedule's assignment storage to the scheduler for
+// reuse by a later Schedule call. Only safe when the caller owns the
+// schedule and is dropping its last reference (a best-only DSE sweep
+// discarding a losing design point); the schedule's Assignments are
+// nilled to make accidental reuse loud.
+func (s *Scheduler) Recycle(sch *Schedule) {
+	if sch == nil || sch.Assignments == nil {
+		return
+	}
+	if cap(sch.Assignments) > cap(s.spare) {
+		s.spare = sch.Assignments[:0]
+	}
+	sch.Assignments = nil
+}
+
+// takeAssignments returns an empty assignment buffer with capacity for
+// n commits, preferring the recycled spare over a fresh allocation.
+func (s *Scheduler) takeAssignments(n int) []Assignment {
+	if cap(s.spare) >= n {
+		buf := s.spare[:0]
+		s.spare = nil
+		return buf
+	}
+	return make([]Assignment, 0, n)
 }
 
 // Schedule runs the Fig. 8 layer assignment and ordering algorithm
@@ -148,6 +226,22 @@ func (lg *ledger) init(nAcc int) {
 	lg.head = make([]int, nAcc)
 	for a := range lg.pre {
 		lg.pre[a] = []int64{0}
+	}
+}
+
+// reset empties the ledger for a fresh run on an nAcc-way HDA, keeping
+// the slot/prefix capacity earlier runs grew.
+func (lg *ledger) reset(nAcc int) {
+	if len(lg.slots) != nAcc {
+		lg.init(nAcc)
+		return
+	}
+	for a := range lg.slots {
+		if lg.slots[a] != nil {
+			lg.slots[a] = lg.slots[a][:0]
+		}
+		lg.pre[a] = append(lg.pre[a][:0], 0)
+		lg.head[a] = 0
 	}
 }
 
@@ -234,11 +328,16 @@ func (lg *ledger) clone() ledger {
 // event is one entry of the completion/readiness min-heap. Entries
 // are validated lazily at pop time against the live free/ready
 // values, so a superseded entry costs one pop instead of a heap
-// deletion.
+// deletion. A commit produces a single event carrying both the
+// sub-accelerator and the instance whose times advanced to t (they
+// are equal by construction): the entry stays valid while either
+// live value still matches, exactly as the two separate entries it
+// replaces would, at half the heap traffic. Seed entries carry only
+// one side (the other index is -1).
 type event struct {
 	t    int64
-	idx  int32 // sub-accelerator (free) or instance (ready) index
-	free bool  // completion event (free[idx]) vs readiness (ready[idx])
+	acc  int32 // sub-accelerator whose free[acc] == t, or -1
+	inst int32 // instance whose ready[inst] == t, or -1
 }
 
 // candidate is one (sub-accelerator, cost) pair under ranking in
@@ -294,12 +393,13 @@ type runState struct {
 	events []event
 	cands  []candidate
 
-	// costs is this run's HDA cost-row table (see Scheduler.tableFor)
+	// costs is this run's HDA cost-column table (see Scheduler.tableFor)
 	// and rows its per-instance resolution: rows[i] is instance i's
-	// model cost row, so the hot loop indexes an array instead of
-	// performing any cache lookup at all.
-	costs map[*dnn.Model][]*maestro.Cost
-	rows  [][]*maestro.Cost
+	// model cost table (cols[a][layer] + metric[a][layer]), so the hot
+	// loop indexes arrays instead of performing any cache lookup at
+	// all.
+	costs map[*dnn.Model]costTable
+	rows  []costTable
 
 	assignments []Assignment
 	energyPJ    float64
@@ -314,6 +414,34 @@ func newRunState(nAcc int) *runState {
 	}
 	st.ledger.init(nAcc)
 	return st
+}
+
+// reset rewinds a reusable run state for a fresh batch run on an
+// nAcc-way HDA: every array is emptied in place (capacity kept from
+// earlier runs) except assignments, which escaped into the previous
+// run's Schedule and must not be recycled.
+func (st *runState) reset(nAcc int) {
+	if len(st.free) != nAcc {
+		st.free = make([]int64, nAcc)
+		st.busy = make([]int64, nAcc)
+	} else {
+		for a := range st.free {
+			st.free[a] = 0
+			st.busy[a] = 0
+		}
+	}
+	st.nextLayer = st.nextLayer[:0]
+	st.ready = st.ready[:0]
+	st.order = st.order[:0]
+	st.prio = st.prio[:0]
+	st.rows = st.rows[:0]
+	st.ledger.reset(nAcc)
+	st.prune = 0
+	st.events = st.events[:0]
+	st.costs = nil
+	st.assignments = nil
+	st.energyPJ = 0
+	st.remaining = 0
 }
 
 // addInstances appends instances (with priorities) to the run state;
@@ -399,24 +527,23 @@ func (st *runState) retire(insts []workload.Instance) {
 	st.order = active
 }
 
-// assign is the whole-workload entry point of Fig. 8: it builds fresh
-// run state for every instance and drains it with run.
+// assign is the whole-workload entry point of Fig. 8: it rewinds the
+// scheduler's reusable batch run state, admits every instance, and
+// drains it with run. Only the assignments (which escape into the
+// returned Schedule) are freshly allocated per call.
 func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error) {
 	n := len(w.Instances)
 	if len(s.opts.Priorities) > 0 && len(s.opts.Priorities) != n {
 		return nil, fmt.Errorf("sched: %d priorities for %d instances", len(s.opts.Priorities), n)
 	}
-	st := newRunState(len(h.Subs))
+	if s.batch == nil {
+		s.batch = newRunState(len(h.Subs))
+	}
+	st := s.batch
+	st.reset(len(h.Subs))
 	st.costs = s.tableFor(h)
-	// Pre-size the per-instance arrays and the scratch structures so
-	// the drain below never grows a slice.
-	st.nextLayer = make([]int, 0, n)
-	st.ready = make([]int64, 0, n)
-	st.order = make([]int, 0, n)
-	st.prio = make([]int, 0, n)
-	st.rows = make([][]*maestro.Cost, 0, n)
 	st.addInstances(w.Instances, s.opts.Priorities)
-	st.assignments = make([]Assignment, 0, st.remaining)
+	st.assignments = s.takeAssignments(st.remaining)
 	st.ledger.grow(st.remaining)
 
 	if err := s.run(h, w.Instances, st, 0, true); err != nil {
@@ -431,18 +558,18 @@ func (s *Scheduler) assign(h *accel.HDA, w *workload.Workload) (*Schedule, error
 // with the clock (valid only when no later run may revisit earlier
 // cycles, i.e. the batch path).
 func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, cycle int64, advancePrune bool) error {
-	// Resolve each (new) instance's cost row up front: the loop body
-	// then reads costs by array index only.
+	// Resolve each (new) instance's cost table up front: the loop
+	// body then reads costs by array index only.
 	for i := len(st.rows); i < len(insts); i++ {
-		row, ok := st.costs[insts[i].Model]
+		ct, ok := st.costs[insts[i].Model]
 		if !ok {
-			row = s.costRow(h, st.costs, insts[i].Model)
+			ct = s.costCols(h, st.costs, insts[i].Model)
 		}
-		st.rows = append(st.rows, row)
+		st.rows = append(st.rows, ct)
 	}
-	// The heap peaks at the seed entries plus two pushes per commit;
+	// The heap peaks at the seed entries plus one push per commit;
 	// reserving that up front keeps the drain reallocation-free.
-	if need := len(st.free) + len(st.order) + 2*st.remaining; cap(st.events) < need {
+	if need := len(st.free) + len(st.order) + st.remaining; cap(st.events) < need {
 		st.events = make([]event, 0, need)
 	}
 	st.seedEvents()
@@ -486,7 +613,7 @@ func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, c
 // the memory and load-balancing conditions (falling back to the best
 // memory-feasible candidate when balancing rejects all).
 func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runState, cycle int64, inst, li int) bool {
-	row := st.rows[inst]
+	ct := st.rows[inst]
 	nAcc := len(h.Subs)
 
 	// Dataflow-preference-based assignment by default; when the load
@@ -500,10 +627,10 @@ func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runSt
 	}
 	cands := st.cands[:0]
 	for a := 0; a < nAcc; a++ {
-		c := row[li*nAcc+a]
+		c := ct.cols[a][li]
 		nc := candidate{
 			acc: a, cost: c,
-			metric: s.opts.Metric.value(c),
+			metric: ct.metric[a][li],
 			finish: max(cycle, st.free[a]) + c.Cycles,
 		}
 		// Insertion-ordered ranking into the scratch buffer:
@@ -532,11 +659,10 @@ func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runSt
 		st.remaining--
 		st.energyPJ += c.cost.Energy.Total()
 		st.ledger.add(c.acc, runSlot{start: startT, end: endT, occ: c.cost.OccupancyBytes})
-		st.pushEvent(endT, c.acc, true)
-		st.pushEvent(endT, inst, false)
+		st.pushEvent(endT, c.acc, inst)
 		st.assignments = append(st.assignments, Assignment{
 			Instance: inst, Layer: li, SubAcc: c.acc,
-			Start: startT, End: endT, Cost: *c.cost,
+			Start: startT, End: endT, Cost: c.cost,
 		})
 		return true
 	}
@@ -629,16 +755,16 @@ func (s *Scheduler) rearrange(st *runState, inst int) {
 func (st *runState) seedEvents() {
 	st.events = st.events[:0]
 	for a, t := range st.free {
-		st.pushEvent(t, a, true)
+		st.pushEvent(t, a, -1)
 	}
 	for _, inst := range st.order {
-		st.pushEvent(st.ready[inst], inst, false)
+		st.pushEvent(st.ready[inst], -1, inst)
 	}
 }
 
 // pushEvent sifts a new event into the min-heap.
-func (st *runState) pushEvent(t int64, idx int, free bool) {
-	ev := append(st.events, event{t: t, idx: int32(idx), free: free})
+func (st *runState) pushEvent(t int64, acc, inst int) {
+	ev := append(st.events, event{t: t, acc: int32(acc), inst: int32(inst)})
 	i := len(ev) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -684,14 +810,10 @@ func (st *runState) popEvent() event {
 func (st *runState) nextEvent(cycle int64) (int64, bool) {
 	for len(st.events) > 0 {
 		e := st.events[0]
-		var live int64
-		if e.free {
-			live = st.free[e.idx]
-		} else {
-			live = st.ready[e.idx]
-		}
+		live := e.acc >= 0 && st.free[e.acc] == e.t ||
+			e.inst >= 0 && st.ready[e.inst] == e.t
 		st.popEvent()
-		if e.t != live || e.t <= cycle {
+		if !live || e.t <= cycle {
 			continue
 		}
 		return e.t, true
@@ -700,39 +822,46 @@ func (st *runState) nextEvent(cycle int64) (int64, bool) {
 }
 
 // finalize converts run state into a Schedule with aggregate metrics.
+// The busy cycles are copied out: st may be the scheduler's reusable
+// batch scratch, which the next Schedule call rewinds.
 func (s *Scheduler) finalize(h *accel.HDA, w *workload.Workload, st *runState) *Schedule {
 	sch := &Schedule{
 		HDA:           h,
 		Workload:      w,
 		Assignments:   st.assignments,
 		EnergyPJ:      st.energyPJ,
-		SubBusyCycles: st.busy,
+		SubBusyCycles: append([]int64(nil), st.busy...),
 	}
 	for i := range sch.Assignments {
 		if e := sch.Assignments[i].End; e > sch.MakespanCycles {
 			sch.MakespanCycles = e
 		}
 	}
-	sch.PeakOccupancyBytes = peakOccupancy(sch.Assignments)
 	return sch
 }
 
-// peakOccupancy sweeps assignment intervals and returns the maximum
-// concurrent global-buffer occupancy. Events sort by an encoded key
-// (cycle << 1, releases before claims at the same cycle) through the
-// generic sort, avoiding sort.Slice's reflection-based swaps.
-func peakOccupancy(as []Assignment) int64 {
-	type ev struct {
-		key int64 // t<<1 | kind: release (end) = 0, claim (start) = 1
-		d   int64
-	}
-	evs := make([]ev, 0, 2*len(as))
+// occEvent is one entry of the peak-occupancy sweep: an encoded key
+// (cycle << 1, releases before claims at the same cycle) and an
+// occupancy delta.
+type occEvent struct {
+	key int64 // t<<1 | kind: release (end) = 0, claim (start) = 1
+	d   int64
+}
+
+// peakOccupancySweep sweeps assignment intervals and returns the
+// maximum concurrent global-buffer occupancy. Events sort by an
+// encoded key through the generic sort, avoiding sort.Slice's
+// reflection-based swaps. It runs only for schedules whose peak is
+// actually read (see Schedule.PeakOccupancyBytes) plus Validate, so
+// it allocates its own event buffer.
+func peakOccupancySweep(as []Assignment) int64 {
+	evs := make([]occEvent, 0, 2*len(as))
 	for i := range as {
 		evs = append(evs,
-			ev{key: as[i].Start<<1 | 1, d: as[i].Cost.OccupancyBytes},
-			ev{key: as[i].End << 1, d: -as[i].Cost.OccupancyBytes})
+			occEvent{key: as[i].Start<<1 | 1, d: as[i].Cost.OccupancyBytes},
+			occEvent{key: as[i].End << 1, d: -as[i].Cost.OccupancyBytes})
 	}
-	slices.SortFunc(evs, func(a, b ev) int {
+	slices.SortFunc(evs, func(a, b occEvent) int {
 		switch {
 		case a.key < b.key:
 			return -1

@@ -86,7 +86,7 @@ func (s *Schedule) Validate() error {
 	}
 
 	// Memory: peak concurrent occupancy within the shared buffer.
-	if peak := peakOccupancy(s.Assignments); peak > s.HDA.Class.GlobalBufBytes {
+	if peak := peakOccupancySweep(s.Assignments); peak > s.HDA.Class.GlobalBufBytes {
 		return fmt.Errorf("sched: peak occupancy %d exceeds global buffer %d", peak, s.HDA.Class.GlobalBufBytes)
 	}
 

@@ -201,7 +201,7 @@ func WriteJSON(w io.Writer, s *sched.Schedule) error {
 		Workload:  s.Workload.Name,
 		Makespan:  s.MakespanCycles,
 		EnergyPJ:  s.EnergyPJ,
-		PeakBytes: s.PeakOccupancyBytes,
+		PeakBytes: s.PeakOccupancyBytes(),
 	}
 	for _, a := range s.Assignments {
 		out.Assignments = append(out.Assignments, jsonAssignment{

@@ -81,8 +81,8 @@ func TestOccupancyTimeline(t *testing.T) {
 			peak = s.Bytes
 		}
 	}
-	if peak != sch.PeakOccupancyBytes {
-		t.Errorf("timeline peak %d != schedule peak %d", peak, sch.PeakOccupancyBytes)
+	if peak != sch.PeakOccupancyBytes() {
+		t.Errorf("timeline peak %d != schedule peak %d", peak, sch.PeakOccupancyBytes())
 	}
 	if last := tl[len(tl)-1]; last.Bytes != 0 {
 		t.Errorf("occupancy should return to zero at the end, got %d", last.Bytes)
