@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate vet smoke
+.PHONY: build test race bench bench-json bench-gate vet smoke doclint
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,17 @@ race:
 	$(GO) test -race ./internal/maestro ./internal/sched ./internal/dse ./internal/serve ./internal/fleet
 
 # smoke builds and runs the end-to-end examples that exercise the
-# serving stack (fast, deterministic; CI runs this per PR).
+# serving stack (fast, deterministic; CI runs this per PR): fleet
+# dispatch and the repartitioning controller's live migration.
 smoke:
 	$(GO) run ./examples/fleet
+	$(GO) run ./examples/repartition
+
+# doclint fails on broken intra-repo markdown links (file + anchor)
+# and on exported identifiers in the serving-tier packages missing
+# doc comments. CI runs this per PR.
+doclint:
+	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve
 
 # bench runs the full benchmark suite once per benchmark (short form:
 # the perf trajectory gate wants per-PR numbers, not nanosecond-grade

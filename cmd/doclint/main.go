@@ -1,0 +1,341 @@
+// Command doclint keeps the documentation layer honest. It runs two
+// vet-style checks and exits non-zero when either finds a problem:
+//
+//  1. Markdown links: every intra-repo link in the repository's .md
+//     files must resolve — the target file must exist, and a #fragment
+//     must match a heading in the target (GitHub anchor rules).
+//     External (scheme-qualified) links are ignored.
+//  2. Doc comments: every exported identifier in the given packages —
+//     package clause, types, funcs, methods on exported types, and
+//     package-level vars/consts (a group comment covers its group) —
+//     must carry a doc comment, so `go doc` stays a usable overview.
+//
+// Usage:
+//
+//	go run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve
+//
+// CI runs it via `make doclint`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	md := flag.String("md", ".", "root to scan for markdown files (skips .git); empty disables the link check")
+	pkgs := flag.String("pkgs", "internal/fleet,internal/serve", "comma-separated package dirs whose exported identifiers must have doc comments; empty disables")
+	flag.Parse()
+
+	var problems []string
+	nmd := 0
+	if *md != "" {
+		var err error
+		var ps []string
+		ps, nmd, err = checkMarkdownTree(*md)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	ndecl := 0
+	if *pkgs != "" {
+		for _, dir := range strings.Split(*pkgs, ",") {
+			ps, n, err := checkDocs(strings.TrimSpace(dir))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+				os.Exit(2)
+			}
+			problems = append(problems, ps...)
+			ndecl += n
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: ok (%d markdown files, %d exported declarations)\n", nmd, ndecl)
+}
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownTree walks root for .md files and validates every
+// intra-repo link in each. Returns the problems and the file count.
+func checkMarkdownTree(root string) ([]string, int, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var problems []string
+	for _, f := range files {
+		ps, err := checkMarkdownFile(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, len(files), nil
+}
+
+// checkMarkdownFile validates one file's intra-repo links. Links
+// inside fenced code blocks are ignored (they are examples, not
+// navigation).
+func checkMarkdownFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if p := checkLink(path, target); p != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, i+1, p))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkLink validates one link target relative to the file holding
+// it; empty means the link is fine (or external and out of scope).
+func checkLink(from, target string) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return ""
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(from), file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	// Anchors only make sense into markdown files.
+	if !strings.EqualFold(filepath.Ext(resolved), ".md") {
+		return ""
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !anchors[frag] {
+		return fmt.Sprintf("broken link %q: no heading anchors to #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of a markdown
+// file's headings (duplicate headings get -1, -2, ... suffixes).
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		slug := anchorSlug(text)
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, nil
+}
+
+// anchorSlug lowers a heading to its GitHub anchor: lowercase, spaces
+// to hyphens, everything but letters/digits/hyphens/underscores
+// dropped.
+func anchorSlug(text string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			r >= 'a' && r <= 'z',
+			r >= '0' && r <= '9':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// checkDocs parses one package directory (tests excluded) and reports
+// exported declarations without doc comments, plus a missing package
+// comment. Returns the problems and how many exported declarations it
+// checked.
+func checkDocs(dir string) ([]string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, 0, err
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	if len(files) == 0 {
+		return nil, 0, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	var problems []string
+	checked := 0
+	hasPkgDoc := false
+	for _, f := range files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	checked++
+	if !hasPkgDoc {
+		problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, files[0].Name.Name))
+	}
+
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				checked++
+				if d.Doc == nil {
+					problems = append(problems, fmt.Sprintf("%s: exported %s %s is missing a doc comment", pos(d), declKind(d), d.Name.Name))
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					for _, name := range specNames(spec) {
+						if !name.IsExported() {
+							continue
+						}
+						checked++
+						// A group comment covers the whole group; a
+						// spec's own doc or trailing comment covers it.
+						if d.Doc == nil && !specDocumented(spec) {
+							problems = append(problems, fmt.Sprintf("%s: exported %s %s is missing a doc comment", pos(spec), d.Tok, name.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems, checked, nil
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported (functions have no receiver and count as exported scope).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// declKind names a func declaration for the report.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}
+
+// specNames returns the identifiers a spec declares.
+func specNames(spec ast.Spec) []*ast.Ident {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		return []*ast.Ident{s.Name}
+	case *ast.ValueSpec:
+		return s.Names
+	}
+	return nil
+}
+
+// specDocumented reports whether a spec carries its own doc or
+// trailing line comment.
+func specDocumented(spec ast.Spec) bool {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		return s.Doc != nil || s.Comment != nil
+	case *ast.ValueSpec:
+		return s.Doc != nil || s.Comment != nil
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarkdownLinkCheck covers resolution, anchors, fences, and the
+// external-link exemption.
+func TestMarkdownLinkCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "target.md"), "# Target Doc\n\n## Tuning knobs\nbody\n")
+	write(t, filepath.Join(dir, "README.md"), strings.Join([]string{
+		"# Readme",
+		"[good](docs/target.md)",
+		"[good anchor](docs/target.md#tuning-knobs)",
+		"[self anchor](#readme)",
+		"[external](https://example.com/nope.md) [mail](mailto:a@b.c)",
+		"```",
+		"[inside a fence](missing.md)",
+		"```",
+		"[broken file](docs/nope.md)",
+		"[broken anchor](docs/target.md#no-such-heading)",
+	}, "\n"))
+
+	problems, n, err := checkMarkdownTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("scanned %d files, want 2", n)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems: %v", problems)
+	}
+	if !strings.Contains(problems[0], "docs/nope.md") || !strings.Contains(problems[1], "no-such-heading") {
+		t.Errorf("unexpected problems: %v", problems)
+	}
+}
+
+// TestAnchorSlug pins the GitHub slug rules the anchor check relies
+// on.
+func TestAnchorSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Tuning knobs":              "tuning-knobs",
+		"Dynamic repartitioning":    "dynamic-repartitioning",
+		"HTTP API":                  "http-api",
+		"Fleet (and routing: p99!)": "fleet-and-routing-p99",
+		"a_b-c":                     "a_b-c",
+	} {
+		if got := anchorSlug(in); got != want {
+			t.Errorf("anchorSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDocCheck: a package with documented and undocumented exported
+// declarations reports exactly the undocumented ones.
+func TestDocCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.go"), `// Package demo is documented.
+package demo
+
+// Documented is fine.
+type Documented struct{}
+
+type Naked struct{}
+
+// Fine has a comment.
+func Fine() {}
+
+func Bare() {}
+
+func unexported() {}
+
+// Grouped constants share one comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var LooseVar = 3
+
+// Method is documented.
+func (d *Documented) Method() {}
+
+func (d Documented) Undocumented() {}
+`)
+	problems, n, err := checkDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("checked nothing")
+	}
+	var names []string
+	for _, p := range problems {
+		names = append(names, p)
+	}
+	joined := strings.Join(names, "\n")
+	for _, want := range []string{"Naked", "Bare", "LooseVar", "Undocumented"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding for %s in:\n%s", want, joined)
+		}
+	}
+	for _, notWant := range []string{"Documented is", "Fine", "GroupedA", "unexported", "Method is"} {
+		if strings.Contains(joined, notWant) {
+			t.Errorf("false positive %q in:\n%s", notWant, joined)
+		}
+	}
+	if len(problems) != 4 {
+		t.Errorf("%d problems, want 4:\n%s", len(problems), joined)
+	}
+}
+
+// TestDocCheckMissingPackageComment: a package without any package
+// clause doc is reported.
+func TestDocCheckMissingPackageComment(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.go"), "package nodoc\n")
+	problems, _, err := checkDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "package comment") {
+		t.Errorf("problems: %v", problems)
+	}
+}
+
+// TestRepoIsClean: the real repository passes its own lint — the same
+// invocation CI runs.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	problems, n, err := checkMarkdownTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("markdown problems:\n%s", strings.Join(problems, "\n"))
+	}
+	if n < 5 {
+		t.Errorf("only %d markdown files found from %s", n, root)
+	}
+	for _, pkg := range []string{"internal/fleet", "internal/serve"} {
+		problems, _, err := checkDocs(filepath.Join(root, pkg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 0 {
+			t.Errorf("%s:\n%s", pkg, strings.Join(problems, "\n"))
+		}
+	}
+}

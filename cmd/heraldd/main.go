@@ -21,9 +21,21 @@
 //	go run ./cmd/heraldd -class edge -replicas 4 -fleet-policy cost-aware
 //	go run ./cmd/heraldd -class edge -replicas 3 -fleet-topk
 //	go run ./cmd/heraldd -class edge -replicas 2 -resweep-every 30s
+//	go run ./cmd/heraldd -class edge -replicas 2 -resweep-every 30s -repartition
+//
+// -resweep-every N periodically re-runs the partition DSE on the
+// observed tenant mix. Alone it is a log-only probe; with
+// -repartition the probe becomes a control loop that live-migrates
+// the fleet to the winning partition (spawn new replica engines,
+// drain the old generation, hand tenants over) when the winner beats
+// the serving partition by -repartition-threshold for
+// -repartition-confirm consecutive probes, then rests for
+// -repartition-cooldown probes (anti-flap). See docs/OPERATIONS.md
+// for the full runbook.
 //
 // API (see internal/serve; fleets serve internal/fleet's API, which
-// adds GET /v1/fleet/stats and /v1/replicas/{i}/... delegation):
+// adds GET /v1/fleet/stats, GET /v1/fleet/repartition and
+// /v1/replicas/{i}/... delegation):
 //
 //	POST /v1/requests      {"tenant":"arvr","model":"unet","wait":true}
 //	GET  /v1/requests/{id}
@@ -34,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,7 +74,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replica serving engines; > 1 serves a fleet")
 	fleetPolicy := flag.String("fleet-policy", "cost-aware", "fleet routing policy: round-robin, least-outstanding, cost-aware")
 	fleetTopK := flag.Bool("fleet-topk", false, "heterogeneous fleet: replicas take the top-K bootstrap-DSE points instead of K copies of the best")
-	resweepEvery := flag.Duration("resweep-every", 0, "periodically re-run the partition DSE on the observed tenant mix and log the winner (0 = off; log-only, does not respawn replicas yet)")
+	resweepEvery := flag.Duration("resweep-every", 0, "periodically re-run the partition DSE on the observed tenant mix (0 = off; log-only unless -repartition)")
+	repartition := flag.Bool("repartition", false, "act on the resweep probe: live-migrate the fleet to the winning partition (requires -resweep-every)")
+	repartitionThreshold := flag.Float64("repartition-threshold", 0.05, "minimum fractional objective improvement before migrating (0.05 = winner must be 5% better; 0 = any improvement)")
+	repartitionConfirm := flag.Int("repartition-confirm", 2, "consecutive probes that must agree on the winner before migrating (hysteresis, >= 1)")
+	repartitionCooldown := flag.Int("repartition-cooldown", 3, "observation-only probes after each migration (anti-flap; 0 = none)")
 	flag.Parse()
 
 	class, err := herald.ParseClass(*className)
@@ -70,6 +87,9 @@ func main() {
 	}
 	if *replicas < 1 {
 		log.Fatalf("-replicas must be >= 1 (got %d)", *replicas)
+	}
+	if *repartition && *resweepEvery <= 0 {
+		log.Fatal("-repartition needs -resweep-every > 0 (the probe period is the control period)")
 	}
 	cache := herald.NewCostCache(herald.DefaultEnergyTable())
 
@@ -141,8 +161,32 @@ func main() {
 		log.Printf("heraldd fleet listening on %s (%d replicas, %s routing, clock %g GHz)",
 			*addr, len(hdas), policy, *clockGHz)
 		if *resweepEvery > 0 {
-			log.Printf("resweep probe every %v (log-only)", *resweepEvery)
-			go resweepLoop(fl, *resweepEvery, log.Printf)
+			if *repartition {
+				// The library treats 0 as "default"; at the flag level an
+				// explicit 0 means "none" (the flag defaults are non-zero).
+				threshold, cooldown := *repartitionThreshold, *repartitionCooldown
+				if threshold == 0 {
+					threshold = 1e-12
+				}
+				if cooldown == 0 {
+					cooldown = -1
+				}
+				ctrl, err := herald.NewRepartitionController(fl, herald.RepartitionOptions{
+					Threshold: threshold,
+					Confirm:   *repartitionConfirm,
+					Cooldown:  cooldown,
+					Logf:      log.Printf,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("repartition controller every %v (threshold %.3g, confirm %d, cooldown %d)",
+					*resweepEvery, *repartitionThreshold, *repartitionConfirm, *repartitionCooldown)
+				go ctrl.Run(context.Background(), *resweepEvery)
+			} else {
+				log.Printf("resweep probe every %v (log-only; add -repartition to act on it)", *resweepEvery)
+				go resweepLoop(fl, *resweepEvery, log.Printf)
+			}
 		}
 	}
 	log.Fatal(http.ListenAndServe(*addr, handler))
@@ -181,7 +225,7 @@ func resweepLoop(fl *herald.Fleet, every time.Duration, logf func(string, ...any
 
 // resweepProbe runs one observed-mix resweep and renders the log line:
 // what partition today's traffic would pick. It never acts on the
-// result — that is the future repartitioning controller's job.
+// result — that is the -repartition controller's job.
 func resweepProbe(fl *herald.Fleet) string {
 	res, err := fl.Resweep(nil)
 	if err != nil {

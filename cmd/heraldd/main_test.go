@@ -131,6 +131,72 @@ func TestResweepProbe(t *testing.T) {
 	}
 }
 
+// TestRepartitionController: the -repartition wiring end to end — a
+// fleet with the flag-built sweeper, serving a partition the live
+// traffic disagrees with, migrates to the traffic's winner on one
+// controller step and keeps serving.
+func TestRepartitionController(t *testing.T) {
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+	sw, err := resweepSweeper(cache, herald.Edge, "nvdla,shi-diannao", 4, 2, "exhaustive", "edp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve the mobilenet-optimal NVDLA-heavy split while the live
+	// traffic is all unet (which wants a different partition).
+	hda, err := herald.NewHDA("boot", herald.Edge, []herald.Partition{
+		{Style: herald.NVDLA, PEs: 768, BWGBps: 8},
+		{Style: herald.ShiDiannao, PEs: 256, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := herald.DefaultFleetOptions()
+	opts.Sweeper = sw
+	fl, err := herald.NewReplicatedFleet(cache, hda, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := herald.NewRepartitionController(fl, herald.RepartitionOptions{Confirm: 1, Cooldown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		tk, err := fl.Submit(herald.InferenceRequest{Tenant: "arvr", Model: "unet", ArrivalCycle: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := ctrl.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != herald.RepartitionMigrated || fl.Generation() != 1 {
+		t.Fatalf("controller step: %+v (generation %d)", d, fl.Generation())
+	}
+	if !strings.Contains(d.String(), "MIGRATED") {
+		t.Errorf("decision log line %q", d)
+	}
+	// The migrated fleet still serves.
+	tk, err := fl.Submit(herald.InferenceRequest{Tenant: "arvr", Model: "unet", ArrivalCycle: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := tk.Wait(context.Background()); err != nil || rec.Status != herald.StatusDone {
+		t.Fatalf("post-migration request: %+v %v", rec, err)
+	}
+	st, err := fl.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 5 || st.Migrations != 1 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
 // TestTopKHDAs: heterogeneous fleets take their substrates from the
 // bootstrap search's top-K points, cycling when the cloud is small.
 func TestTopKHDAs(t *testing.T) {

@@ -24,7 +24,14 @@
 //	fmt.Println(design.EnergyMJ)      // expected energy
 //
 // The package is a facade over the internal packages; every exported
-// name maps one-to-one onto a concept in the paper.
+// name maps one-to-one onto a concept in the paper — plus the serving
+// stack grown on top of it: the online multi-tenant serving engine
+// (ServingEngine), multi-HDA fleet dispatch (Fleet, routing policies),
+// warm re-sweeps of the partition search on live traffic (Sweeper,
+// Fleet.Resweep), and the dynamic-repartitioning controller that acts
+// on those probes with live migrations (RepartitionController).
+// docs/ARCHITECTURE.md maps the layers; docs/OPERATIONS.md is the
+// serving-daemon runbook.
 package herald
 
 import (
@@ -441,6 +448,49 @@ func DefaultFleetOptions() FleetOptions { return fleet.DefaultOptions() }
 // ParseFleetPolicy resolves a routing policy by name (round-robin,
 // least-outstanding, cost-aware).
 func ParseFleetPolicy(name string) (FleetPolicy, error) { return fleet.ParsePolicy(name) }
+
+// --- Dynamic repartitioning (internal/fleet's Controller) ---
+
+// Repartitioning: the controller that acts on the Resweep probe.
+type (
+	// RepartitionController periodically re-sweeps the partition
+	// search on the fleet's observed tenant mix and live-migrates the
+	// fleet (spawn → drain → hand over) when the winner beats the
+	// serving partition by a threshold, with hysteresis and cooldown.
+	RepartitionController = fleet.Controller
+	// RepartitionOptions tunes the controller state machine
+	// (threshold, confirmation streak, cooldown, replica count).
+	RepartitionOptions = fleet.ControllerOptions
+	// RepartitionDecision records one controller step.
+	RepartitionDecision = fleet.Decision
+	// RepartitionStatus is the controller's state snapshot (the
+	// GET /v1/fleet/repartition payload).
+	RepartitionStatus = fleet.ControllerStatus
+	// RepartitionAction is the outcome of one controller step.
+	RepartitionAction = fleet.Action
+)
+
+// Controller step outcomes.
+const (
+	RepartitionNoTraffic  = fleet.ActionNoTraffic
+	RepartitionHold       = fleet.ActionHold
+	RepartitionConfirming = fleet.ActionConfirming
+	RepartitionCooldown   = fleet.ActionCooldown
+	RepartitionMigrated   = fleet.ActionMigrated
+)
+
+// NewRepartitionController attaches a dynamic-repartitioning
+// controller to a fleet built with FleetOptions.Sweeper. Drive it
+// with Step (deterministic replay) or Run (daemon ticker loop).
+func NewRepartitionController(f *Fleet, opts RepartitionOptions) (*RepartitionController, error) {
+	return fleet.NewController(f, opts)
+}
+
+// DesignFromSearch converts a search outcome into the Fig. 10 design
+// view — the plumbing callers use to render what a probe or
+// controller picked (expected latency/energy/EDP of the winning
+// partition) without re-running anything.
+func DesignFromSearch(res *SearchResult) *Design { return core.DesignFromResult(res) }
 
 // Stream merges periodic per-model request streams (with seeded
 // jitter) into one cycle-ordered arrival sequence.

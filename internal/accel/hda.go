@@ -123,6 +123,27 @@ func (h *HDA) Styles() []dataflow.Style {
 	return out
 }
 
+// SamePartition reports whether two HDAs describe the identical
+// partitioning — same class and the same (style, PEs, bandwidth)
+// triple per sub-accelerator in order — regardless of their names.
+// The repartitioning controller uses it to recognize that a sweep
+// winner is the partition already being served.
+func (h *HDA) SamePartition(o *HDA) bool {
+	if h == nil || o == nil {
+		return h == o
+	}
+	if h.Class.Name != o.Class.Name || len(h.Subs) != len(o.Subs) {
+		return false
+	}
+	for i := range h.Subs {
+		a, b := &h.Subs[i], &o.Subs[i]
+		if a.Style != b.Style || a.HW.PEs != b.HW.PEs || a.HW.BWGBps != b.HW.BWGBps {
+			return false
+		}
+	}
+	return true
+}
+
 // Heterogeneous reports whether the HDA combines at least two distinct
 // dataflow styles (a true HDA rather than an FDA/SM-FDA).
 func (h *HDA) Heterogeneous() bool {

@@ -15,7 +15,18 @@
 // bound (bound.go) provably cannot win; and a reusable Sweeper handle
 // (sweeper.go) keeps schedulers, HDAs and memo tables warm across
 // sweeps — the substrate for fleet.Resweep's dynamic-repartitioning
-// probes.
+// probes and the fleet Controller that acts on them.
+//
+// Key types: Space (the searchable partition space), Options
+// (strategy, objective, BestOnly/Prune sweep modes), Point (one
+// evaluated design), Result (cloud, Pareto front, Best, and the
+// Explored/Pruned coverage counters), Sweeper (the warm reusable
+// handle). Search is the one-shot convenience over NewSweeper+Sweep.
+// Determinism guarantee: for a fixed (space, options, workload),
+// Best is bit-identical across runs, worker counts, and
+// pruned/unpruned modes (ties break toward the earlier enumeration
+// index; see prune_equiv_test.go) — which is what lets a serving
+// fleet compare sweep winners across probes by value.
 package dse
 
 import (
@@ -129,6 +140,12 @@ func (o Objective) String() string {
 		return "edp"
 	}
 }
+
+// Value extracts the objective's value from an evaluated point.
+// Exported so callers ranking a design point outside a search — the
+// fleet's repartitioning controller comparing the serving partition
+// against a sweep winner — use the search's own convention.
+func (o Objective) Value(p Point) float64 { return o.value(p) }
 
 // value extracts the objective from a point.
 func (o Objective) value(p Point) float64 {

@@ -1,0 +1,478 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/dse"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Action is the outcome of one controller step.
+type Action string
+
+// Controller step outcomes.
+const (
+	// ActionNoTraffic: nothing observed since the last mix reset, so
+	// there is no mix to probe.
+	ActionNoTraffic Action = "no-traffic"
+	// ActionHold: the serving partition is already the sweep winner,
+	// or the winner's improvement is below the threshold.
+	ActionHold Action = "hold"
+	// ActionConfirming: the winner beats the threshold but has not yet
+	// persisted for Confirm consecutive probes (hysteresis).
+	ActionConfirming Action = "confirming"
+	// ActionCooldown: a winner beats the threshold but the controller
+	// is inside the post-migration cooldown and will not act.
+	ActionCooldown Action = "cooldown"
+	// ActionMigrated: the fleet live-migrated to the winning partition.
+	ActionMigrated Action = "migrated"
+)
+
+// ControllerOptions tunes the repartitioning state machine. The zero
+// value selects the defaults.
+type ControllerOptions struct {
+	// Threshold is the minimum fractional objective improvement the
+	// sweep winner must offer over the serving partition to be a
+	// migration candidate: 0.05 means "at least 5% better" (under the
+	// sweeper's objective — EDP, latency or energy). 0 selects the
+	// default 0.05; to migrate on any improvement at all, set a tiny
+	// positive value (e.g. 1e-9).
+	Threshold float64
+
+	// Confirm is how many consecutive probes must agree on the same
+	// winning partition (each beating the threshold) before the
+	// controller migrates. Values above 1 are the hysteresis that
+	// keeps a noisy mix from triggering a migration off one probe.
+	// 0 selects the default 2.
+	Confirm int
+
+	// Cooldown is how many probes after a migration are observation
+	// only: candidates are reported (ActionCooldown) but never acted
+	// on, and they accumulate no confirmation streak. Together with
+	// Confirm this bounds the worst-case flap rate to one migration
+	// per Cooldown+Confirm probes. 0 selects the default 3; negative
+	// disables the cooldown entirely.
+	Cooldown int
+
+	// Replicas is the replica count after a migration; 0 keeps the
+	// current active replica count.
+	Replicas int
+
+	// Logf, when set, receives one line per step (Run also uses it).
+	Logf func(format string, args ...any)
+}
+
+func (o ControllerOptions) withDefaults() ControllerOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.05
+	}
+	if o.Confirm <= 0 {
+		o.Confirm = 2
+	}
+	switch {
+	case o.Cooldown == 0:
+		o.Cooldown = 3
+	case o.Cooldown < 0:
+		o.Cooldown = 0
+	}
+	return o
+}
+
+// Decision records one controller step: what the probe saw and what
+// the state machine did about it.
+type Decision struct {
+	Step   int    `json:"step"`
+	Action Action `json:"action"`
+	// Generation is the fleet generation after the step.
+	Generation int `json:"generation"`
+
+	// Mix is the probed workload (model×batches), empty under
+	// ActionNoTraffic.
+	Mix string `json:"mix,omitempty"`
+
+	// Serving/Winner describe the comparison: the best active
+	// partition's objective value on the mix vs. the sweep winner's.
+	ServingHDA   string  `json:"serving_hda,omitempty"`
+	WinnerHDA    string  `json:"winner_hda,omitempty"`
+	Objective    string  `json:"objective,omitempty"`
+	ServingValue float64 `json:"serving_value,omitempty"`
+	WinnerValue  float64 `json:"winner_value,omitempty"`
+	// Improvement is the winner's fractional gain over the serving
+	// partition ((serving-winner)/serving); negative means the
+	// serving partition is better.
+	Improvement float64 `json:"improvement"`
+
+	// Streak / CooldownLeft expose the hysteresis state after the
+	// step.
+	Streak       int `json:"streak,omitempty"`
+	CooldownLeft int `json:"cooldown_left,omitempty"`
+
+	// Explored/Pruned are the probe sweep's coverage counters.
+	Explored int `json:"explored,omitempty"`
+	Pruned   int `json:"pruned,omitempty"`
+}
+
+// String renders the decision as a one-line log entry.
+func (d Decision) String() string {
+	switch d.Action {
+	case ActionNoTraffic:
+		return fmt.Sprintf("repartition step %d: no traffic observed yet", d.Step)
+	case ActionMigrated:
+		return fmt.Sprintf("repartition step %d: MIGRATED to %s (gen %d): %s %.4g -> %.4g on %s (%+.1f%%; cooldown %d)",
+			d.Step, d.WinnerHDA, d.Generation, d.Objective, d.ServingValue, d.WinnerValue, d.Mix,
+			-100*d.Improvement, d.CooldownLeft)
+	}
+	return fmt.Sprintf("repartition step %d: %s (gen %d): serving %s, winner %s (%s %.4g vs %.4g, %+.1f%% on %s; streak %d, cooldown %d)",
+		d.Step, d.Action, d.Generation, d.ServingHDA, d.WinnerHDA, d.Objective,
+		d.ServingValue, d.WinnerValue, 100*d.Improvement, d.Mix, d.Streak, d.CooldownLeft)
+}
+
+// ControllerStatus is a point-in-time controller snapshot (the
+// GET /v1/fleet/repartition payload).
+type ControllerStatus struct {
+	// State is the lifecycle phase: "stable", "confirming" (a
+	// candidate is accumulating its streak) or "cooldown".
+	State      string  `json:"state"`
+	Steps      int     `json:"steps"`
+	Migrations int     `json:"migrations"`
+	Threshold  float64 `json:"threshold"`
+	Confirm    int     `json:"confirm"`
+	Cooldown   int     `json:"cooldown"`
+
+	Streak       int `json:"streak,omitempty"`
+	CooldownLeft int `json:"cooldown_left,omitempty"`
+
+	// Last is the most recent decision (nil before the first step).
+	Last *Decision `json:"last,omitempty"`
+}
+
+// Controller is the dynamic-repartitioning state machine: the piece
+// that acts on the Resweep probe. Each Step runs
+//
+//	probe -> compare -> (hysteresis/cooldown) -> migrate
+//
+// re-sweeping the partition search on the fleet's observed tenant
+// mix, evaluating the serving partition on that same mix with the
+// same scheduler configuration (apples to apples), and executing
+// Fleet.Migrate when the winner's improvement clears the threshold
+// for Confirm consecutive probes outside a cooldown. After a
+// migration the observed mix resets, so subsequent decisions reflect
+// post-migration traffic only.
+//
+// A Controller is safe for concurrent use, but steps are serialized;
+// Run drives Step on a ticker for daemon deployments, while tests and
+// replay tools call Step directly at deterministic points — the same
+// submission trace with Steps at the same points always reaches the
+// same final partition.
+type Controller struct {
+	f    *Fleet
+	opts ControllerOptions
+	obj  dse.Objective
+
+	// stepMu serializes Step calls (and guards the scheduler below —
+	// a sched.Scheduler is single-goroutine). It is held across a
+	// migration's drain, which can take a while; the state fields are
+	// therefore guarded separately so Status stays responsive during
+	// exactly the window an operator wants to watch.
+	stepMu sync.Mutex
+	s      *sched.Scheduler
+
+	// mu guards the published state below. Writes happen only inside
+	// Step (under stepMu); Status/Migrations read concurrently.
+	mu           sync.Mutex
+	steps        int
+	migrations   int
+	cooldownLeft int
+	pendingKey   string // partition string of the candidate being confirmed
+	streak       int
+	last         *Decision
+}
+
+// NewController attaches a repartitioning controller to a fleet. The
+// fleet must have been built with Options.Sweeper — the controller
+// probes through it and inherits its search objective and scheduler
+// configuration.
+func NewController(f *Fleet, opts ControllerOptions) (*Controller, error) {
+	if f == nil {
+		return nil, fmt.Errorf("fleet: controller needs a fleet")
+	}
+	if f.sweeper == nil {
+		return nil, fmt.Errorf("fleet: controller needs a fleet with a sweeper (set Options.Sweeper)")
+	}
+	if opts.Threshold < 0 {
+		return nil, fmt.Errorf("fleet: controller threshold must be >= 0 (got %g)", opts.Threshold)
+	}
+	opts = opts.withDefaults()
+	c := &Controller{
+		f:    f,
+		opts: opts,
+		obj:  f.sweeper.Options().Objective,
+		s:    sched.MustNew(f.cache, f.sweeper.Options().Sched),
+	}
+	f.ctrlMu.Lock()
+	f.controller = c
+	f.ctrlMu.Unlock()
+	return c, nil
+}
+
+// Status returns the controller's current state snapshot.
+func (c *Controller) Status() ControllerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ControllerStatus{
+		State:        "stable",
+		Steps:        c.steps,
+		Migrations:   c.migrations,
+		Threshold:    c.opts.Threshold,
+		Confirm:      c.opts.Confirm,
+		Cooldown:     c.opts.Cooldown,
+		Streak:       c.streak,
+		CooldownLeft: c.cooldownLeft,
+	}
+	switch {
+	case c.cooldownLeft > 0:
+		st.State = "cooldown"
+	case c.streak > 0:
+		st.State = "confirming"
+	}
+	if c.last != nil {
+		d := *c.last
+		st.Last = &d
+	}
+	return st
+}
+
+// Migrations returns how many migrations the controller has executed.
+func (c *Controller) Migrations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrations
+}
+
+// Step runs one control iteration and returns its decision. Steps are
+// serialized; a step that migrates blocks until the retiring
+// generation has drained (ctx bounds that wait; Status stays
+// readable throughout). Calling Step at deterministic points of a
+// fixed submission trace yields a deterministic decision sequence.
+//
+// If ctx expires while the retiring generation drains, the migration
+// itself has still happened — the fleet serves the new generation,
+// the un-drained replicas stay in the retiring set (a later Drain
+// completes them), and the controller commits its post-migration
+// state before reporting the interrupted drain as an error, so
+// controller and fleet can never desync.
+func (c *Controller) Step(ctx context.Context) (Decision, error) {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
+	// State fields are written only here (under stepMu), so lock-free
+	// reads are safe; every write goes through setState so Status's
+	// locked reads are too.
+	d := Decision{Step: c.steps, Objective: c.obj.String()}
+	c.setState(func() { c.steps++ })
+
+	mix := c.f.ObservedMix("observed-mix")
+	if mix == nil {
+		d.Action = ActionNoTraffic
+		d.Generation = c.f.Generation()
+		return c.finish(d), nil
+	}
+	d.Mix = mixString(mix)
+
+	res, err := c.f.Resweep(mix)
+	if err != nil {
+		return d, err
+	}
+	d.WinnerHDA = res.Best.HDA.String()
+	d.WinnerValue = c.obj.Value(res.Best)
+	d.Explored, d.Pruned = res.Explored, res.Pruned
+
+	servingHDA, servingValue, err := c.servingValue(mix)
+	if err != nil {
+		return d, err
+	}
+	d.ServingHDA = servingHDA.String()
+	d.ServingValue = servingValue
+	if servingValue > 0 {
+		d.Improvement = (servingValue - d.WinnerValue) / servingValue
+	}
+	d.Generation = c.f.Generation()
+
+	// Cooldown: observe, report, never act — and accumulate no streak,
+	// so the cooldown and confirmation windows are strictly serial.
+	if c.cooldownLeft > 0 {
+		c.setState(func() {
+			c.cooldownLeft--
+			c.streak, c.pendingKey = 0, ""
+		})
+		if res.Best.HDA.SamePartition(servingHDA) || d.Improvement < c.opts.Threshold {
+			d.Action = ActionHold
+		} else {
+			d.Action = ActionCooldown
+		}
+		return c.finish(d), nil
+	}
+
+	if res.Best.HDA.SamePartition(servingHDA) || d.Improvement < c.opts.Threshold {
+		d.Action = ActionHold
+		c.setState(func() { c.streak, c.pendingKey = 0, "" })
+		return c.finish(d), nil
+	}
+
+	// A candidate cleared the threshold: it must be the same partition
+	// for Confirm consecutive probes before the fleet moves.
+	c.setState(func() {
+		if key := d.WinnerHDA; key == c.pendingKey {
+			c.streak++
+		} else {
+			c.pendingKey = key
+			c.streak = 1
+		}
+	})
+	if c.streak < c.opts.Confirm {
+		d.Action = ActionConfirming
+		return c.finish(d), nil
+	}
+
+	// Act: spawn the new generation on the winner, hand the mix over
+	// for prewarming, drain and retire the old one.
+	n := c.opts.Replicas
+	if n <= 0 {
+		n = len(c.f.ActiveHDAs())
+	}
+	hdas := make([]*accel.HDA, n)
+	for i := range hdas {
+		hdas[i] = res.Best.HDA
+	}
+	migErr := c.f.Migrate(ctx, hdas, mix)
+	if migErr != nil && c.f.Generation() == d.Generation {
+		// The swap never happened (replica build failed): the fleet is
+		// untouched; the candidate streak survives for the next probe.
+		return d, fmt.Errorf("fleet: migration to %s failed: %w", d.WinnerHDA, migErr)
+	}
+	// The fleet switched generations — even if the old generation's
+	// drain was cut short, commit the post-migration state now.
+	c.f.ResetMix()
+	c.setState(func() {
+		c.migrations++
+		c.cooldownLeft = c.opts.Cooldown
+		c.streak, c.pendingKey = 0, ""
+	})
+	d.Action = ActionMigrated
+	d.Generation = c.f.Generation()
+	d = c.finish(d)
+	if migErr != nil {
+		return d, fmt.Errorf("fleet: migrated to %s, but draining the retired generation was interrupted (it will finish in the background or on Drain): %w", d.WinnerHDA, migErr)
+	}
+	return d, nil
+}
+
+// setState applies a state mutation under the read lock, keeping
+// Status race-free while Step runs.
+func (c *Controller) setState(mutate func()) {
+	c.mu.Lock()
+	mutate()
+	c.mu.Unlock()
+}
+
+// finish records the decision as the controller's latest, copies the
+// hysteresis state into it, and logs it.
+func (c *Controller) finish(d Decision) Decision {
+	c.mu.Lock()
+	d.Streak = c.streak
+	d.CooldownLeft = c.cooldownLeft
+	last := d
+	c.last = &last
+	c.mu.Unlock()
+	if c.opts.Logf != nil {
+		c.opts.Logf("%s", d)
+	}
+	return d
+}
+
+// servingValue evaluates the probed mix on every distinct active
+// partition with the sweeper's scheduler configuration and returns
+// the best one — the objective value the current fleet could achieve
+// on that mix, the fair baseline for the sweep winner.
+func (c *Controller) servingValue(mix *workload.Workload) (*accel.HDA, float64, error) {
+	hdas := c.f.ActiveHDAs()
+	var bestHDA *accel.HDA
+	best := math.Inf(1)
+	for i, h := range hdas {
+		dup := false
+		for _, seen := range hdas[:i] {
+			if h.SamePartition(seen) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		sch, err := c.s.Schedule(h, mix)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fleet: evaluating serving partition %s: %w", h, err)
+		}
+		v := c.obj.Value(dse.Point{
+			HDA:        h,
+			Schedule:   sch,
+			LatencySec: sch.LatencySeconds(1.0),
+			EnergyMJ:   sch.EnergyMJ(),
+			EDP:        sch.EDP(1.0),
+		})
+		c.s.Recycle(sch)
+		if v < best {
+			best, bestHDA = v, h
+		}
+	}
+	if bestHDA == nil {
+		return nil, 0, fmt.Errorf("fleet: no active partition to evaluate")
+	}
+	return bestHDA, best, nil
+}
+
+// mixString renders a workload as "model×batches + ..." for logs.
+func mixString(w *workload.Workload) string {
+	counts := make(map[string]int)
+	var order []string
+	for i := range w.Instances {
+		name := w.Instances[i].Model.Name
+		if counts[name] == 0 {
+			order = append(order, name)
+		}
+		counts[name]++
+	}
+	s := ""
+	for i, name := range order {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%s:%d", name, counts[name])
+	}
+	return s
+}
+
+// Run drives Step on a ticker until ctx is cancelled — the daemon
+// form of the control loop (heraldd -repartition). Errors are logged
+// (via Options.Logf) and do not stop the loop: a transient probe
+// failure must not kill the controller.
+func (c *Controller) Run(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if _, err := c.Step(ctx); err != nil && c.opts.Logf != nil {
+				c.opts.Logf("repartition step failed: %v", err)
+			}
+		}
+	}
+}

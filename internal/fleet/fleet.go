@@ -33,9 +33,30 @@
 //
 // A fleet equipped with a dse.Sweeper (Options.Sweeper) additionally
 // supports Resweep: re-running the hardware-partition search on the
-// observed tenant mix against warm sweep state. This is the probe the
-// roadmap's dynamic-repartitioning controller builds on — it reports
-// what partition today's traffic would pick, without acting on it.
+// observed tenant mix against warm sweep state. Resweep only reports
+// what partition today's traffic would pick; acting on it is the
+// Controller's job.
+//
+// # Dynamic repartitioning
+//
+// The Controller closes the probe→action gap. Each Step re-sweeps the
+// observed mix, evaluates the serving partition on that same mix, and
+// — when the sweep winner beats it by a configurable objective
+// threshold for enough consecutive probes (hysteresis), outside a
+// post-migration cooldown — executes a live migration via
+// Fleet.Migrate: a new generation of replica engines is built on the
+// winning partition (prewarmed with the mix so the cost-cache
+// locality hands over), dispatch atomically switches to them, and the
+// old generation is quiesced (admissions stop, in-flight requests
+// finish) and retired. No request is lost or double-served: requests
+// dispatched before the switch complete on their original engine, and
+// every retired engine's statistics fold into the fleet aggregates.
+//
+// Dispatch stays deterministic across migrations: a fixed submission
+// sequence with Controller.Step calls at fixed points always produces
+// the same replica assignments, the same decisions, and the same
+// final partition (replayable capacity planning, probed by the
+// deterministic-replay tests).
 package fleet
 
 import (
@@ -43,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -70,6 +92,7 @@ const (
 	CostAware
 )
 
+// String names the policy as the flag/stats surface spells it.
 func (p Policy) String() string {
 	switch p {
 	case RoundRobin:
@@ -119,8 +142,9 @@ func DefaultOptions() Options {
 
 // replica is one serving engine plus the dispatcher's bookkeeping.
 type replica struct {
-	id     int
-	hda    *accel.HDA
+	id  int
+	gen int // the migration generation that created it
+	hda *accel.HDA
 	engine *serve.Engine
 
 	// inflight counts requests dispatched but not yet finished,
@@ -135,6 +159,19 @@ type replica struct {
 	horizon int64
 	// est memoizes each model's best-case busy cycles on this HDA.
 	est map[*dnn.Model]int64
+
+	// handler lazily builds the engine's HTTP API for /v1/replicas/{i}
+	// delegation (replica sets change across migrations, so handlers
+	// are per-replica, not snapshotted at Fleet.Handler time).
+	handlerOnce sync.Once
+	handler     http.Handler
+}
+
+// httpHandler returns (building on first use) the replica engine's
+// HTTP API.
+func (r *replica) httpHandler() http.Handler {
+	r.handlerOnce.Do(func() { r.handler = r.engine.Handler() })
+	return r.handler
 }
 
 // estCycles returns the model's best-case busy cycles on this
@@ -164,18 +201,28 @@ func (r *replica) estCycles(cache *maestro.Cache, model *dnn.Model) int64 {
 
 // Fleet dispatches inference requests across replica serving engines.
 type Fleet struct {
-	cache  *maestro.Cache
-	policy Policy
-	start  time.Time
-
-	replicas []*replica
+	cache     *maestro.Cache
+	policy    Policy
+	serveOpts serve.Options
+	start     time.Time
 
 	// mu serializes dispatch decisions (and guards the dispatcher
 	// bookkeeping), which is what makes routing deterministic for a
 	// fixed submission sequence.
 	mu       sync.Mutex
-	rrNext   int
-	draining bool
+	replicas []*replica // the active generation: the only dispatch targets
+	// retiring holds previous-generation replicas that are quiesced
+	// but still finishing in-flight work; once drained they fold into
+	// history and are dropped.
+	retiring []*replica
+	// history accumulates the final statistics of fully-retired
+	// generations so fleet aggregates never lose a served request.
+	history    retiredHistory
+	rrNext     int
+	draining   bool
+	generation int
+	migrations int64
+	nextID     int
 
 	// modelCounts tracks accepted submissions per model name (under
 	// mu) — the observed tenant mix Resweep searches over.
@@ -185,6 +232,20 @@ type Fleet struct {
 	// handle but not safe for concurrent sweeps.
 	resweepMu sync.Mutex
 	sweeper   *dse.Sweeper
+
+	// ctrlMu guards the attached repartitioning controller (set by
+	// NewController, read by the HTTP status endpoint).
+	ctrlMu     sync.Mutex
+	controller *Controller
+}
+
+// retiredHistory is the folded statistics of retired generations.
+type retiredHistory struct {
+	replicas                               int
+	submitted, completed, failed, rejected int64
+	pending                                int64 // requests lost to a cancelled drain (should stay 0)
+	makespan                               int64
+	tenants                                map[string]*serve.TenantWindow
 }
 
 // New starts one serving engine per HDA, all sharing one cost cache.
@@ -204,13 +265,32 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 	f := &Fleet{
 		cache:       cache,
 		policy:      opts.Policy,
+		serveOpts:   opts.Serve,
 		start:       time.Now(),
 		modelCounts: make(map[string]int64),
 		sweeper:     opts.Sweeper,
 	}
+	rs, err := f.buildReplicas(hdas)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rs {
+		r.id = i
+	}
+	f.replicas = rs
+	f.nextID = len(rs)
+	return f, nil
+}
+
+// buildReplicas constructs one engine per HDA (generation and ids are
+// assigned by the caller). On any failure the already-started engines
+// are drained before the error is reported, so a failed build leaks
+// no goroutines.
+func (f *Fleet) buildReplicas(hdas []*accel.HDA) ([]*replica, error) {
+	rs := make([]*replica, 0, len(hdas))
 	for i, h := range hdas {
-		r := &replica{id: i, hda: h, est: make(map[*dnn.Model]int64)}
-		so := opts.Serve
+		r := &replica{hda: h, est: make(map[*dnn.Model]int64)}
+		so := f.serveOpts
 		userHook := so.OnRequestDone
 		so.OnRequestDone = func(rec serve.Record) {
 			r.inflight.Add(-1)
@@ -218,18 +298,17 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 				userHook(rec)
 			}
 		}
-		eng, err := serve.New(cache, h, so)
+		eng, err := serve.New(f.cache, h, so)
 		if err != nil {
-			// Stop the engines already started before reporting.
-			for _, started := range f.replicas {
+			for _, started := range rs {
 				_, _ = started.engine.Drain(context.Background())
 			}
 			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
 		}
 		r.engine = eng
-		f.replicas = append(f.replicas, r)
+		rs = append(rs, r)
 	}
-	return f, nil
+	return rs, nil
 }
 
 // Replicated starts a homogeneous fleet: n replica engines of one HDA.
@@ -247,12 +326,58 @@ func Replicated(cache *maestro.Cache, hda *accel.HDA, n int, opts Options) (*Fle
 // Policy returns the fleet's routing policy.
 func (f *Fleet) Policy() Policy { return f.policy }
 
-// Size returns the number of replicas.
-func (f *Fleet) Size() int { return len(f.replicas) }
+// Size returns the number of active replicas.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.replicas)
+}
 
-// Engine returns replica i's serving engine (for per-replica probes
-// and HTTP delegation).
-func (f *Fleet) Engine(i int) *serve.Engine { return f.replicas[i].engine }
+// Generation returns the current replica generation: 0 at startup,
+// incremented by every completed Migrate.
+func (f *Fleet) Generation() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.generation
+}
+
+// Engine returns active replica i's serving engine (for per-replica
+// probes and tests; HTTP delegation resolves replicas by id instead,
+// which stays stable across migrations).
+func (f *Fleet) Engine(i int) *serve.Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.replicas[i].engine
+}
+
+// ActiveHDAs returns the partitions the active generation serves on
+// (one entry per replica, in replica order).
+func (f *Fleet) ActiveHDAs() []*accel.HDA {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*accel.HDA, len(f.replicas))
+	for i, r := range f.replicas {
+		out[i] = r.hda
+	}
+	return out
+}
+
+// replicaByID resolves a live (active or retiring) replica by id.
+func (f *Fleet) replicaByID(id int) *replica {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.replicas {
+		if r.id == id {
+			return r
+		}
+	}
+	for _, r := range f.retiring {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
 
 // Ticket tracks a dispatched submission and the replica serving it.
 type Ticket struct {
@@ -336,10 +461,16 @@ func (f *Fleet) pickLocked(model *dnn.Model, arrival int64) (*replica, int64) {
 
 // ReplicaStats is one replica's slice of the fleet statistics.
 type ReplicaStats struct {
-	Replica    int    `json:"replica"`
+	Replica int `json:"replica"`
+	// Generation is the migration generation that created the replica
+	// (0 = the fleet's original engines).
+	Generation int    `json:"generation"`
 	HDA        string `json:"hda"`
-	Dispatched int64  `json:"dispatched"`
-	Inflight   int64  `json:"inflight"`
+	// Retiring marks a previous-generation replica that no longer
+	// receives dispatches but is still finishing in-flight work.
+	Retiring   bool  `json:"retiring,omitempty"`
+	Dispatched int64 `json:"dispatched"`
+	Inflight   int64 `json:"inflight"`
 	// HorizonCycles is the cost-aware dispatcher's completion-time
 	// estimate for everything routed here (0 under other policies).
 	HorizonCycles int64       `json:"horizon_cycles"`
@@ -347,11 +478,20 @@ type ReplicaStats struct {
 }
 
 // Stats is a fleet-wide snapshot: per-replica engine statistics plus
-// tenant aggregates merged across replicas.
+// tenant aggregates merged across replicas — including retiring and
+// retired generations, so no served request ever drops out of the
+// aggregates across a repartition.
 type Stats struct {
 	Policy        string  `json:"policy"`
 	Replicas      int     `json:"replicas"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Generation counts completed migrations; RetiredReplicas counts
+	// fully-drained previous-generation engines folded into the
+	// aggregates.
+	Generation      int   `json:"generation"`
+	Migrations      int64 `json:"migrations,omitempty"`
+	RetiredReplicas int   `json:"retired_replicas,omitempty"`
 
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
@@ -370,32 +510,65 @@ type Stats struct {
 	// cannot be derived from per-replica percentiles).
 	Tenants []serve.TenantStats `json:"tenants"`
 
+	// PerReplica covers the live replicas: the active generation plus
+	// any still-retiring ones. Fully-retired engines appear only in
+	// the folded aggregates.
 	PerReplica []ReplicaStats `json:"per_replica"`
+}
+
+// addWindow merges one tenant window into the aggregation map.
+func addWindow(tenants map[string]*serve.TenantWindow, w *serve.TenantWindow) {
+	a := tenants[w.Tenant]
+	if a == nil {
+		a = &serve.TenantWindow{Tenant: w.Tenant}
+		tenants[w.Tenant] = a
+	}
+	a.Add(w)
 }
 
 // Stats returns the current fleet-wide statistics.
 func (f *Fleet) Stats() Stats {
+	tenants := make(map[string]*serve.TenantWindow)
+
+	// Snapshot the live replica set and fold the retired history under
+	// the dispatch lock; engine probes run on the snapshot afterwards
+	// (an engine outlives its membership in f.replicas, so reading it
+	// after unlock is safe even if a migration swaps the set).
+	type rsnap struct {
+		r                   *replica
+		retiring            bool
+		dispatched, horizon int64
+	}
 	f.mu.Lock()
 	st := Stats{
-		Policy:        f.policy.String(),
-		Replicas:      len(f.replicas),
-		UptimeSeconds: time.Since(f.start).Seconds(),
+		Policy:          f.policy.String(),
+		Replicas:        len(f.replicas),
+		UptimeSeconds:   time.Since(f.start).Seconds(),
+		Generation:      f.generation,
+		Migrations:      f.migrations,
+		RetiredReplicas: f.history.replicas,
+		Submitted:       f.history.submitted,
+		Completed:       f.history.completed,
+		Failed:          f.history.failed,
+		Rejected:        f.history.rejected,
+		Pending:         f.history.pending,
+		MakespanCycles:  f.history.makespan,
 	}
-	dispatched := make([]int64, len(f.replicas))
-	horizons := make([]int64, len(f.replicas))
-	for i, r := range f.replicas {
-		dispatched[i] = r.dispatched
-		horizons[i] = r.horizon
+	snaps := make([]rsnap, 0, len(f.replicas)+len(f.retiring))
+	for _, r := range f.replicas {
+		snaps = append(snaps, rsnap{r: r, dispatched: r.dispatched, horizon: r.horizon})
+	}
+	for _, r := range f.retiring {
+		snaps = append(snaps, rsnap{r: r, retiring: true, dispatched: r.dispatched, horizon: r.horizon})
+	}
+	for _, w := range f.history.tenants {
+		addWindow(tenants, w)
 	}
 	f.mu.Unlock()
 
-	type agg struct {
-		serve.TenantWindow
-		latencies []int64
-	}
-	tenants := make(map[string]*agg)
 	var clockGHz float64
-	for i, r := range f.replicas {
+	for _, sn := range snaps {
+		r := sn.r
 		es := r.engine.Stats()
 		clockGHz = es.ClockGHz
 		st.Submitted += es.Submitted
@@ -407,29 +580,17 @@ func (f *Fleet) Stats() Stats {
 			st.MakespanCycles = es.MakespanCycles
 		}
 		st.PerReplica = append(st.PerReplica, ReplicaStats{
-			Replica:       i,
+			Replica:       r.id,
+			Generation:    r.gen,
 			HDA:           r.hda.Name,
-			Dispatched:    dispatched[i],
+			Retiring:      sn.retiring,
+			Dispatched:    sn.dispatched,
 			Inflight:      r.inflight.Load(),
-			HorizonCycles: horizons[i],
+			HorizonCycles: sn.horizon,
 			Engine:        es,
 		})
 		for _, w := range r.engine.TenantWindows() {
-			a := tenants[w.Tenant]
-			if a == nil {
-				a = &agg{TenantWindow: serve.TenantWindow{Tenant: w.Tenant}}
-				tenants[a.Tenant] = a
-			}
-			a.Submitted += w.Submitted
-			a.Completed += w.Completed
-			a.Failed += w.Failed
-			a.Rejected += w.Rejected
-			a.SLATracked += w.SLATracked
-			a.SLAViolations += w.SLAViolations
-			a.LatencySum += w.LatencySum
-			a.QueueSum += w.QueueSum
-			a.EnergyPJ += w.EnergyPJ
-			a.latencies = append(a.latencies, w.Latencies...)
+			addWindow(tenants, &w)
 		}
 	}
 
@@ -451,11 +612,11 @@ func (f *Fleet) Stats() Stats {
 			EnergyPJ:      a.EnergyPJ,
 		}
 		if a.Completed > 0 {
-			sort.Slice(a.latencies, func(i, j int) bool { return a.latencies[i] < a.latencies[j] })
+			sort.Slice(a.Latencies, func(i, j int) bool { return a.Latencies[i] < a.Latencies[j] })
 			ts.MeanLatencyCycles = a.LatencySum / a.Completed
-			ts.P50LatencyCycles = serve.Percentile(a.latencies, 50)
-			ts.P95LatencyCycles = serve.Percentile(a.latencies, 95)
-			ts.P99LatencyCycles = serve.Percentile(a.latencies, 99)
+			ts.P50LatencyCycles = serve.Percentile(a.Latencies, 50)
+			ts.P95LatencyCycles = serve.Percentile(a.Latencies, 95)
+			ts.P99LatencyCycles = serve.Percentile(a.Latencies, 99)
 			ts.MeanQueueCycles = a.QueueSum / a.Completed
 		}
 		st.Tenants = append(st.Tenants, ts)
@@ -539,21 +700,149 @@ func (f *Fleet) Resweep(w *workload.Workload) (*dse.Result, error) {
 	return f.sweeper.Sweep(w)
 }
 
-// Drain stops admissions, fans the drain out to every replica, joins
-// them, and returns the final fleet statistics.
+// ResetMix clears the observed per-model traffic counters, so the
+// next ObservedMix/Resweep reflects only traffic accepted after the
+// reset. The repartitioning controller resets the mix after every
+// migration: the history that justified the previous partition must
+// not immediately argue against the one just installed.
+func (f *Fleet) ResetMix() {
+	f.mu.Lock()
+	clear(f.modelCounts)
+	f.mu.Unlock()
+}
+
+// Migrate replaces the active replicas with a new generation serving
+// the given HDAs — the live-repartitioning primitive the Controller
+// drives. The sequence is spawn → switch → drain → fold:
+//
+//  1. New engines are built on the target partitions (and prewarmed
+//     with the given workload mix, if non-nil, so their scheduler
+//     tables inherit the traffic's cost-cache locality). A build
+//     failure leaves the fleet untouched.
+//  2. Under the dispatch lock, routing atomically switches to the new
+//     generation (fresh horizons, round-robin cursor reset). Requests
+//     already dispatched stay on their original engine.
+//  3. The old generation is quiesced — every old engine stops
+//     admitting at once — then joined: each finishes its in-flight
+//     and queued requests. No request is lost or double-served.
+//  4. Each drained engine's final statistics fold into the fleet
+//     history, and the engine is dropped.
+//
+// If ctx expires mid-drain the un-drained replicas stay in the
+// retiring set (their statistics remain live) and a later Drain picks
+// them up. Migrating a draining fleet fails with serve.ErrDraining.
+func (f *Fleet) Migrate(ctx context.Context, hdas []*accel.HDA, prewarm *workload.Workload) error {
+	if len(hdas) == 0 {
+		return fmt.Errorf("fleet: migration needs at least one replica HDA")
+	}
+	rs, err := f.buildReplicas(hdas)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		r.engine.Prewarm(prewarm)
+	}
+
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		for _, r := range rs {
+			_, _ = r.engine.Drain(context.Background())
+		}
+		return serve.ErrDraining
+	}
+	old := f.replicas
+	f.generation++
+	f.migrations++
+	for _, r := range rs {
+		r.id = f.nextID
+		f.nextID++
+		r.gen = f.generation
+	}
+	f.replicas = rs
+	f.rrNext = 0
+	f.retiring = append(f.retiring, old...)
+	f.mu.Unlock()
+
+	// Stop the whole old generation's admissions before waiting on
+	// any single engine, then join.
+	for _, r := range old {
+		r.engine.Quiesce()
+	}
+	var errs []error
+	for _, r := range old {
+		select {
+		case <-r.engine.Done():
+			f.fold(r)
+		case <-ctx.Done():
+			errs = append(errs, fmt.Errorf("fleet: replica %d drain: %w", r.id, ctx.Err()))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// fold moves a fully-drained retired replica's final statistics into
+// the fleet history and drops the engine from the retiring set.
+func (f *Fleet) fold(r *replica) {
+	es := r.engine.Stats()
+	windows := r.engine.TenantWindows()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := &f.history
+	if h.tenants == nil {
+		h.tenants = make(map[string]*serve.TenantWindow)
+	}
+	h.replicas++
+	h.submitted += es.Submitted
+	h.completed += es.Completed
+	h.failed += es.Failed
+	h.rejected += es.Rejected
+	h.pending += es.Pending
+	if es.MakespanCycles > h.makespan {
+		h.makespan = es.MakespanCycles
+	}
+	for i := range windows {
+		addWindow(h.tenants, &windows[i])
+		// The folded window is a sliding window like the per-engine
+		// ones: keep the most recent samples, bounded across any
+		// number of retired generations.
+		t := h.tenants[windows[i].Tenant]
+		if n := len(t.Latencies); n > maxHistoryLatencies {
+			t.Latencies = append(t.Latencies[:0], t.Latencies[n-maxHistoryLatencies:]...)
+		}
+	}
+	for i, rr := range f.retiring {
+		if rr == r {
+			f.retiring = append(f.retiring[:i], f.retiring[i+1:]...)
+			break
+		}
+	}
+}
+
+// maxHistoryLatencies bounds each tenant's folded latency window
+// across retired generations (matches the per-engine window scale).
+const maxHistoryLatencies = 4096
+
+// Drain stops admissions, fans the drain out to every live replica
+// (active and still-retiring), joins them, and returns the final
+// fleet statistics.
 func (f *Fleet) Drain(ctx context.Context) (Stats, error) {
 	f.mu.Lock()
 	f.draining = true
+	live := make([]*replica, 0, len(f.replicas)+len(f.retiring))
+	live = append(live, f.replicas...)
+	live = append(live, f.retiring...)
 	f.mu.Unlock()
 
-	errs := make([]error, len(f.replicas))
+	errs := make([]error, len(live))
 	var wg sync.WaitGroup
-	for i, r := range f.replicas {
+	for i, r := range live {
 		wg.Add(1)
 		go func(i int, r *replica) {
 			defer wg.Done()
 			if _, err := r.engine.Drain(ctx); err != nil {
-				errs[i] = fmt.Errorf("fleet: replica %d drain: %w", i, err)
+				errs[i] = fmt.Errorf("fleet: replica %d drain: %w", r.id, err)
 			}
 		}(i, r)
 	}

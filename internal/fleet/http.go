@@ -37,30 +37,30 @@ type httpError struct {
 //	                               responses carry the replica index)
 //	GET  /v1/fleet/stats           fleet-wide aggregate + per-replica
 //	GET  /v1/stats                 alias of /v1/fleet/stats
+//	GET  /v1/fleet/repartition     repartitioning controller status
+//	                               (404 when no controller is attached)
 //	POST /v1/drain                 drain every replica, final stats
 //	GET  /v1/models                servable model zoo
 //	GET  /v1/healthz               liveness (replica count, policy)
 //	ANY  /v1/replicas/{i}/{rest}   delegate to replica i's engine API
 //	                               (e.g. /v1/replicas/0/requests/7,
 //	                               /v1/replicas/2/schedule)
+//
+// Replica ids are stable across migrations (each new generation takes
+// fresh ids); delegation resolves the replica at request time, so a
+// still-retiring replica stays inspectable until it is folded.
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/requests", f.handleSubmit)
 	mux.HandleFunc("GET /v1/fleet/stats", f.handleStats)
 	mux.HandleFunc("GET /v1/stats", f.handleStats)
+	mux.HandleFunc("GET /v1/fleet/repartition", f.handleRepartition)
 	mux.HandleFunc("POST /v1/drain", f.handleDrain)
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"models": dnn.Names()})
 	})
 	mux.HandleFunc("GET /v1/healthz", f.handleHealthz)
-	// Delegation handlers are built once, not per request.
-	engines := make([]http.Handler, f.Size())
-	for i := range engines {
-		engines[i] = f.Engine(i).Handler()
-	}
-	mux.HandleFunc("/v1/replicas/{replica}/{rest...}", func(w http.ResponseWriter, r *http.Request) {
-		f.handleReplica(engines, w, r)
-	})
+	mux.HandleFunc("/v1/replicas/{replica}/{rest...}", f.handleReplica)
 	return mux
 }
 
@@ -115,24 +115,45 @@ func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
 
 func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       true,
-		"replicas": f.Size(),
-		"policy":   f.Policy().String(),
-		"uptime":   time.Since(f.start).String(),
+		"ok":         true,
+		"replicas":   f.Size(),
+		"generation": f.Generation(),
+		"policy":     f.Policy().String(),
+		"uptime":     time.Since(f.start).String(),
 	})
+}
+
+// handleRepartition reports the attached repartitioning controller's
+// status: lifecycle state, migration count, and the last decision.
+func (f *Fleet) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	f.ctrlMu.Lock()
+	c := f.controller
+	f.ctrlMu.Unlock()
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, httpError{"no repartitioning controller attached (start one with fleet.NewController / heraldd -repartition)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
 }
 
 // handleReplica delegates /v1/replicas/{i}/{rest} to replica i's own
 // engine API by rewriting the path to /v1/{rest} — the whole
 // per-engine surface (request lookup, schedule export, per-replica
-// stats) stays reachable through the fleet front end.
-func (f *Fleet) handleReplica(engines []http.Handler, w http.ResponseWriter, r *http.Request) {
-	idx, err := strconv.Atoi(r.PathValue("replica"))
-	if err != nil || idx < 0 || idx >= len(engines) {
-		writeJSON(w, http.StatusNotFound, httpError{fmt.Sprintf("no replica %q (fleet has %d)", r.PathValue("replica"), len(engines))})
+// stats) stays reachable through the fleet front end. Replicas are
+// resolved by id at request time, so the surface follows migrations.
+func (f *Fleet) handleReplica(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("replica"))
+	var rep *replica
+	if err == nil {
+		rep = f.replicaByID(id)
+	}
+	if rep == nil {
+		writeJSON(w, http.StatusNotFound, httpError{fmt.Sprintf(
+			"no live replica %q (the id may belong to a retired generation; the fleet is at generation %d)",
+			r.PathValue("replica"), f.Generation())})
 		return
 	}
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = "/v1/" + r.PathValue("rest")
-	engines[idx].ServeHTTP(w, r2)
+	rep.httpHandler().ServeHTTP(w, r2)
 }

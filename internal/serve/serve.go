@@ -13,6 +13,21 @@
 // most one request per tenant per pass, so a chatty tenant cannot
 // starve a quiet one), admits a small batch to the incremental
 // scheduler, and publishes per-request latency/SLA statistics.
+//
+// Lifecycle: New starts the scheduling goroutine; Quiesce stops
+// admissions while in-flight work finishes (Done observes the loop
+// exiting); Drain is Quiesce plus the wait. An engine is never
+// restarted — a fleet migration retires quiesced engines and routes
+// to freshly-built ones instead (see internal/fleet). Prewarm hands a
+// fresh engine the cost columns of an expected workload so its first
+// admissions hit warm scheduler tables.
+//
+// Probes for dispatchers and monitors: Load (pending count + committed
+// backlog horizon), Stats / TenantWindows (aggregate and per-tenant
+// raw statistics; fleets merge windows across replicas), Snapshot (the
+// committed schedule), and Options.OnRequestDone (a per-completion
+// callback outside the engine's locks). Handler exposes the same
+// surface as a JSON-over-HTTP API.
 package serve
 
 import (
@@ -116,9 +131,13 @@ type Request struct {
 // Status is a request's lifecycle state.
 type Status string
 
+// Request lifecycle states.
 const (
+	// StatusQueued: accepted, waiting for a scheduling round.
 	StatusQueued Status = "queued"
-	StatusDone   Status = "done"
+	// StatusDone: scheduled; the record carries the placement.
+	StatusDone Status = "done"
+	// StatusFailed: could not be scheduled; the record carries the error.
 	StatusFailed Status = "failed"
 )
 
@@ -620,15 +639,43 @@ func (e *Engine) Snapshot() *sched.Schedule {
 	return e.inc.Snapshot()
 }
 
-// Drain stops admissions, waits for the queues to empty (or ctx), and
-// returns the final statistics.
-func (e *Engine) Drain(ctx context.Context) (Stats, error) {
+// Quiesce stops admissions without waiting: every later Submit fails
+// with ErrDraining, while the scheduling loop keeps running until the
+// already-accepted queues are empty. It is idempotent. Use Done to
+// observe completion; Drain is Quiesce plus the wait. A fleet
+// migration quiesces a whole retiring generation at once before
+// joining on the individual engines.
+func (e *Engine) Quiesce() {
 	e.mu.Lock()
 	if !e.draining {
 		e.draining = true
 		e.cond.Broadcast()
 	}
 	e.mu.Unlock()
+}
+
+// Done is closed once a quiesced (or draining) engine has finished
+// every accepted request and its scheduling goroutine has exited. It
+// never closes before Quiesce or Drain is called.
+func (e *Engine) Done() <-chan struct{} { return e.loopDone }
+
+// Prewarm resolves the cost columns of every model in w on the
+// engine's HDA, so the first admissions after a cold start (or a
+// fleet migration handing tenants to fresh engines) hit a hot
+// scheduler table instead of paying the cost-model walk inline.
+func (e *Engine) Prewarm(w *workload.Workload) {
+	if w == nil {
+		return
+	}
+	e.schedMu.Lock()
+	e.inc.Prewarm(w)
+	e.schedMu.Unlock()
+}
+
+// Drain stops admissions, waits for the queues to empty (or ctx), and
+// returns the final statistics.
+func (e *Engine) Drain(ctx context.Context) (Stats, error) {
+	e.Quiesce()
 	select {
 	case <-e.loopDone:
 		return e.Stats(), nil

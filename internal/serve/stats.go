@@ -68,6 +68,23 @@ type TenantWindow struct {
 	Latencies                              []int64 // copy of the sliding window
 }
 
+// Add merges another window's counters into w and appends its latency
+// samples — the single merge rule every aggregator (fleet Stats
+// across replicas, retired-generation history folding) must share, so
+// a new TenantWindow field only ever needs one merge site.
+func (w *TenantWindow) Add(o *TenantWindow) {
+	w.Submitted += o.Submitted
+	w.Completed += o.Completed
+	w.Failed += o.Failed
+	w.Rejected += o.Rejected
+	w.SLATracked += o.SLATracked
+	w.SLAViolations += o.SLAViolations
+	w.LatencySum += o.LatencySum
+	w.QueueSum += o.QueueSum
+	w.EnergyPJ += o.EnergyPJ
+	w.Latencies = append(w.Latencies, o.Latencies...)
+}
+
 // TenantWindows returns every tenant's raw statistics window, sorted
 // by tenant name.
 func (e *Engine) TenantWindows() []TenantWindow {
