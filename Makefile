@@ -19,21 +19,23 @@ race:
 
 # smoke builds and runs the end-to-end examples that exercise the
 # serving stack (fast, deterministic; CI runs this per PR): fleet
-# dispatch and the repartitioning controller's live migration.
+# dispatch, the repartitioning controller's live migration, and
+# layer-fused segment serving.
 smoke:
 	$(GO) run ./examples/fleet
 	$(GO) run ./examples/repartition
+	$(GO) run ./examples/segments
 
 # doclint fails on broken intra-repo markdown links (file + anchor)
 # and on exported identifiers in the serving-tier packages missing
 # doc comments. CI runs this per PR.
 doclint:
-	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve
+	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve,internal/dse,internal/sched
 
 # bench runs the full benchmark suite once per benchmark (short form:
 # the perf trajectory gate wants per-PR numbers, not nanosecond-grade
 # stability) and writes the machine-readable BENCH_PR4.json.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
@@ -44,7 +46,7 @@ bench:
 # sweep-scale benchmarks (tens of ms and up) are gated: single-
 # iteration runs of the microsecond-scale figure artifacts swing well
 # past any sane threshold on machine noise alone.
-BENCH_BASE ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR4.json
 bench-gate:
 	$(GO) run ./cmd/benchgate -old $(BENCH_BASE) -new $(BENCH_OUT) \
-		-match 'BenchmarkDSE|BenchmarkFigure6|BenchmarkFigure11|BenchmarkFigure13|BenchmarkResweep' -max-pct 25
+		-match 'BenchmarkDSE|BenchmarkFigure6|BenchmarkFigure11|BenchmarkFigure13|BenchmarkResweep|BenchmarkFusedServing' -max-pct 25

@@ -484,3 +484,41 @@ func BenchmarkResweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFusedServing measures layer-fused segment serving against
+// whole-request dispatch on a dataflow-specialized fleet: one NVDLA
+// FDA replica plus one Shi-diannao FDA replica serving a back-to-back
+// AR/VR burst (mobilenetv2 + mobilenetv1 pairs). Unfused, every
+// request runs end to end on one dataflow; fused, each request's
+// segment chain routes every layer range to the replica whose
+// dataflow prefers it and consecutive requests pipeline across the
+// fleet. Before the timed loop it runs both modes once and reports
+// the acceptance metric the perf gate tracks:
+//
+//	fused-speedup-x   unfused / fused burst makespan (>= 1.15 pinned
+//	                  by TestFusedServingImprovement)
+//
+// The timed region reports the fused fleet's wall-clock admission
+// rate (wall-req/s) and the simulated burst makespan (sim-ms).
+func BenchmarkFusedServing(b *testing.B) {
+	cache := NewCostCache(DefaultEnergyTable())
+	hdas, plans := fusedFleetSetup(b, cache)
+	const pairs = 16
+
+	// Acceptance runs (also warm the shared cost cache).
+	unfusedSpan, _ := driveFusedBurst(b, cache, hdas, nil, pairs)
+	fusedSpan, _ := driveFusedBurst(b, cache, hdas, plans, pairs)
+
+	b.ResetTimer()
+	b.ReportMetric(float64(unfusedSpan)/float64(fusedSpan), "fused-speedup-x")
+	b.ReportMetric(float64(fusedSpan)/1e6, "sim-ms")
+	var served int64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		iterStart := time.Now()
+		_, st := driveFusedBurst(b, cache, hdas, plans, pairs)
+		wall += time.Since(iterStart)
+		served += st.Segments.FusedCompleted
+	}
+	b.ReportMetric(float64(served)/wall.Seconds(), "wall-req/s")
+}

@@ -22,6 +22,17 @@
 //	go run ./cmd/heraldd -class edge -replicas 3 -fleet-topk
 //	go run ./cmd/heraldd -class edge -replicas 2 -resweep-every 30s
 //	go run ./cmd/heraldd -class edge -replicas 2 -resweep-every 30s -repartition
+//	go run ./cmd/heraldd -class edge -fuse -max-segments 4
+//	go run ./cmd/heraldd -class edge -replicas 2 -fuse -mix-half-life 256
+//
+// -fuse turns on layer-fused segment serving: at startup the daemon
+// searches each zoo model's fusion cuts on the serving HDA (bounded by
+// -max-segments) and admits each request for a splitting model as a
+// chain of per-segment instances, so consecutive requests pipeline
+// across sub-accelerators. Fleets route the segments cost-aware across
+// replicas; GET /v1/stats reports the segment counters.
+// -mix-half-life makes the resweep probe's observed mix exponentially
+// decayed instead of all-time.
 //
 // -resweep-every N periodically re-runs the partition DSE on the
 // observed tenant mix. Alone it is a log-only probe; with
@@ -79,6 +90,9 @@ func main() {
 	repartitionThreshold := flag.Float64("repartition-threshold", 0.05, "minimum fractional objective improvement before migrating (0.05 = winner must be 5% better; 0 = any improvement)")
 	repartitionConfirm := flag.Int("repartition-confirm", 2, "consecutive probes that must agree on the winner before migrating (hysteresis, >= 1)")
 	repartitionCooldown := flag.Int("repartition-cooldown", 3, "observation-only probes after each migration (anti-flap; 0 = none)")
+	fuse := flag.Bool("fuse", false, "layer-fused segment serving: decompose each request into its model's winning segment chain so consecutive requests pipeline across sub-accelerators")
+	maxSegments := flag.Int("max-segments", 4, "upper bound on segments per fused request (with -fuse; >= 2)")
+	mixHalfLife := flag.Int("mix-half-life", 0, "observed-mix half-life in submissions for resweep probes (0 = all-time counts)")
 	flag.Parse()
 
 	class, err := herald.ParseClass(*className)
@@ -126,8 +140,26 @@ func main() {
 	srvOpts.MaxQueue = *maxQueue
 	srvOpts.MaxBatch = *maxBatch
 
+	var plans map[string]herald.SegmentPlan
+	if *fuse {
+		if *maxSegments < 2 {
+			log.Fatalf("-fuse needs -max-segments >= 2 (got %d)", *maxSegments)
+		}
+		objOpts, err := searchOptions("exhaustive", *objectiveFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plans, err = fusionPlans(cache, hdas[0], objOpts.Objective, *maxSegments, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("layer fusion on: %d of %d zoo models split (max %d segments)",
+			len(plans), len(herald.ModelNames()), *maxSegments)
+	}
+
 	var handler http.Handler
 	if *replicas == 1 && *resweepEvery <= 0 {
+		srvOpts.Plans = plans
 		engine, err := herald.NewServingEngine(cache, hdas[0], srvOpts)
 		if err != nil {
 			log.Fatal(err)
@@ -142,7 +174,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fopts := herald.FleetOptions{Serve: srvOpts, Policy: policy}
+		fopts := herald.FleetOptions{Serve: srvOpts, Policy: policy, Plans: plans, MixHalfLife: *mixHalfLife}
 		if *resweepEvery > 0 {
 			sw, err := resweepSweeper(cache, class, *stylesFlag, *peUnits, *bwUnits, *strategyFlag, *objectiveFlag)
 			if err != nil {
@@ -233,6 +265,29 @@ func resweepProbe(fl *herald.Fleet) string {
 	}
 	return fmt.Sprintf("resweep probe: observed mix would pick %v (EDP %.4g J*s, latency %.3f ms; %d evaluated, %d pruned)",
 		res.Best.HDA, res.Best.EDP, res.Best.LatencySec*1e3, res.Explored, res.Pruned)
+}
+
+// fusionPlans computes the winning segment chain of every zoo model
+// that splits on the serving HDA; models whose best plan is a single
+// segment stay unfused and are simply left out of the map.
+func fusionPlans(cache *herald.CostCache, hda *herald.HDA, objective herald.SearchObjective, maxSegments int, logf func(string, ...any)) (map[string]herald.SegmentPlan, error) {
+	plans := make(map[string]herald.SegmentPlan)
+	for _, name := range herald.ModelNames() {
+		m, err := herald.ModelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := herald.PlanSegments(cache, hda, m, objective, maxSegments)
+		if err != nil {
+			return nil, err
+		}
+		if p.NumSegments() > 1 {
+			plans[name] = p
+			logf("  fusion plan %s: %d segments (period %d cycles, chain %d cycles)",
+				name, p.NumSegments(), p.PeriodCycles, p.ChainCycles)
+		}
+	}
+	return plans, nil
 }
 
 // repeatHDA builds a homogeneous replica list.

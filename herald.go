@@ -401,6 +401,37 @@ func DefaultServingOptions() ServingOptions { return serve.DefaultOptions() }
 // work, committed backlog) for dispatchers and monitoring.
 type EngineLoad = serve.Load
 
+// --- Layer-fused segment serving (segment-cut DSE + chained admission) ---
+
+// Segment chains: a model's layers split into contiguous segments,
+// each pinned to the sub-accelerator whose dataflow prefers it, served
+// as a precedence chain so consecutive requests pipeline across
+// sub-accelerators.
+type (
+	// SegmentPlan is one model's winning fusion cut on a concrete HDA
+	// (ordered segments + pipeline period / chain latency bounds).
+	SegmentPlan = dse.SegmentPlan
+	// PlanSegment is one contiguous layer range of a plan pinned to
+	// one sub-accelerator.
+	PlanSegment = dse.Segment
+	// SegmentRecord is one segment's slice of a fused request record.
+	SegmentRecord = serve.SegmentRecord
+	// SegmentServingStats counts fused requests and their segments at
+	// both granularities, plus pipeline-overlap cycle metrics.
+	SegmentServingStats = serve.SegmentStats
+)
+
+// PlanSegments searches model m's fusion cuts on HDA h and returns the
+// plan with at most maxSegments segments minimizing the pipeline
+// period (ties: fewer segments, then smaller chain latency).
+// maxSegments <= 1, or a single-sub HDA, yields the unfused
+// single-segment plan. Feed the winning plans to
+// ServingOptions.Plans (engine-level fusion within one HDA) or
+// FleetOptions.Plans (fleet-level fusion with cross-replica routing).
+func PlanSegments(cache *CostCache, h *HDA, m *Model, o SearchObjective, maxSegments int) (SegmentPlan, error) {
+	return dse.PlanSegments(cache, h, m, o, maxSegments)
+}
+
 // --- Fleet serving (internal/fleet) ---
 
 // Multi-HDA fleet serving: N replica engines behind a routing policy.

@@ -1,0 +1,55 @@
+package dnn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// sliceKey identifies one contiguous sub-model of one parent model.
+type sliceKey struct {
+	m        *Model
+	from, to int
+}
+
+// slices interns sub-models so repeated cuts of the same parent return
+// the same *Model pointer. Pointer stability is load-bearing: the cost
+// caches (maestro column interning, the scheduler's L0 tables) key by
+// model pointer, so a serving engine admitting thousands of fused
+// requests resolves each segment's costs once, not per request.
+var slices sync.Map // sliceKey -> *Model
+
+// Slice returns the contiguous sub-model m.Layers[from:to), named
+// "parent[from:to]", sharing the parent's layer storage. The full
+// range returns the parent itself. Skip edges fully inside the range
+// are kept (re-indexed); edges crossing a cut are dropped — the linear
+// chain subsumes their ordering, and a fused serving path re-imposes
+// cross-segment order through scheduling precedence. Results are
+// interned: equal (m, from, to) triples return the same pointer.
+func Slice(m *Model, from, to int) (*Model, error) {
+	if m == nil {
+		return nil, fmt.Errorf("dnn: slice of nil model")
+	}
+	if from < 0 || to > len(m.Layers) || from >= to {
+		return nil, fmt.Errorf("dnn: model %q slice [%d:%d) out of range (0..%d)", m.Name, from, to, len(m.Layers))
+	}
+	if from == 0 && to == len(m.Layers) {
+		return m, nil
+	}
+	key := sliceKey{m: m, from: from, to: to}
+	if v, ok := slices.Load(key); ok {
+		return v.(*Model), nil
+	}
+	sub := &Model{
+		Name:   fmt.Sprintf("%s[%d:%d]", m.Name, from, to),
+		Layers: m.Layers[from:to:to],
+	}
+	for _, e := range m.SkipEdges {
+		if e[0] >= from && e[1] < to {
+			sub.SkipEdges = append(sub.SkipEdges, [2]int{e[0] - from, e[1] - from})
+		}
+	}
+	// LoadOrStore keeps the interned pointer unique under concurrent
+	// first cuts of the same range.
+	v, _ := slices.LoadOrStore(key, sub)
+	return v.(*Model), nil
+}

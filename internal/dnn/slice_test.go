@@ -1,0 +1,94 @@
+package dnn
+
+import "testing"
+
+// sliceFixture is a 6-layer chain with skip edges chosen so a middle
+// cut exercises all three edge fates: dropped-before, kept-inside
+// (re-indexed), and dropped-crossing.
+func sliceFixture() *Model {
+	m := &Model{Name: "slice-fixture"}
+	for i := 0; i < 6; i++ {
+		m.Layers = append(m.Layers, Layer{
+			Op: Conv2D, K: 8, C: 8, Y: 8, X: 8, R: 3, S: 3, Stride: 1, Pad: 1,
+		})
+	}
+	m.SkipEdges = [][2]int{{0, 2}, {1, 4}, {3, 5}}
+	return m
+}
+
+func TestSliceBasics(t *testing.T) {
+	m := sliceFixture()
+
+	full, err := Slice(m, 0, m.NumLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != m {
+		t.Error("full-range slice should return the parent model itself")
+	}
+
+	sub, err := Slice(m, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Name != "slice-fixture[1:5]" {
+		t.Errorf("slice name = %q, want %q", sub.Name, "slice-fixture[1:5]")
+	}
+	if sub.NumLayers() != 4 {
+		t.Fatalf("slice has %d layers, want 4", sub.NumLayers())
+	}
+	if &sub.Layers[0] != &m.Layers[1] {
+		t.Error("slice should share the parent's layer storage, not copy it")
+	}
+	// {0,2} starts before the cut, {3,5} crosses the right cut: both
+	// dropped. {1,4} is fully inside and re-indexes to {0,3}.
+	if len(sub.SkipEdges) != 1 || sub.SkipEdges[0] != [2]int{0, 3} {
+		t.Errorf("slice skip edges = %v, want [[0 3]]", sub.SkipEdges)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("slice should validate: %v", err)
+	}
+}
+
+func TestSliceInterning(t *testing.T) {
+	m := sliceFixture()
+	a, err := Slice(m, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Slice(m, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("equal (model, from, to) should return the same interned pointer")
+	}
+	c, err := Slice(m, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct ranges must not alias")
+	}
+	// A different parent with the same range is a different slice.
+	other := sliceFixture()
+	d, err := Slice(other, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("slices of distinct parent models must not alias")
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	m := sliceFixture()
+	if _, err := Slice(nil, 0, 1); err == nil {
+		t.Error("nil model should error")
+	}
+	for _, r := range [][2]int{{-1, 2}, {0, 7}, {3, 3}, {4, 2}} {
+		if _, err := Slice(m, r[0], r[1]); err == nil {
+			t.Errorf("range [%d:%d) should error", r[0], r[1])
+		}
+	}
+}

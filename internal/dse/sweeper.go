@@ -279,6 +279,17 @@ func (sw *Sweeper) Sweep(w *workload.Workload) (*Result, error) {
 	if points != nil {
 		res.Pareto = ParetoFront(points)
 	}
+	if sw.opts.MaxSegments > 1 {
+		// Segment-cut axis: a per-model post-pass on the winning HDA
+		// over the already-interned cost columns (see
+		// Options.MaxSegments). Running it after the merge keeps the
+		// partition sweep bit-identical to a cut-free search.
+		plans, err := planWorkload(sw.cache, res.Best.HDA, w, sw.opts.Objective, sw.opts.MaxSegments)
+		if err != nil {
+			return nil, err
+		}
+		res.SegmentPlans = plans
+	}
 	return res, nil
 }
 

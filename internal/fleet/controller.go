@@ -98,20 +98,25 @@ type Decision struct {
 
 	// Serving/Winner describe the comparison: the best active
 	// partition's objective value on the mix vs. the sweep winner's.
+	// ServingValue and WinnerValue must not carry omitempty: an
+	// objective value of exactly 0 is a legitimate reading, and a
+	// client watching decisions cannot distinguish a dropped field
+	// from "no comparison ran" without it.
 	ServingHDA   string  `json:"serving_hda,omitempty"`
 	WinnerHDA    string  `json:"winner_hda,omitempty"`
 	Objective    string  `json:"objective,omitempty"`
-	ServingValue float64 `json:"serving_value,omitempty"`
-	WinnerValue  float64 `json:"winner_value,omitempty"`
+	ServingValue float64 `json:"serving_value"`
+	WinnerValue  float64 `json:"winner_value"`
 	// Improvement is the winner's fractional gain over the serving
 	// partition ((serving-winner)/serving); negative means the
 	// serving partition is better.
 	Improvement float64 `json:"improvement"`
 
 	// Streak / CooldownLeft expose the hysteresis state after the
-	// step.
-	Streak       int `json:"streak,omitempty"`
-	CooldownLeft int `json:"cooldown_left,omitempty"`
+	// step. No omitempty: streak 0 ("no candidate") and cooldown 0
+	// ("free to act") are meaningful states a dashboard must see.
+	Streak       int `json:"streak"`
+	CooldownLeft int `json:"cooldown_left"`
 
 	// Explored/Pruned are the probe sweep's coverage counters.
 	Explored int `json:"explored,omitempty"`
@@ -145,8 +150,10 @@ type ControllerStatus struct {
 	Confirm    int     `json:"confirm"`
 	Cooldown   int     `json:"cooldown"`
 
-	Streak       int `json:"streak,omitempty"`
-	CooldownLeft int `json:"cooldown_left,omitempty"`
+	// No omitempty: zero streak/cooldown are the steady state, and a
+	// status consumer must be able to read them as such.
+	Streak       int `json:"streak"`
+	CooldownLeft int `json:"cooldown_left"`
 
 	// Last is the most recent decision (nil before the first step).
 	Last *Decision `json:"last,omitempty"`

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -466,5 +467,56 @@ func TestRepartitionHTTPStatus(t *testing.T) {
 	}
 	if _, err := f2.Drain(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecisionStatusJSONRoundTrip: zero-valued comparison and
+// hysteresis fields must survive marshal/unmarshal — serving_value,
+// winner_value, streak and cooldown_left carry no omitempty, so a
+// zero reading is emitted as an explicit 0, not dropped, and a client
+// can tell "comparison read 0" apart from a missing field.
+func TestDecisionStatusJSONRoundTrip(t *testing.T) {
+	d := Decision{Step: 3, Action: ActionHold, Generation: 1, Mix: "unet:1"}
+	db, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var draw map[string]any
+	if err := json.Unmarshal(db, &draw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"serving_value", "winner_value", "streak", "cooldown_left"} {
+		if _, ok := draw[key]; !ok {
+			t.Errorf("decision JSON drops zero-valued %q: %s", key, db)
+		}
+	}
+	var dback Decision
+	if err := json.Unmarshal(db, &dback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dback, d) {
+		t.Errorf("decision round trip: %+v != %+v", dback, d)
+	}
+
+	st := ControllerStatus{State: "stable", Steps: 5, Threshold: 0.05, Confirm: 2, Cooldown: 3}
+	sb, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sraw map[string]any
+	if err := json.Unmarshal(sb, &sraw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"streak", "cooldown_left"} {
+		if _, ok := sraw[key]; !ok {
+			t.Errorf("status JSON drops zero-valued %q: %s", key, sb)
+		}
+	}
+	var sback ControllerStatus
+	if err := json.Unmarshal(sb, &sback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sback, st) {
+		t.Errorf("status round trip: %+v != %+v", sback, st)
 	}
 }

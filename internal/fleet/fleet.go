@@ -132,6 +132,28 @@ type Options struct {
 	// the probe a dynamic-repartitioning controller periodically
 	// fires to learn whether workload drift has moved the optimum.
 	Sweeper *dse.Sweeper
+
+	// Plans maps model names to fusion plans (dse.Result.SegmentPlans).
+	// When set, the FLEET owns fusion: a request whose model has a
+	// multi-segment plan is decomposed at dispatch — each segment is
+	// routed independently (so the horizon ledger can move a segment to
+	// another replica when its ETA favors it), chained by completion
+	// (segment k+1's arrival is segment k's finish cycle), and merged
+	// into one record under one ticket. Replica engines then receive
+	// plain segment submissions (their own Plans are stripped to avoid
+	// double decomposition). Leave nil and set Serve.Plans instead to
+	// fuse within each replica engine (scheduler precedence + handoff
+	// buffers, no cross-replica segment routing).
+	Plans map[string]dse.SegmentPlan
+
+	// MixHalfLife sets the observed-mix decay half-life, in accepted
+	// submissions: each model's mix weight halves every MixHalfLife
+	// subsequent accepted submissions, so ObservedMix (and with it the
+	// repartitioning controller's probes) tracks recent traffic
+	// instead of all-time history. Models decayed below 1% of the
+	// total weight drop out of the mix. 0 disables decay (all-time
+	// counts, the legacy behavior).
+	MixHalfLife int
 }
 
 // DefaultOptions returns a cost-aware fleet over the serving-engine
@@ -142,9 +164,9 @@ func DefaultOptions() Options {
 
 // replica is one serving engine plus the dispatcher's bookkeeping.
 type replica struct {
-	id  int
-	gen int // the migration generation that created it
-	hda *accel.HDA
+	id     int
+	gen    int // the migration generation that created it
+	hda    *accel.HDA
 	engine *serve.Engine
 
 	// inflight counts requests dispatched but not yet finished,
@@ -224,9 +246,25 @@ type Fleet struct {
 	migrations int64
 	nextID     int
 
-	// modelCounts tracks accepted submissions per model name (under
-	// mu) — the observed tenant mix Resweep searches over.
-	modelCounts map[string]int64
+	// mix tracks accepted submissions per model name (under mu) — the
+	// observed tenant mix Resweep searches over. With MixHalfLife set,
+	// entries decay exponentially per accepted submission (lazily, at
+	// mixTick distance); with decay 1 the weights are exact counts.
+	mix      map[string]*mixEntry
+	mixTick  int64
+	mixDecay float64 // per-submission multiplier; 1 = no decay
+
+	// plans is the fleet-owned fusion table (Options.Plans).
+	plans map[string]dse.SegmentPlan
+	// chainWG tracks in-flight fused chain goroutines; Drain waits on
+	// it before quiescing engines, so every accepted chain finishes
+	// submitting (and serving) its segments.
+	chainWG sync.WaitGroup
+	// segStats / crossHandoffs accumulate fleet-level fused counters
+	// (under mu). Engines in a fleet-fused deployment see only plain
+	// segment submissions, so these are the only fused counters.
+	segStats      serve.SegmentStats
+	crossHandoffs int64
 
 	// resweepMu serializes Resweep calls: a dse.Sweeper is a reusable
 	// handle but not safe for concurrent sweeps.
@@ -262,13 +300,25 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 	if opts.Policy < RoundRobin || opts.Policy > CostAware {
 		return nil, fmt.Errorf("fleet: unknown policy %d", int(opts.Policy))
 	}
+	if opts.MixHalfLife < 0 {
+		return nil, fmt.Errorf("fleet: MixHalfLife must be >= 0 (got %d)", opts.MixHalfLife)
+	}
 	f := &Fleet{
-		cache:       cache,
-		policy:      opts.Policy,
-		serveOpts:   opts.Serve,
-		start:       time.Now(),
-		modelCounts: make(map[string]int64),
-		sweeper:     opts.Sweeper,
+		cache:     cache,
+		policy:    opts.Policy,
+		serveOpts: opts.Serve,
+		start:     time.Now(),
+		mix:       make(map[string]*mixEntry),
+		mixDecay:  1,
+		sweeper:   opts.Sweeper,
+		plans:     opts.Plans,
+	}
+	if opts.MixHalfLife > 0 {
+		f.mixDecay = math.Exp2(-1 / float64(opts.MixHalfLife))
+	}
+	if len(f.plans) > 0 {
+		// Fleet-owned fusion: engines must not decompose again.
+		f.serveOpts.Plans = nil
 	}
 	rs, err := f.buildReplicas(hdas)
 	if err != nil {
@@ -381,8 +431,43 @@ func (f *Fleet) replicaByID(id int) *replica {
 
 // Ticket tracks a dispatched submission and the replica serving it.
 type Ticket struct {
-	*serve.Ticket
+	// ID is the request's record id on its (first) replica engine.
+	ID int64
+	// Replica is the replica serving the request — for a fused chain,
+	// the replica its first segment was dispatched to (per-segment
+	// replicas are in the final record's Segments).
 	Replica int
+
+	// inner is the engine ticket of an unfused dispatch; fused chains
+	// resolve through rec/done instead (the chain goroutine completes
+	// every write to rec before closing done).
+	inner *serve.Ticket
+	rec   *serve.Record
+	done  chan struct{}
+}
+
+// Done is closed when the request (all segments, for a fused chain)
+// has been scheduled or failed.
+func (t *Ticket) Done() <-chan struct{} {
+	if t.inner != nil {
+		return t.inner.Done()
+	}
+	return t.done
+}
+
+// Wait blocks until the request completes or ctx is cancelled, and
+// returns the final record. A fused chain's record carries one
+// SegmentRecord per plan segment with the serving replica of each.
+func (t *Ticket) Wait(ctx context.Context) (serve.Record, error) {
+	if t.inner != nil {
+		return t.inner.Wait(ctx)
+	}
+	select {
+	case <-t.done:
+		return *t.rec, nil
+	case <-ctx.Done():
+		return serve.Record{}, ctx.Err()
+	}
 }
 
 // Submit routes one request to a replica under the fleet's policy and
@@ -390,10 +475,23 @@ type Ticket struct {
 // index. Dispatch bookkeeping is only committed for accepted
 // submissions, so a rejected request (unknown model, full tenant
 // queue) does not skew future routing.
+//
+// A model with a multi-segment plan (Options.Plans) is decomposed at
+// dispatch: segment 0 is routed and admitted synchronously, and a
+// chain goroutine routes each later segment when its predecessor's
+// completion cycle is known — to the replica whose ETA then wins, so
+// a busy first-choice replica loses later segments to idle ones.
+// Because later segments dispatch on completion, their replica
+// assignment (unlike unfused dispatch) depends on engine progress.
 func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
 	// Unknown models resolve to nil: the picked engine rejects and
 	// accounts them, and a zero cost estimate keeps routing sound.
 	model, _ := dnn.ByName(req.Model)
+	if model != nil {
+		if plan, ok := f.plans[model.Name]; ok && plan.NumSegments() > 1 {
+			return f.submitFused(req, model, plan)
+		}
+	}
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -412,7 +510,7 @@ func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
 	}
 	r.dispatched++
 	if model != nil {
-		f.modelCounts[model.Name]++
+		f.mixAdd(model.Name)
 	}
 	if f.policy == CostAware {
 		r.horizon = eta
@@ -420,7 +518,188 @@ func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
 	if f.policy == RoundRobin {
 		f.rrNext++
 	}
-	return &Ticket{Ticket: ticket, Replica: r.id}, nil
+	return &Ticket{ID: ticket.ID, Replica: r.id, inner: ticket}, nil
+}
+
+// submitFused decomposes one request into its plan's segments,
+// dispatches segment 0, and hands the rest to a chain goroutine.
+func (f *Fleet) submitFused(req serve.Request, model *dnn.Model, plan dse.SegmentPlan) (*Ticket, error) {
+	segs, err := plan.Slices(model)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return nil, serve.ErrDraining
+	}
+	r, first, err := f.dispatchSegmentLocked(req, req.ArrivalCycle, segs[0])
+	if err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	f.mixAdd(model.Name)
+	f.segStats.FusedRequests++
+	f.segStats.Segments += int64(len(segs))
+	f.chainWG.Add(1)
+	f.mu.Unlock()
+
+	t := &Ticket{ID: first.ID, Replica: r.id, done: make(chan struct{})}
+	go f.runChain(t, req, model, segs, first, r.id)
+	return t, nil
+}
+
+// dispatchSegmentLocked routes one segment model under the fleet's
+// policy and admits it to the picked engine via SubmitModel (segment
+// models are interned slices, not zoo entries). The segment request
+// carries the chain's tenant and priority but no SLA — the SLA is a
+// request-level contract, checked on the merged record. f.mu held.
+func (f *Fleet) dispatchSegmentLocked(req serve.Request, arrival int64, sm *dnn.Model) (*replica, *serve.Ticket, error) {
+	r, eta := f.pickLocked(sm, arrival)
+	r.inflight.Add(1)
+	ticket, err := r.engine.SubmitModel(serve.Request{
+		Tenant:       req.Tenant,
+		Priority:     req.Priority,
+		ArrivalCycle: arrival,
+	}, sm)
+	if err != nil {
+		r.inflight.Add(-1)
+		return nil, nil, err
+	}
+	r.dispatched++
+	if f.policy == CostAware {
+		r.horizon = eta
+	}
+	if f.policy == RoundRobin {
+		f.rrNext++
+	}
+	return r, ticket, nil
+}
+
+// runChain drives one fused request's segments 1..n-1: wait for the
+// predecessor's completion, then route the successor with the
+// predecessor's finish cycle as its arrival (completion-paced
+// pipelining — the cross-replica analogue of the scheduler's
+// precedence edge). It assembles the merged record and closes the
+// ticket when the last segment lands or the chain breaks.
+func (f *Fleet) runChain(t *Ticket, req serve.Request, model *dnn.Model, segs []*dnn.Model, first *serve.Ticket, firstReplica int) {
+	defer f.chainWG.Done()
+	n := len(segs)
+	rec := &serve.Record{
+		ID:       t.ID,
+		Tenant:   req.Tenant,
+		Model:    model.Name,
+		Priority: req.Priority,
+		Status:   serve.StatusDone,
+		// Resolved below from segment 0 (the engine resolves "now"
+		// arrivals on admission).
+		ArrivalCycle: req.ArrivalCycle,
+		SLACycles:    req.SLACycles,
+		Segments:     make([]serve.SegmentRecord, 0, n),
+	}
+	completed := int64(0)
+	cross := int64(0)
+	cur, curReplica := first, firstReplica
+	for k := 0; k < n; k++ {
+		srec, _ := cur.Wait(context.Background())
+		if k == 0 {
+			rec.ArrivalCycle = srec.ArrivalCycle
+		}
+		sr := serve.SegmentRecord{
+			Index:   k,
+			Model:   srec.Model,
+			Replica: curReplica,
+		}
+		if srec.Status != serve.StatusDone {
+			sr.Err = srec.Err
+			rec.Segments = append(rec.Segments, sr)
+			rec.Status = serve.StatusFailed
+			rec.Err = fmt.Sprintf("segment %d on replica %d: %s", k, curReplica, srec.Err)
+			break
+		}
+		completed++
+		sr.Instance = srec.Instance
+		sr.StartCycle = srec.StartCycle
+		sr.FinishCycle = srec.FinishCycle
+		sr.BusyCycles = srec.BusyCycles
+		sr.EnergyPJ = srec.EnergyPJ
+		rec.Segments = append(rec.Segments, sr)
+		rec.BusyCycles += srec.BusyCycles
+		rec.EnergyPJ += srec.EnergyPJ
+		if k == n-1 {
+			break
+		}
+		f.mu.Lock()
+		r, ticket, err := f.dispatchSegmentLocked(req, srec.FinishCycle, segs[k+1])
+		f.mu.Unlock()
+		if err != nil {
+			rec.Status = serve.StatusFailed
+			rec.Err = fmt.Sprintf("segment %d: %s", k+1, err)
+			break
+		}
+		if r.id != curReplica {
+			cross++
+		}
+		cur, curReplica = ticket, r.id
+	}
+
+	if rec.Status == serve.StatusDone {
+		firstSeg, lastSeg := rec.Segments[0], rec.Segments[n-1]
+		rec.Instance = firstSeg.Instance
+		rec.StartCycle = firstSeg.StartCycle
+		rec.FinishCycle = lastSeg.FinishCycle
+		rec.LatencyCycles = lastSeg.FinishCycle - rec.ArrivalCycle
+		rec.QueueCycles = firstSeg.StartCycle - rec.ArrivalCycle
+		if rec.SLACycles > 0 {
+			rec.SLAViolated = rec.LatencyCycles > rec.SLACycles
+		}
+	}
+
+	f.mu.Lock()
+	f.segStats.SegmentsCompleted += completed
+	f.crossHandoffs += cross
+	if rec.Status == serve.StatusDone {
+		f.segStats.FusedCompleted++
+		firstSeg, lastSeg := rec.Segments[0], rec.Segments[n-1]
+		f.segStats.SegmentSpanCycles += lastSeg.FinishCycle - firstSeg.StartCycle
+		f.segStats.SegmentBusyCycles += rec.BusyCycles
+		for k := 1; k < n; k++ {
+			f.segStats.HandoffBubbleCycles += rec.Segments[k].StartCycle - rec.Segments[k-1].FinishCycle
+		}
+	} else {
+		f.segStats.FusedFailed++
+		// Segments past the break never reached an engine; they count
+		// as failed so segment conservation holds at the fleet level.
+		f.segStats.SegmentsFailed += int64(n) - completed
+	}
+	f.mu.Unlock()
+
+	t.rec = rec
+	close(t.done)
+}
+
+// mixAdd counts one accepted submission of a model into the observed
+// mix, applying the pending exponential decay lazily. f.mu held.
+func (f *Fleet) mixAdd(name string) {
+	f.mixTick++
+	e := f.mix[name]
+	if e == nil {
+		e = &mixEntry{}
+		f.mix[name] = e
+	}
+	if f.mixDecay < 1 && f.mixTick > e.tick {
+		e.w *= math.Pow(f.mixDecay, float64(f.mixTick-e.tick))
+	}
+	e.w++
+	e.tick = f.mixTick
+}
+
+// mixEntry is one model's decayed submission weight, valid as of tick
+// (lazy decay: the weight is brought forward when touched or read).
+type mixEntry struct {
+	w    float64
+	tick int64
 }
 
 // pickLocked chooses the replica for one submission and, for the
@@ -505,6 +784,17 @@ type Stats struct {
 	MakespanCycles   int64   `json:"makespan_cycles"`
 	SimThroughputRPS float64 `json:"sim_throughput_rps"`
 
+	// Segments reports fleet-level fused-serving counters: requests
+	// the dispatcher decomposed into segment chains, their segment
+	// outcomes, and the pipeline-overlap cycle sums. (Engine-level
+	// fusion counters, if any replica engine fuses internally, are
+	// visible in PerReplica[i].Engine.Segments.)
+	Segments serve.SegmentStats `json:"segments"`
+	// CrossReplicaHandoffs counts chain hops where a segment was
+	// routed to a different replica than its predecessor — the
+	// dispatches where the horizon-ledger ETA overruled locality.
+	CrossReplicaHandoffs int64 `json:"cross_replica_handoffs"`
+
 	// Tenants aggregates each tenant across every replica; latency
 	// percentiles are computed over the merged sample windows (they
 	// cannot be derived from per-replica percentiles).
@@ -541,18 +831,20 @@ func (f *Fleet) Stats() Stats {
 	}
 	f.mu.Lock()
 	st := Stats{
-		Policy:          f.policy.String(),
-		Replicas:        len(f.replicas),
-		UptimeSeconds:   time.Since(f.start).Seconds(),
-		Generation:      f.generation,
-		Migrations:      f.migrations,
-		RetiredReplicas: f.history.replicas,
-		Submitted:       f.history.submitted,
-		Completed:       f.history.completed,
-		Failed:          f.history.failed,
-		Rejected:        f.history.rejected,
-		Pending:         f.history.pending,
-		MakespanCycles:  f.history.makespan,
+		Policy:               f.policy.String(),
+		Replicas:             len(f.replicas),
+		UptimeSeconds:        time.Since(f.start).Seconds(),
+		Generation:           f.generation,
+		Migrations:           f.migrations,
+		RetiredReplicas:      f.history.replicas,
+		Submitted:            f.history.submitted,
+		Completed:            f.history.completed,
+		Failed:               f.history.failed,
+		Rejected:             f.history.rejected,
+		Pending:              f.history.pending,
+		MakespanCycles:       f.history.makespan,
+		Segments:             f.segStats,
+		CrossReplicaHandoffs: f.crossHandoffs,
 	}
 	snaps := make([]rsnap, 0, len(f.replicas)+len(f.retiring))
 	for _, r := range f.replicas {
@@ -631,34 +923,54 @@ func (f *Fleet) Stats() Stats {
 
 // ObservedMix snapshots the fleet's served traffic as a workload: one
 // entry per model the dispatcher accepted, batch counts scaled to the
-// smallest observed share (min positive count = 1 batch, others
+// smallest observed share (min positive weight = 1 batch, others
 // rounded to the nearest ratio — ceiling rounding would turn a 9:8
 // mix into a 2:1 probe) and capped at maxMixBatches so a probe sweep
 // stays cheap regardless of absolute traffic volume. Returns nil when
 // nothing has been observed yet. The mix is deterministic for a fixed
 // submission history.
+//
+// With Options.MixHalfLife set, each model's weight is its
+// exponentially-decayed submission count, and models decayed below
+// mixDropFraction of the total are dropped: a model that dominated an
+// hour ago but vanished from traffic stops steering repartitioning
+// probes. Without decay the weights are exact all-time counts and
+// nothing is dropped (legacy behavior, bit-identical mixes).
 func (f *Fleet) ObservedMix(name string) *workload.Workload {
 	f.mu.Lock()
-	counts := make(map[string]int64, len(f.modelCounts))
-	for m, n := range f.modelCounts {
-		counts[m] = n
+	weights := make(map[string]float64, len(f.mix))
+	var total float64
+	for m, e := range f.mix {
+		w := e.w
+		if f.mixDecay < 1 && f.mixTick > e.tick {
+			w *= math.Pow(f.mixDecay, float64(f.mixTick-e.tick))
+		}
+		weights[m] = w
+		total += w
 	}
+	decayed := f.mixDecay < 1
 	f.mu.Unlock()
-	if len(counts) == 0 {
+	if len(weights) == 0 {
 		return nil
 	}
-	names := make([]string, 0, len(counts))
-	minCount := int64(0)
-	for m, n := range counts {
-		names = append(names, m)
-		if minCount == 0 || n < minCount {
-			minCount = n
+	names := make([]string, 0, len(weights))
+	minW := 0.0
+	for m, w := range weights {
+		if decayed && w < mixDropFraction*total {
+			continue
 		}
+		names = append(names, m)
+		if minW == 0 || w < minW {
+			minW = w
+		}
+	}
+	if len(names) == 0 {
+		return nil
 	}
 	sort.Strings(names)
 	entries := make([]workload.Entry, 0, len(names))
 	for _, m := range names {
-		b := int((counts[m] + minCount/2) / minCount) // round to nearest share
+		b := int(weights[m]/minW + 0.5) // round to nearest share
 		if b < 1 {
 			b = 1
 		}
@@ -673,6 +985,10 @@ func (f *Fleet) ObservedMix(name string) *workload.Workload {
 	}
 	return w
 }
+
+// mixDropFraction drops models whose decayed weight fell below this
+// fraction of the total observed weight (decayed mixes only).
+const mixDropFraction = 0.01
 
 // maxMixBatches caps each model's batch count in ObservedMix: the mix
 // is a representative ratio, not a replay, and probe sweeps must stay
@@ -707,7 +1023,8 @@ func (f *Fleet) Resweep(w *workload.Workload) (*dse.Result, error) {
 // not immediately argue against the one just installed.
 func (f *Fleet) ResetMix() {
 	f.mu.Lock()
-	clear(f.modelCounts)
+	clear(f.mix)
+	f.mixTick = 0
 	f.mu.Unlock()
 }
 
@@ -824,12 +1141,19 @@ func (f *Fleet) fold(r *replica) {
 // across retired generations (matches the per-engine window scale).
 const maxHistoryLatencies = 4096
 
-// Drain stops admissions, fans the drain out to every live replica
-// (active and still-retiring), joins them, and returns the final
-// fleet statistics.
+// Drain stops admissions, waits for in-flight fused chains to finish
+// submitting (and serving) their segments, fans the drain out to every
+// live replica (active and still-retiring), joins them, and returns
+// the final fleet statistics. The chain wait comes first: engines must
+// not be quiesced while accepted chains still have segments to submit,
+// or those tickets could never resolve.
 func (f *Fleet) Drain(ctx context.Context) (Stats, error) {
 	f.mu.Lock()
 	f.draining = true
+	f.mu.Unlock()
+	f.chainWG.Wait()
+
+	f.mu.Lock()
 	live := make([]*replica, 0, len(f.replicas)+len(f.retiring))
 	live = append(live, f.replicas...)
 	live = append(live, f.retiring...)

@@ -57,6 +57,18 @@ func (s *Scheduler) Incremental(h *accel.HDA, name string) (*Incremental, error)
 type Admission struct {
 	Instance workload.Instance
 	Priority int
+
+	// After optionally makes this admission a pipeline successor: the
+	// value is 1 + the global instance index (Placement.Instance) of
+	// the predecessor, so the zero value means "no predecessor". The
+	// admitted instance's first layer cannot start before the
+	// predecessor's last layer completes, and the predecessor's output
+	// activation occupies the shared global buffer from its completion
+	// until the successor's first layer starts (the inter-segment
+	// handoff buffer). A predecessor may be in the same batch (at an
+	// earlier position) or already admitted by an earlier Extend; each
+	// instance can have at most one successor.
+	After int
 }
 
 // Placement reports where one admitted instance landed.
@@ -99,8 +111,9 @@ func (inc *Incremental) Extend(adms []Admission) ([]Placement, error) {
 	if len(adms) == 0 {
 		return nil, nil
 	}
+	base := len(inc.insts)
 	minArrival := adms[0].Instance.ArrivalCycle
-	for _, a := range adms {
+	for i, a := range adms {
 		if a.Instance.Model == nil || a.Instance.Model.NumLayers() == 0 {
 			return nil, fmt.Errorf("sched: admission with nil or empty model")
 		}
@@ -111,9 +124,21 @@ func (inc *Incremental) Extend(adms []Admission) ([]Placement, error) {
 		if a.Instance.ArrivalCycle < minArrival {
 			minArrival = a.Instance.ArrivalCycle
 		}
+		if a.After != 0 {
+			p := a.After - 1
+			if p < 0 || p >= base+i {
+				return nil, fmt.Errorf("sched: admission %d names predecessor %d, want an earlier instance in [0, %d)",
+					base+i, p, base+i)
+			}
+			taken := p < base && inc.st.succ[p] >= 0
+			for j := 0; j < i && !taken; j++ {
+				taken = adms[j].After == a.After
+			}
+			if taken {
+				return nil, fmt.Errorf("sched: predecessor instance %d already has a successor", p)
+			}
+		}
 	}
-
-	base := len(inc.insts)
 	batch := make([]workload.Instance, len(adms))
 	prios := make([]int, len(adms))
 	for i, a := range adms {
@@ -127,11 +152,13 @@ func (inc *Incremental) Extend(adms []Admission) ([]Placement, error) {
 	inc.st.retire(inc.insts) // completed instances leave the hot loop
 	inc.insts = append(inc.insts, batch...)
 	inc.st.addInstances(batch, prios)
+	inc.st.link(base, adms, inc.insts)
 	inc.st.prune = inc.floor
 
 	mark := len(inc.st.assignments)
 	if err := inc.s.run(inc.h, inc.insts, inc.st, minArrival, false); err != nil {
 		inc.st.restore(undo)
+		inc.st.unlink(base, adms)
 		inc.insts = inc.insts[:base]
 		return nil, err
 	}

@@ -33,6 +33,7 @@ const (
 	MetricEnergy
 )
 
+// String names the metric (flag spelling).
 func (m Metric) String() string {
 	switch m {
 	case MetricEDP:
@@ -73,6 +74,7 @@ const (
 	DepthFirst
 )
 
+// String names the ordering heuristic.
 func (o Ordering) String() string {
 	if o == DepthFirst {
 		return "depth-first"

@@ -365,6 +365,17 @@ func (c *candidate) rankedBefore(o *candidate, byFinish bool) bool {
 	return c.acc < o.acc
 }
 
+// handoff is one inter-segment activation buffer: a pipeline
+// predecessor's final output occupying the shared global buffer from
+// the predecessor's completion (start) until the successor's first
+// layer starts (end; -1 while the successor has not started). succ
+// names the waiting successor instance.
+type handoff struct {
+	start, end int64
+	occ        int64
+	succ       int32
+}
+
 // runState is the mutable state of the Fig. 8 main loop. It is also
 // the persistent state of the incremental scheduling path: the
 // per-sub-accelerator timelines, the memory ledger and the committed
@@ -377,7 +388,16 @@ type runState struct {
 	ready     []int64 // per instance: completion time of its last layer
 	order     []int   // instance visitation order (rearranged per Ordering)
 	prio      []int   // per instance: QoS priority (higher first)
+	pred      []int32 // per instance: pipeline predecessor (-1 = none)
+	succ      []int32 // per instance: pipeline successor (-1 = none)
 	ledger    ledger  // committed assignments not yet pruned (memory ledger)
+
+	// handoffs are the live inter-segment activation buffers (see
+	// handoff). The slice holds one entry per in-flight fused chain at
+	// most, is empty whenever no admission carried a predecessor, and
+	// released entries are dropped once they fall behind the prune
+	// floor.
+	handoffs []handoff
 
 	// prune is the memory-ledger prune floor: slots ending at or
 	// before it can never overlap future work. The batch path advances
@@ -434,6 +454,9 @@ func (st *runState) reset(nAcc int) {
 	st.ready = st.ready[:0]
 	st.order = st.order[:0]
 	st.prio = st.prio[:0]
+	st.pred = st.pred[:0]
+	st.succ = st.succ[:0]
+	st.handoffs = st.handoffs[:0]
 	st.rows = st.rows[:0]
 	st.ledger.reset(nAcc)
 	st.prune = 0
@@ -456,6 +479,8 @@ func (st *runState) addInstances(insts []workload.Instance, prios []int) {
 			p = prios[i]
 		}
 		st.prio = append(st.prio, p)
+		st.pred = append(st.pred, -1)
+		st.succ = append(st.succ, -1)
 		st.remaining += in.Model.NumLayers()
 	}
 	// QoS priorities: visit higher-priority instances first; the
@@ -466,6 +491,86 @@ func (st *runState) addInstances(insts []workload.Instance, prios []int) {
 	})
 }
 
+// link wires one admission batch's pipeline precedence into the run
+// state (addInstances must have run first). A predecessor that is
+// already complete hands its output over immediately: the successor
+// cannot become ready before the predecessor's recorded completion,
+// and the activation has occupied the global buffer since then.
+func (st *runState) link(base int, adms []Admission, insts []workload.Instance) {
+	for i, a := range adms {
+		if a.After == 0 {
+			continue
+		}
+		p, sc := a.After-1, base+i
+		st.pred[sc] = int32(p)
+		st.succ[p] = int32(sc)
+		if st.nextLayer[p] >= insts[p].Model.NumLayers() {
+			if st.ready[p] > st.ready[sc] {
+				st.ready[sc] = st.ready[p]
+			}
+			st.handoffs = append(st.handoffs, handoff{
+				start: st.ready[p], end: -1,
+				occ:  outputBytes(insts[p].Model),
+				succ: int32(sc),
+			})
+		}
+	}
+}
+
+// unlink clears the successor links a failed Extend set on
+// pre-existing instances (restore truncates the batch's own entries,
+// but cannot see cross-batch writes).
+func (st *runState) unlink(base int, adms []Admission) {
+	for _, a := range adms {
+		if a.After != 0 && a.After-1 < base {
+			st.succ[a.After-1] = -1
+		}
+	}
+}
+
+// closeHandoff releases a successor's incoming handoff buffer: the
+// predecessor's output leaves the global buffer once the successor's
+// first layer starts consuming it.
+func (st *runState) closeHandoff(inst int, startT int64) {
+	for i := range st.handoffs {
+		if st.handoffs[i].succ == int32(inst) && st.handoffs[i].end < 0 {
+			st.handoffs[i].end = startT
+			return
+		}
+	}
+}
+
+// handoffOverlap sums the inter-segment activation buffers live during
+// [startT, endT), skipping the querying instance's own incoming buffer
+// (its input is what the layer consumes, not an extra resident), and
+// dropping released buffers that fell behind the prune floor.
+func (st *runState) handoffOverlap(inst int, startT, endT int64) int64 {
+	var sum int64
+	live := st.handoffs[:0]
+	for _, h := range st.handoffs {
+		if h.end >= 0 && h.end <= st.prune {
+			continue
+		}
+		live = append(live, h)
+		if int(h.succ) == inst {
+			continue
+		}
+		if h.start < endT && (h.end < 0 || h.end > startT) {
+			sum += h.occ
+		}
+	}
+	st.handoffs = live
+	return sum
+}
+
+// outputBytes returns the size of a model's final output activation —
+// the inter-segment handoff buffer a fused successor consumes. Element
+// counts double as bytes, matching the cost model's activation traffic
+// convention.
+func outputBytes(m *dnn.Model) int64 {
+	return m.Layers[len(m.Layers)-1].OutputElems()
+}
+
 // checkpointState captures everything a failed incremental run must
 // roll back: whole copies of the state run() mutates in place, and
 // lengths of the append-only per-instance arrays. The event heap is
@@ -474,6 +579,7 @@ type checkpointState struct {
 	free, busy []int64
 	order      []int
 	ledger     ledger
+	handoffs   []handoff
 	nInsts     int // nextLayer/ready/prio length
 	nAssign    int
 	remaining  int
@@ -488,6 +594,7 @@ func (st *runState) checkpoint() checkpointState {
 		busy:      append([]int64(nil), st.busy...),
 		order:     append([]int(nil), st.order...),
 		ledger:    st.ledger.clone(),
+		handoffs:  append([]handoff(nil), st.handoffs...),
 		nInsts:    len(st.nextLayer),
 		nAssign:   len(st.assignments),
 		remaining: st.remaining,
@@ -502,9 +609,12 @@ func (st *runState) restore(c checkpointState) {
 	st.busy = c.busy
 	st.order = c.order
 	st.ledger = c.ledger
+	st.handoffs = c.handoffs
 	st.nextLayer = st.nextLayer[:c.nInsts]
 	st.ready = st.ready[:c.nInsts]
 	st.prio = st.prio[:c.nInsts]
+	st.pred = st.pred[:c.nInsts]
+	st.succ = st.succ[:c.nInsts]
 	if len(st.rows) > c.nInsts {
 		st.rows = st.rows[:c.nInsts]
 	}
@@ -583,6 +693,12 @@ func (s *Scheduler) run(h *accel.HDA, insts []workload.Instance, st *runState, c
 			if li >= insts[inst].Model.NumLayers() {
 				continue
 			}
+			// Pipeline precedence: a fused successor may not start
+			// until its predecessor instance has fully committed (its
+			// completion then raises ready below).
+			if p := st.pred[inst]; p >= 0 && st.nextLayer[p] < insts[p].Model.NumLayers() {
+				continue
+			}
 			// Dependence condition: the previous layer of this model
 			// instance must be complete at the current cycle.
 			if st.ready[inst] > cycle {
@@ -649,7 +765,7 @@ func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runSt
 		c := &cands[i]
 		startT := max(cycle, st.free[c.acc])
 		endT := startT + c.cost.Cycles
-		if !s.memOK(h, st, startT, endT, c.cost.OccupancyBytes) {
+		if !s.memOK(h, st, inst, startT, endT, c.cost.OccupancyBytes) {
 			continue
 		}
 		st.free[c.acc] = endT
@@ -664,6 +780,26 @@ func (s *Scheduler) tryAssign(h *accel.HDA, insts []workload.Instance, st *runSt
 			Instance: inst, Layer: li, SubAcc: c.acc,
 			Start: startT, End: endT, Cost: c.cost,
 		})
+		if li == 0 && st.pred[inst] >= 0 {
+			// First layer of a fused successor: release the incoming
+			// handoff buffer at its start.
+			st.closeHandoff(inst, startT)
+		}
+		if li+1 == insts[inst].Model.NumLayers() {
+			if sc := st.succ[inst]; sc >= 0 {
+				// Last layer of a fused predecessor: the successor
+				// becomes ready at completion, and the output
+				// activation occupies the buffer until it starts.
+				if endT > st.ready[sc] {
+					st.ready[sc] = endT
+				}
+				st.handoffs = append(st.handoffs, handoff{
+					start: endT, end: -1,
+					occ:  outputBytes(insts[inst].Model),
+					succ: sc,
+				})
+			}
+		}
 		return true
 	}
 	return false // no memory-feasible sub-accelerator at this cycle; defer
@@ -705,16 +841,20 @@ func (s *Scheduler) imbalanced(st *runState, cycle int64) bool {
 
 // memOK checks the global-memory-size condition: the sum of buffer
 // occupancies of all assignments whose execution interval truly
-// overlaps the candidate's [startT, endT), plus the new layer's
-// occupancy, must fit the shared global buffer. The ledger prunes
-// incrementally by the monotonically-advancing prune floor (in the
-// incremental path the floor lags the loop cycle, because future
-// admissions may place work before where this run's clock ended).
-func (s *Scheduler) memOK(h *accel.HDA, st *runState, startT, endT, occ int64) bool {
+// overlaps the candidate's [startT, endT), plus the live inter-segment
+// handoff buffers, plus the new layer's occupancy, must fit the shared
+// global buffer. The ledger prunes incrementally by the
+// monotonically-advancing prune floor (in the incremental path the
+// floor lags the loop cycle, because future admissions may place work
+// before where this run's clock ended).
+func (s *Scheduler) memOK(h *accel.HDA, st *runState, inst int, startT, endT, occ int64) bool {
 	sum := occ
 	for a := range st.ledger.slots {
 		st.ledger.prune(a, st.prune)
 		sum += st.ledger.overlap(a, startT, endT)
+	}
+	if len(st.handoffs) > 0 {
+		sum += st.handoffOverlap(inst, startT, endT)
 	}
 	return sum <= h.Class.GlobalBufBytes
 }

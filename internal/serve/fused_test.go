@@ -1,0 +1,299 @@
+package serve
+
+// Tests of the fused (segment-pipeline) serving path: a request whose
+// model has a multi-segment plan is admitted as a precedence-chained
+// sequence of sliced-model instances under one ticket.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/dse"
+	"repro/internal/maestro"
+)
+
+// fusedPlans computes segment plans for the named models on the test
+// HDA, failing the test unless every plan actually splits.
+func fusedPlans(t testing.TB, cache *maestro.Cache, e *dse.Objective, names ...string) map[string]dse.SegmentPlan {
+	t.Helper()
+	h := testHDA(t)
+	o := dse.ObjectiveEDP
+	if e != nil {
+		o = *e
+	}
+	plans := make(map[string]dse.SegmentPlan)
+	for _, name := range names {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := dse.PlanSegments(cache, h, m, o, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumSegments() < 2 {
+			t.Fatalf("%s does not split on the test HDA; pick another model", name)
+		}
+		plans[name] = p
+	}
+	return plans
+}
+
+// TestFusedRequestLifecycle walks one fused request end to end: the
+// record carries one SegmentRecord per plan segment, segments respect
+// chain precedence, and the request-level summary is consistent.
+func TestFusedRequestLifecycle(t *testing.T) {
+	cache := newTestCache()
+	plans := fusedPlans(t, cache, nil, "mobilenetv2")
+	opts := DefaultOptions()
+	opts.Plans = plans
+	e, err := New(cache, testHDA(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ticket, err := e.Submit(Request{Tenant: "a", Model: "mobilenetv2", SLACycles: 1 << 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ticket.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != StatusDone {
+		t.Fatalf("status %q err %q", rec.Status, rec.Err)
+	}
+	plan := plans["mobilenetv2"]
+	if len(rec.Segments) != plan.NumSegments() {
+		t.Fatalf("%d segment records, want %d", len(rec.Segments), plan.NumSegments())
+	}
+	for i, sr := range rec.Segments {
+		if sr.Index != i {
+			t.Errorf("segment %d: index %d", i, sr.Index)
+		}
+		if !strings.HasPrefix(sr.Model, "mobilenetv2[") {
+			t.Errorf("segment %d: model %q, want a mobilenetv2 slice", i, sr.Model)
+		}
+		if sr.FinishCycle <= sr.StartCycle || sr.BusyCycles <= 0 {
+			t.Errorf("segment %d: degenerate placement %+v", i, sr)
+		}
+		if i > 0 && sr.StartCycle < rec.Segments[i-1].FinishCycle {
+			t.Errorf("segment %d starts at %d before predecessor finishes at %d",
+				i, sr.StartCycle, rec.Segments[i-1].FinishCycle)
+		}
+	}
+	first, last := rec.Segments[0], rec.Segments[len(rec.Segments)-1]
+	if rec.StartCycle != first.StartCycle || rec.FinishCycle != last.FinishCycle {
+		t.Errorf("summary span [%d,%d] != segment span [%d,%d]",
+			rec.StartCycle, rec.FinishCycle, first.StartCycle, last.FinishCycle)
+	}
+	if rec.LatencyCycles != last.FinishCycle-rec.ArrivalCycle {
+		t.Errorf("latency %d, want %d", rec.LatencyCycles, last.FinishCycle-rec.ArrivalCycle)
+	}
+	var busy int64
+	var energy float64
+	for _, sr := range rec.Segments {
+		busy += sr.BusyCycles
+		energy += sr.EnergyPJ
+	}
+	if rec.BusyCycles != busy || rec.EnergyPJ != energy {
+		t.Errorf("summary busy/energy %d/%.0f != segment sums %d/%.0f",
+			rec.BusyCycles, rec.EnergyPJ, busy, energy)
+	}
+
+	st, err := e.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := st.Segments
+	if sg.FusedRequests != 1 || sg.FusedCompleted != 1 || sg.FusedFailed != 0 {
+		t.Errorf("fused counters %+v", sg)
+	}
+	n := int64(plan.NumSegments())
+	if sg.Segments != n || sg.SegmentsCompleted != n || sg.SegmentsFailed != 0 {
+		t.Errorf("segment counters %+v, want %d", sg, n)
+	}
+	if sg.SegmentSpanCycles != rec.FinishCycle-rec.StartCycle {
+		t.Errorf("span %d, want %d", sg.SegmentSpanCycles, rec.FinishCycle-rec.StartCycle)
+	}
+	if sg.HandoffBubbleCycles != sg.SegmentSpanCycles-sg.SegmentBusyCycles {
+		// One request, sequential segments: span decomposes exactly
+		// into busy + bubble.
+		t.Errorf("bubble %d != span %d - busy %d",
+			sg.HandoffBubbleCycles, sg.SegmentSpanCycles, sg.SegmentBusyCycles)
+	}
+	if err := e.Snapshot().Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+// TestFusedConservation pins request- and segment-level conservation
+// under a concurrent fused + unfused mix: after a drain, submitted ==
+// completed + failed at request granularity and segments ==
+// segments_completed + segments_failed at segment granularity. Run
+// under -race this also exercises the chain bookkeeping for data
+// races.
+func TestFusedConservation(t *testing.T) {
+	cache := newTestCache()
+	plans := fusedPlans(t, cache, nil, "mobilenetv2", "mobilenetv1")
+	opts := DefaultOptions()
+	opts.Plans = plans
+	e, err := New(cache, testHDA(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type stream struct {
+		tenant string
+		model  string
+		count  int
+	}
+	streams := []stream{
+		{tenant: "ar", model: "mobilenetv2", count: 20},   // fused, 4 segments
+		{tenant: "vr", model: "mobilenetv1", count: 20},   // fused, 2 segments
+		{tenant: "batch", model: "resnet18", count: 12},   // unfused (no plan)
+		{tenant: "mixed", model: "mobilenetv2", count: 8}, // fused
+	}
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		wg.Add(1)
+		go func(s stream) {
+			defer wg.Done()
+			for i := 0; i < s.count; i++ {
+				ticket, err := e.Submit(Request{
+					Tenant: s.tenant, Model: s.model,
+					ArrivalCycle: int64(i) * 500_000,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rec, err := ticket.Wait(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rec.Status != StatusDone {
+					t.Errorf("request %d (%s): %q err %q", rec.ID, s.model, rec.Status, rec.Err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	st, err := e.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(20 + 20 + 12 + 8)
+	if st.Submitted != want || st.Completed+st.Failed != want {
+		t.Errorf("request conservation: submitted %d completed %d failed %d, want %d",
+			st.Submitted, st.Completed, st.Failed, want)
+	}
+	sg := st.Segments
+	if sg.FusedRequests != 48 || sg.FusedCompleted+sg.FusedFailed != 48 {
+		t.Errorf("fused conservation: %+v", sg)
+	}
+	wantSegs := int64(20*plans["mobilenetv2"].NumSegments() +
+		20*plans["mobilenetv1"].NumSegments() +
+		8*plans["mobilenetv2"].NumSegments())
+	if sg.Segments != wantSegs || sg.SegmentsCompleted+sg.SegmentsFailed != wantSegs {
+		t.Errorf("segment conservation: %+v, want %d segments", sg, wantSegs)
+	}
+
+	snap := e.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("committed schedule invalid: %v", err)
+	}
+	if got, want := snap.Workload.NumInstances(), int(wantSegs)+12; got != want {
+		t.Errorf("schedule has %d instances, want %d (segments + unfused)", got, want)
+	}
+}
+
+// TestFusedQuiesceInFlight quiesces the engine while multi-segment
+// chains are still queued: every accepted ticket must still resolve
+// (Quiesce stops admissions, not accepted work), and conservation
+// must hold afterwards.
+func TestFusedQuiesceInFlight(t *testing.T) {
+	cache := newTestCache()
+	plans := fusedPlans(t, cache, nil, "mobilenetv2")
+	opts := DefaultOptions()
+	opts.Plans = plans
+	e, err := New(cache, testHDA(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	for i := 0; i < 16; i++ {
+		ticket, err := e.Submit(Request{Tenant: "a", Model: "mobilenetv2", ArrivalCycle: int64(i) * 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, ticket)
+	}
+	e.Quiesce()
+	if _, err := e.Submit(Request{Tenant: "a", Model: "mobilenetv2"}); err == nil {
+		t.Error("submission accepted after Quiesce")
+	}
+	for i, ticket := range tickets {
+		rec, err := ticket.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Status != StatusDone {
+			t.Errorf("ticket %d: %q err %q", i, rec.Status, rec.Err)
+		}
+	}
+	<-e.Done()
+	st := e.Stats()
+	if st.Segments.FusedCompleted != 16 || st.Pending != 0 {
+		t.Errorf("post-quiesce stats: %+v", st.Segments)
+	}
+}
+
+// TestFusedPlanValidation rejects submissions whose plan does not tile
+// the model (gaps, wrong coverage) instead of admitting a corrupt
+// chain.
+func TestFusedPlanValidation(t *testing.T) {
+	cache := newTestCache()
+	m, err := dnn.ByName("mobilenetv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := m.NumLayers()
+	bad := map[string]dse.SegmentPlan{
+		"mobilenetv1": {Model: "mobilenetv1", Segments: []dse.Segment{
+			{From: 0, To: 5}, {From: 6, To: L}, // gap at layer 5
+		}},
+	}
+	opts := DefaultOptions()
+	opts.Plans = bad
+	e, err := New(cache, testHDA(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(Request{Tenant: "a", Model: "mobilenetv1"}); err == nil {
+		t.Fatal("gap plan accepted")
+	}
+	short := map[string]dse.SegmentPlan{
+		"mobilenetv1": {Model: "mobilenetv1", Segments: []dse.Segment{
+			{From: 0, To: 5}, {From: 5, To: L - 1}, // misses the last layer
+		}},
+	}
+	e2, err := New(cache, testHDA(t), Options{Sched: DefaultOptions().Sched, Plans: short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Submit(Request{Tenant: "a", Model: "mobilenetv1"}); err == nil {
+		t.Fatal("short plan accepted")
+	}
+	if _, err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -149,7 +150,7 @@ func TestRecordInstanceZeroJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != rec {
+	if !reflect.DeepEqual(back, rec) {
 		t.Errorf("JSON round trip mutated the record:\n got %+v\nwant %+v", back, rec)
 	}
 }

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/dnn"
+	"repro/internal/dse"
 	"repro/internal/maestro"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -74,6 +75,17 @@ type Options struct {
 	// they stall admission. Dispatchers (internal/fleet) use it to
 	// track per-engine in-flight work.
 	OnRequestDone func(Record)
+
+	// Plans maps model names to fusion plans (a dse search's
+	// SegmentPlans). A request whose model has a multi-segment plan is
+	// admitted as a chain of per-segment instances — segment models
+	// are interned slices of the parent, segment k+1 carries a
+	// scheduling precedence on segment k, and the inter-segment
+	// activation rides the scheduler's handoff ledger — under one
+	// ticket whose latency is the last segment's completion. Models
+	// without a plan (or with a single-segment plan), and nil Plans,
+	// serve whole-model requests exactly as before.
+	Plans map[string]dse.SegmentPlan
 }
 
 // Overload conditions: submissions failing with one of these should
@@ -168,6 +180,31 @@ type Record struct {
 	SLAViolated   bool    `json:"sla_violated,omitempty"`
 
 	Err string `json:"error,omitempty"`
+
+	// Segments holds the per-segment placements of a fused request,
+	// in segment order (nil for unfused requests). The request-level
+	// placement fields summarize them: Instance and StartCycle come
+	// from the first segment, FinishCycle from the last, BusyCycles
+	// and EnergyPJ are sums.
+	Segments []SegmentRecord `json:"segments,omitempty"`
+}
+
+// SegmentRecord is one segment's placement within a fused request.
+type SegmentRecord struct {
+	Index    int    `json:"index"`
+	Model    string `json:"model"` // the sliced segment model, e.g. "unet[0:5]"
+	Instance int    `json:"instance"`
+
+	// Replica is set only by fleet-level fusion (segments dispatched
+	// across replica engines); engine-level fusion runs on one HDA.
+	Replica int `json:"replica,omitempty"`
+
+	StartCycle  int64   `json:"start_cycle"`
+	FinishCycle int64   `json:"finish_cycle"`
+	BusyCycles  int64   `json:"busy_cycles"`
+	EnergyPJ    float64 `json:"energy_pj"`
+
+	Err string `json:"error,omitempty"`
 }
 
 // Ticket tracks an accepted submission.
@@ -197,12 +234,42 @@ func (t *Ticket) Wait(ctx context.Context) (Record, error) {
 	}
 }
 
-// pending is one queued submission plus its completion signal.
+// pending is one queued submission plus its completion signal. A
+// fused request enqueues one pending per segment (chain != nil); the
+// chain's done channel replaces the per-pending one, which is nil.
 type pending struct {
 	rec  *Record
 	inst workload.Instance
 	done chan struct{}
+
+	chain    *chainState
+	segIndex int
 }
+
+// chainState is the scheduling-goroutine-private bookkeeping of one
+// fused request's segment chain. It is created by Submit before the
+// pendings become visible and touched only by the single scheduling
+// goroutine afterwards, so it needs no lock of its own.
+type chainState struct {
+	rec  *Record
+	done chan struct{}
+
+	// placed[k] is segment k's global schedule instance index, -1
+	// until admitted — the value segment k+1's Admission.After names.
+	placed []int
+
+	// left counts segments not yet published; the chain finalizes (and
+	// done closes) when it reaches zero.
+	left int
+
+	// failed marks a broken chain: once any segment fails, every later
+	// segment fails fast without touching the scheduler.
+	failed bool
+}
+
+// errChainBroken fails the remaining segments of a chain whose
+// predecessor segment could not be scheduled.
+var errChainBroken = errors.New("serve: predecessor segment failed")
 
 // tenantAgg accumulates per-tenant serving statistics. Latencies are
 // a sliding window (ring) of the most recent completions.
@@ -256,6 +323,9 @@ type Engine struct {
 	loopDone      chan struct{}
 
 	maxFinishCycle int64
+
+	// segStats accumulates fused-serving counters (under e.mu).
+	segStats SegmentStats
 }
 
 // New starts a serving engine over the given cost cache and HDA. The
@@ -307,7 +377,8 @@ func (e *Engine) NowCycles() int64 {
 // immediately; scheduling happens asynchronously. Submissions are
 // rejected when the tenant/model is invalid, the model cannot fit
 // the HDA's global buffer, the tenant queue is full, or the engine
-// is draining.
+// is draining. A model with a multi-segment plan (Options.Plans) is
+// admitted as a precedence-chained segment pipeline under one ticket.
 func (e *Engine) Submit(req Request) (*Ticket, error) {
 	if req.Tenant == "" {
 		return nil, fmt.Errorf("serve: request needs a tenant")
@@ -317,6 +388,29 @@ func (e *Engine) Submit(req Request) (*Ticket, error) {
 		e.countRejected(req.Tenant)
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if plan, ok := e.opts.Plans[model.Name]; ok && plan.NumSegments() > 1 {
+		return e.submitFused(req, model, plan)
+	}
+	return e.submitModel(req, model)
+}
+
+// SubmitModel is Submit for a caller-resolved model: fleet dispatchers
+// submitting plan segments use it, because sliced segment models are
+// not in the zoo. The request's Model field is ignored in favor of m,
+// and no fusion plan applies (the caller already decomposed).
+func (e *Engine) SubmitModel(req Request, m *dnn.Model) (*Ticket, error) {
+	if req.Tenant == "" {
+		return nil, fmt.Errorf("serve: request needs a tenant")
+	}
+	if m == nil || m.NumLayers() == 0 {
+		e.countRejected(req.Tenant)
+		return nil, fmt.Errorf("serve: nil or empty model")
+	}
+	return e.submitModel(req, m)
+}
+
+// submitModel admits one whole-model request.
+func (e *Engine) submitModel(req Request, model *dnn.Model) (*Ticket, error) {
 	if err := e.feasible(model); err != nil {
 		e.countRejected(req.Tenant)
 		return nil, err
@@ -366,6 +460,88 @@ func (e *Engine) Submit(req Request) (*Ticket, error) {
 	e.npending++
 	e.cond.Signal()
 	return &Ticket{ID: rec.ID, rec: rec, done: p.done}, nil
+}
+
+// submitFused admits one fused request: one pending per plan segment,
+// enqueued consecutively on the tenant's queue (FIFO pops guarantee a
+// predecessor is admitted no later than its successor), all under one
+// record and one ticket.
+func (e *Engine) submitFused(req Request, model *dnn.Model, plan dse.SegmentPlan) (*Ticket, error) {
+	segModels, err := segmentModels(model, plan)
+	if err != nil {
+		e.countRejected(req.Tenant)
+		return nil, err
+	}
+	if err := e.feasible(model); err != nil {
+		e.countRejected(req.Tenant)
+		return nil, err
+	}
+	arrival := req.ArrivalCycle
+	if arrival < 0 {
+		arrival = e.NowCycles()
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		e.rejectLocked(req.Tenant)
+		return nil, ErrDraining
+	}
+	if len(e.queues[req.Tenant])+len(segModels) > e.opts.MaxQueue {
+		e.rejectLocked(req.Tenant)
+		return nil, fmt.Errorf("%w: tenant %q has %d pending", ErrQueueFull, req.Tenant, len(e.queues[req.Tenant]))
+	}
+
+	e.nextID++
+	ta := e.agg(req.Tenant)
+	ta.submitted++
+	rec := &Record{
+		ID:           e.nextID,
+		Tenant:       req.Tenant,
+		Model:        model.Name,
+		Priority:     req.Priority,
+		Status:       StatusQueued,
+		ArrivalCycle: arrival,
+		SLACycles:    req.SLACycles,
+		Segments:     make([]SegmentRecord, len(segModels)),
+	}
+	ch := &chainState{
+		rec:    rec,
+		done:   make(chan struct{}),
+		placed: make([]int, len(segModels)),
+		left:   len(segModels),
+	}
+	for i := range ch.placed {
+		ch.placed[i] = -1
+	}
+	e.segStats.FusedRequests++
+	e.segStats.Segments += int64(len(segModels))
+	e.records[rec.ID] = rec
+	if len(e.queues[req.Tenant]) == 0 {
+		e.rr = append(e.rr, req.Tenant)
+	}
+	for i, sm := range segModels {
+		e.modelCounts[sm.Name]++
+		e.queues[req.Tenant] = append(e.queues[req.Tenant], &pending{
+			rec:      rec,
+			inst:     workload.Instance{Model: sm, Batch: e.modelCounts[sm.Name], ArrivalCycle: arrival},
+			chain:    ch,
+			segIndex: i,
+		})
+	}
+	e.npending += len(segModels)
+	e.cond.Signal()
+	return &Ticket{ID: rec.ID, rec: rec, done: ch.done}, nil
+}
+
+// segmentModels resolves a plan's interned segment models, validating
+// that the segments tile the model's layers exactly.
+func segmentModels(model *dnn.Model, plan dse.SegmentPlan) ([]*dnn.Model, error) {
+	out, err := plan.Slices(model)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return out, nil
 }
 
 // feasible rejects models with a layer whose buffer occupancy exceeds
@@ -483,7 +659,9 @@ func (e *Engine) popBatchLocked() []*pending {
 }
 
 // admit extends the incremental schedule with one popped batch and
-// publishes each request's placement.
+// publishes each request's placement. Fused-chain segments publish
+// into their shared record; the request itself finalizes (ticket
+// closes, hook fires) only when its last segment lands.
 func (e *Engine) admit(batch []*pending) {
 	if len(batch) == 0 {
 		return
@@ -492,8 +670,16 @@ func (e *Engine) admit(batch []*pending) {
 	placements, errs := e.extendBatch(batch)
 	e.schedMu.Unlock()
 
+	// finalized collects the records that reached a terminal status in
+	// this round (every unfused request; a fused request only with its
+	// final segment) for the OnRequestDone hook outside the locks.
+	var finalized []*Record
 	e.mu.Lock()
 	for i, p := range batch {
+		if p.chain != nil {
+			e.admitSegmentLocked(p, placements[i], errs[i], &finalized)
+			continue
+		}
 		rec := p.rec
 		if errs[i] != nil {
 			rec.Status = StatusFailed
@@ -501,6 +687,7 @@ func (e *Engine) admit(batch []*pending) {
 			e.agg(rec.Tenant).failed++
 			e.finishLocked(rec.ID)
 			close(p.done)
+			finalized = append(finalized, rec)
 			continue
 		}
 		pl := placements[i]
@@ -534,14 +721,89 @@ func (e *Engine) admit(batch []*pending) {
 		}
 		e.finishLocked(rec.ID)
 		close(p.done)
+		finalized = append(finalized, rec)
 	}
 	e.mu.Unlock()
 
 	if hook := e.opts.OnRequestDone; hook != nil {
-		for _, p := range batch {
-			hook(*p.rec)
+		for _, rec := range finalized {
+			hook(*rec)
 		}
 	}
+}
+
+// admitSegmentLocked publishes one fused-chain segment's outcome into
+// the shared record and finalizes the request when its last segment
+// lands. e.mu held.
+func (e *Engine) admitSegmentLocked(p *pending, pl sched.Placement, err error, finalized *[]*Record) {
+	ch := p.chain
+	rec := ch.rec
+	sr := &rec.Segments[p.segIndex]
+	sr.Index = p.segIndex
+	sr.Model = p.inst.Model.Name
+	if err != nil {
+		ch.failed = true
+		e.segStats.SegmentsFailed++
+		sr.Err = err.Error()
+		if rec.Err == "" {
+			rec.Err = fmt.Sprintf("segment %d: %s", p.segIndex, err)
+		}
+	} else {
+		e.segStats.SegmentsCompleted++
+		sr.Instance = pl.Instance
+		sr.StartCycle = pl.StartCycle
+		sr.FinishCycle = pl.FinishCycle
+		sr.BusyCycles = pl.BusyCycles
+		sr.EnergyPJ = pl.EnergyPJ
+		rec.BusyCycles += pl.BusyCycles
+		rec.EnergyPJ += pl.EnergyPJ
+		if pl.FinishCycle > e.maxFinishCycle {
+			e.maxFinishCycle = pl.FinishCycle
+		}
+	}
+
+	ch.left--
+	if ch.left > 0 {
+		return
+	}
+
+	// Last segment: finalize the request.
+	ta := e.agg(rec.Tenant)
+	if ch.failed {
+		rec.Status = StatusFailed
+		ta.failed++
+		e.segStats.FusedFailed++
+	} else {
+		n := len(rec.Segments)
+		first, last := &rec.Segments[0], &rec.Segments[n-1]
+		rec.Status = StatusDone
+		rec.Instance = first.Instance
+		rec.StartCycle = first.StartCycle
+		rec.FinishCycle = last.FinishCycle
+		rec.LatencyCycles = last.FinishCycle - rec.ArrivalCycle
+		rec.QueueCycles = first.StartCycle - rec.ArrivalCycle
+		if rec.SLACycles > 0 {
+			rec.SLAViolated = rec.LatencyCycles > rec.SLACycles
+			ta.slaTracked++
+			if rec.SLAViolated {
+				ta.slaViolations++
+			}
+		}
+		ta.completed++
+		ta.addLatency(rec.LatencyCycles)
+		ta.latSum += rec.LatencyCycles
+		ta.queueSum += rec.QueueCycles
+		ta.energyPJ += rec.EnergyPJ
+		e.segStats.FusedCompleted++
+		e.segStats.SegmentSpanCycles += last.FinishCycle - first.StartCycle
+		e.segStats.SegmentBusyCycles += rec.BusyCycles
+		for k := 1; k < n; k++ {
+			e.segStats.HandoffBubbleCycles += rec.Segments[k].StartCycle - rec.Segments[k-1].FinishCycle
+		}
+	}
+	e.finishLocked(rec.ID)
+	close(ch.done)
+	*finalized = append(*finalized, rec)
 }
 
 // extendBatch admits the whole batch to the incremental schedule in
@@ -549,32 +811,102 @@ func (e *Engine) admit(batch []*pending) {
 // Extend fails as a unit (it rolls back every admission), so on error
 // the admissions are retried one by one: only the truly infeasible
 // requests fail, instead of one bad admission poisoning up to
-// MaxBatch-1 innocent tenants' requests. e.schedMu held.
+// MaxBatch-1 innocent tenants' requests. Fused-chain segments carry
+// an Admission.After on their predecessor's placed instance (or its
+// in-batch admission slot — tenant FIFO pops guarantee the
+// predecessor appears earlier in the batch); segments whose chain
+// already failed are failed fast without touching the scheduler.
+// e.schedMu held.
 func (e *Engine) extendBatch(batch []*pending) ([]sched.Placement, []error) {
-	adms := make([]sched.Admission, len(batch))
-	for i, p := range batch {
-		adms[i] = sched.Admission{Instance: e.clampFloor(p.inst), Priority: p.rec.Priority}
-	}
-	placements, err := e.inc.Extend(adms)
+	placements := make([]sched.Placement, len(batch))
 	errs := make([]error, len(batch))
-	if err == nil {
+
+	// base is the global instance index the batch's first admission
+	// will receive — what in-batch After references are built from.
+	base := e.inc.NumInstances()
+	live := make([]int, 0, len(batch)) // batch indices actually admitted
+	adms := make([]sched.Admission, 0, len(batch))
+	for i, p := range batch {
+		if p.chain != nil && p.chain.failed {
+			errs[i] = errChainBroken
+			continue
+		}
+		a := sched.Admission{Instance: e.clampFloor(p.inst), Priority: p.rec.Priority}
+		if p.chain != nil && p.segIndex > 0 {
+			if gi := p.chain.placed[p.segIndex-1]; gi >= 0 {
+				a.After = gi + 1
+			} else {
+				found := false
+				for k, j := range live {
+					q := batch[j]
+					if q.chain == p.chain && q.segIndex == p.segIndex-1 {
+						a.After = base + k + 1
+						found = true
+						break
+					}
+				}
+				if !found {
+					// The predecessor is neither placed nor in this batch:
+					// it must have failed admission. Break the chain.
+					p.chain.failed = true
+					errs[i] = errChainBroken
+					continue
+				}
+			}
+		}
+		live = append(live, i)
+		adms = append(adms, a)
+	}
+	if len(adms) == 0 {
 		return placements, errs
 	}
-	if len(batch) == 1 {
-		errs[0] = err
-		return nil, errs
+
+	ps, err := e.inc.Extend(adms)
+	if err == nil {
+		for k, i := range live {
+			placements[i] = ps[k]
+			if p := batch[i]; p.chain != nil {
+				p.chain.placed[p.segIndex] = ps[k].Instance
+			}
+		}
+		return placements, errs
 	}
-	placements = make([]sched.Placement, len(batch))
-	for i := range adms {
+	if len(adms) == 1 {
+		i := live[0]
+		errs[i] = err
+		if p := batch[i]; p.chain != nil {
+			p.chain.failed = true
+		}
+		return placements, errs
+	}
+
+	// One-by-one retry, in batch order so a chain's predecessor is
+	// either placed (After resolves through placed) or failed (the
+	// chain breaks) before its successor is attempted.
+	for _, i := range live {
+		p := batch[i]
+		if p.chain != nil && p.chain.failed {
+			errs[i] = errChainBroken
+			continue
+		}
 		// Re-clamp: a successful earlier retry may have advanced the
 		// admission floor past this arrival.
-		adms[i].Instance = e.clampFloor(adms[i].Instance)
-		one, err := e.inc.Extend(adms[i : i+1])
+		a := sched.Admission{Instance: e.clampFloor(p.inst), Priority: p.rec.Priority}
+		if p.chain != nil && p.segIndex > 0 {
+			a.After = p.chain.placed[p.segIndex-1] + 1 // placed, or the chain would be failed
+		}
+		one, err := e.inc.Extend([]sched.Admission{a})
 		if err != nil {
 			errs[i] = err
+			if p.chain != nil {
+				p.chain.failed = true
+			}
 			continue
 		}
 		placements[i] = one[0]
+		if p.chain != nil {
+			p.chain.placed[p.segIndex] = one[0].Instance
+		}
 	}
 	return placements, errs
 }

@@ -52,7 +52,55 @@ type Stats struct {
 	// across requests.
 	CostCacheEntries int `json:"cost_cache_entries"`
 
+	// Segments reports fused-serving (segment pipeline) counters.
+	Segments SegmentStats `json:"segments"`
+
 	Tenants []TenantStats `json:"tenants"`
+}
+
+// SegmentStats counts fused-request (segment pipeline) activity. A
+// fused request is one submission decomposed into plan segments;
+// request-granularity conservation (Submitted == Completed + Failed +
+// Rejected after a drain) holds at the request level, and segment
+// counters conserve independently (Segments == SegmentsCompleted +
+// SegmentsFailed after a drain). No field carries omitempty: zero is
+// a meaningful reading on every counter.
+type SegmentStats struct {
+	// FusedRequests counts accepted submissions that were decomposed
+	// into a multi-segment chain.
+	FusedRequests int64 `json:"fused_requests"`
+	// FusedCompleted / FusedFailed split finished fused requests.
+	FusedCompleted int64 `json:"fused_completed"`
+	FusedFailed    int64 `json:"fused_failed"`
+
+	// Segments counts admitted chain segments; completed/failed split
+	// the finished ones.
+	Segments          int64 `json:"segments"`
+	SegmentsCompleted int64 `json:"segments_completed"`
+	SegmentsFailed    int64 `json:"segments_failed"`
+
+	// HandoffBubbleCycles sums inter-segment gaps (successor start
+	// minus predecessor finish) across completed fused requests: the
+	// pipeline's dead time. SegmentSpanCycles sums first-start to
+	// last-finish spans, and SegmentBusyCycles the pure execution time
+	// inside them — bubble/span is the overlap-loss fraction.
+	HandoffBubbleCycles int64 `json:"handoff_bubble_cycles"`
+	SegmentSpanCycles   int64 `json:"segment_span_cycles"`
+	SegmentBusyCycles   int64 `json:"segment_busy_cycles"`
+}
+
+// Add merges another engine's segment counters — the fleet-side merge
+// rule, mirroring TenantWindow.Add.
+func (s *SegmentStats) Add(o SegmentStats) {
+	s.FusedRequests += o.FusedRequests
+	s.FusedCompleted += o.FusedCompleted
+	s.FusedFailed += o.FusedFailed
+	s.Segments += o.Segments
+	s.SegmentsCompleted += o.SegmentsCompleted
+	s.SegmentsFailed += o.SegmentsFailed
+	s.HandoffBubbleCycles += o.HandoffBubbleCycles
+	s.SegmentSpanCycles += o.SegmentSpanCycles
+	s.SegmentBusyCycles += o.SegmentBusyCycles
 }
 
 // TenantWindow is one tenant's raw counters plus its latency sample
@@ -131,6 +179,7 @@ func (e *Engine) Stats() Stats {
 		MakespanCycles:   snap.MakespanCycles,
 		Utilization:      snap.Utilization(),
 		CostCacheEntries: e.cache.Len(),
+		Segments:         e.segStats,
 	}
 	names := make([]string, 0, len(e.tenants))
 	for name := range e.tenants {
