@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate vet smoke doclint
+.PHONY: build test race bench bench-json bench-gate vet smoke chaos doclint staticcheck vulncheck
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,24 @@ smoke:
 	$(GO) run ./examples/fleet
 	$(GO) run ./examples/repartition
 	$(GO) run ./examples/segments
+	$(MAKE) chaos
+
+# chaos drives a replicated fleet through a seeded fault schedule
+# (stall, admission-failure burst, crash with queued requests,
+# recovery) and exits non-zero unless conservation holds, survivor p99
+# stays bounded, and the fault-handling decision log replays
+# bit-identically. CI gates on it per PR.
+chaos:
+	$(GO) run ./examples/chaos
+
+# staticcheck / vulncheck fetch their tools at run time (CI has
+# network; local offline runs can skip them — go vet covers the
+# tier-1 gate).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
+
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # doclint fails on broken intra-repo markdown links (file + anchor)
 # and on exported identifiers in the serving-tier packages missing

@@ -44,6 +44,20 @@
 // -repartition-cooldown probes (anti-flap). See docs/OPERATIONS.md
 // for the full runbook.
 //
+// Fault tolerance (see docs/OPERATIONS.md, "Failure handling"):
+// -faults injects a deterministic, cycle-scheduled fault plan
+// ("3000:0:crash,5000:0:recover") for chaos testing; crashed
+// replicas' queued requests fail over to survivors (bounded by
+// -max-attempts) and a consecutive-failure circuit breaker
+// (-breaker-threshold, -breaker-probe-after) routes around replicas
+// that stop admitting. -shed-sla-factor turns on overload shedding:
+// arrivals whose best ETA already blows their SLA budget get 429 +
+// Retry-After instead of queueing. Both -faults and -shed-sla-factor
+// serve a fleet even at -replicas 1. GET /v1/fleet/health reports
+// per-replica health and the fault-handling decision log. The daemon
+// shuts down gracefully on SIGINT/SIGTERM: stop admissions, drain
+// in-flight work, log final stats.
+//
 // API (see internal/serve; fleets serve internal/fleet's API, which
 // adds GET /v1/fleet/stats, GET /v1/fleet/repartition and
 // /v1/replicas/{i}/... delegation):
@@ -58,12 +72,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	herald "repro"
@@ -93,6 +111,11 @@ func main() {
 	fuse := flag.Bool("fuse", false, "layer-fused segment serving: decompose each request into its model's winning segment chain so consecutive requests pipeline across sub-accelerators")
 	maxSegments := flag.Int("max-segments", 4, "upper bound on segments per fused request (with -fuse; >= 2)")
 	mixHalfLife := flag.Int("mix-half-life", 0, "observed-mix half-life in submissions for resweep probes (0 = all-time counts)")
+	faultsFlag := flag.String("faults", "", "deterministic fault plan, cycle:replica:kind[:arg],... (kinds: crash, stall:factor, admit-fail:count, recover); serves a fleet even with -replicas 1")
+	shedSLAFactor := flag.Float64("shed-sla-factor", 0, "shed arrivals whose best-ETA lateness exceeds this multiple of their SLA, with 429 + Retry-After (0 = off; needs cost-aware routing and per-request sla_cycles; serves a fleet even with -replicas 1)")
+	maxAttempts := flag.Int("max-attempts", 3, "per-request admission budget across crash failovers (initial dispatch included)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive replica admission failures that open its circuit breaker")
+	breakerProbeAfter := flag.Int("breaker-probe-after", 8, "fleet dispatches after a breaker opens before it admits a half-open probe")
 	flag.Parse()
 
 	class, err := herald.ParseClass(*className)
@@ -104,6 +127,12 @@ func main() {
 	}
 	if *repartition && *resweepEvery <= 0 {
 		log.Fatal("-repartition needs -resweep-every > 0 (the probe period is the control period)")
+	}
+	var faultPlan *herald.FaultPlan
+	if *faultsFlag != "" {
+		if faultPlan, err = herald.ParseFaultPlan(*faultsFlag); err != nil {
+			log.Fatal(err)
+		}
 	}
 	cache := herald.NewCostCache(herald.DefaultEnergyTable())
 
@@ -157,24 +186,48 @@ func main() {
 			len(plans), len(herald.ModelNames()), *maxSegments)
 	}
 
+	// The signal context drives graceful shutdown: stop admitting, stop
+	// the repartition controller, drain, log final stats.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var handler http.Handler
-	if *replicas == 1 && *resweepEvery <= 0 {
+	var drain func(context.Context)
+	if *replicas == 1 && *resweepEvery <= 0 && faultPlan == nil && *shedSLAFactor == 0 {
 		srvOpts.Plans = plans
 		engine, err := herald.NewServingEngine(cache, hdas[0], srvOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		handler = engine.Handler()
+		drain = func(ctx context.Context) {
+			st, err := engine.Drain(ctx)
+			if err != nil {
+				log.Printf("drain: %v", err)
+			}
+			log.Printf("final stats: %d submitted, %d completed, %d failed, %d rejected",
+				st.Submitted, st.Completed, st.Failed, st.Rejected)
+		}
 		log.Printf("heraldd listening on %s (HDA %v, clock %g GHz)", *addr, hdas[0], *clockGHz)
 	} else {
 		// A resweep probe needs the fleet dispatcher's observed-mix
-		// accounting, so -resweep-every promotes even a single replica
-		// to a fleet of one.
+		// accounting — and fault injection/shedding live in the fleet
+		// dispatcher — so those flags promote even a single replica to
+		// a fleet of one.
 		policy, err := herald.ParseFleetPolicy(*fleetPolicy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fopts := herald.FleetOptions{Serve: srvOpts, Policy: policy, Plans: plans, MixHalfLife: *mixHalfLife}
+		fopts := herald.FleetOptions{
+			Serve: srvOpts, Policy: policy, Plans: plans, MixHalfLife: *mixHalfLife,
+			Faults: faultPlan,
+			Health: herald.FleetHealthOptions{
+				FailureThreshold: *breakerThreshold,
+				ProbeAfter:       *breakerProbeAfter,
+				MaxAttempts:      *maxAttempts,
+				ShedSLAFactor:    *shedSLAFactor,
+			},
+		}
 		if *resweepEvery > 0 {
 			sw, err := resweepSweeper(cache, class, *stylesFlag, *peUnits, *bwUnits, *strategyFlag, *objectiveFlag)
 			if err != nil {
@@ -187,11 +240,25 @@ func main() {
 			log.Fatal(err)
 		}
 		handler = fl.Handler()
+		drain = func(ctx context.Context) {
+			st, err := fl.Drain(ctx)
+			if err != nil {
+				log.Printf("drain: %v", err)
+			}
+			log.Printf("final stats: %d submitted, %d completed, %d failed, %d rejected, %d shed, %d failovers",
+				st.Submitted, st.Completed, st.Failed, st.Rejected, st.Shed, st.Failovers)
+		}
 		for i, h := range hdas {
 			log.Printf("  replica %d: %v", i, h)
 		}
 		log.Printf("heraldd fleet listening on %s (%d replicas, %s routing, clock %g GHz)",
 			*addr, len(hdas), policy, *clockGHz)
+		if faultPlan != nil {
+			log.Printf("fault injection on: %d scheduled events (-faults)", len(faultPlan.Events))
+		}
+		if *shedSLAFactor > 0 {
+			log.Printf("overload shedding on: budget %gx SLA (-shed-sla-factor)", *shedSLAFactor)
+		}
 		if *resweepEvery > 0 {
 			if *repartition {
 				// The library treats 0 as "default"; at the flag level an
@@ -214,14 +281,36 @@ func main() {
 				}
 				log.Printf("repartition controller every %v (threshold %.3g, confirm %d, cooldown %d)",
 					*resweepEvery, *repartitionThreshold, *repartitionConfirm, *repartitionCooldown)
-				go ctrl.Run(context.Background(), *resweepEvery)
+				// The signal context stops the controller before the drain.
+				go ctrl.Run(ctx, *resweepEvery)
 			} else {
 				log.Printf("resweep probe every %v (log-only; add -repartition to act on it)", *resweepEvery)
-				go resweepLoop(fl, *resweepEvery, log.Printf)
+				go resweepLoop(ctx, fl, *resweepEvery, log.Printf)
 			}
 		}
 	}
-	log.Fatal(http.ListenAndServe(*addr, handler))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stopSignals() // a second signal kills the process the default way
+	log.Printf("signal received; shutting down (draining in-flight work)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("http shutdown: %v", err)
+	}
+	drain(shutCtx)
 }
 
 // resweepSweeper builds the reusable partition-search handle the fleet
@@ -246,12 +335,18 @@ func resweepSweeper(cache *herald.CostCache, class herald.Class, stylesCSV strin
 	return herald.NewSweeper(cache, sp, opts)
 }
 
-// resweepLoop periodically fires resweepProbe and logs the outcome.
-func resweepLoop(fl *herald.Fleet, every time.Duration, logf func(string, ...any)) {
+// resweepLoop periodically fires resweepProbe and logs the outcome
+// until ctx (the daemon's signal context) is cancelled.
+func resweepLoop(ctx context.Context, fl *herald.Fleet, every time.Duration, logf func(string, ...any)) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
-	for range tick.C {
-		logf("%s", resweepProbe(fl))
+	for {
+		select {
+		case <-tick.C:
+			logf("%s", resweepProbe(fl))
+		case <-ctx.Done():
+			return
+		}
 	}
 }
 

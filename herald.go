@@ -362,11 +362,13 @@ type (
 // RequestStatus is a serving request's lifecycle state.
 type RequestStatus = serve.Status
 
-// Request lifecycle statuses.
+// Request lifecycle statuses. StatusLost marks a request extracted by
+// a replica crash (fleet failover re-admits it on a survivor).
 const (
 	StatusQueued = serve.StatusQueued
 	StatusDone   = serve.StatusDone
 	StatusFailed = serve.StatusFailed
+	StatusLost   = serve.StatusLost
 )
 
 // Incremental scheduling (the serving engine's substrate).
@@ -509,6 +511,46 @@ const (
 	RepartitionCooldown   = fleet.ActionCooldown
 	RepartitionMigrated   = fleet.ActionMigrated
 )
+
+// Fault tolerance (see internal/fleet's fault layer).
+type (
+	// FaultPlan is a deterministic, cycle-scheduled fault schedule
+	// (FleetOptions.Faults) — crashes, stalls, admission-failure
+	// bursts, recoveries — replayable alongside a fixed arrival trace.
+	FaultPlan = fleet.FaultPlan
+	// FaultEvent is one cycle-scheduled fault against one replica.
+	FaultEvent = fleet.FaultEvent
+	// FaultKind enumerates the injectable fault events.
+	FaultKind = fleet.FaultKind
+	// FleetHealthOptions tunes failure detection (circuit breaker,
+	// stall detection), failover attempt budgets and overload
+	// shedding (FleetOptions.Health).
+	FleetHealthOptions = fleet.HealthOptions
+	// FleetHealthReport is the GET /v1/fleet/health payload.
+	FleetHealthReport = fleet.HealthReport
+	// FaultDecision is one entry of the fleet's replayable
+	// fault-handling decision log.
+	FaultDecision = fleet.FaultDecision
+	// ShedError rejects an arrival the fleet's admission controller
+	// shed (HTTP 429 + Retry-After).
+	ShedError = fleet.ShedError
+)
+
+// Injectable fault kinds.
+const (
+	FaultCrash     = fleet.FaultCrash
+	FaultStall     = fleet.FaultStall
+	FaultAdmitFail = fleet.FaultAdmitFail
+	FaultRecover   = fleet.FaultRecover
+)
+
+// NewFaultPlan validates fault events and returns a plan with them
+// stably sorted by cycle.
+func NewFaultPlan(events []FaultEvent) (*FaultPlan, error) { return fleet.NewFaultPlan(events) }
+
+// ParseFaultPlan parses the "cycle:replica:kind[:arg],..." fault-plan
+// syntax (kinds: crash, stall:factor, admit-fail:count, recover).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fleet.ParseFaultPlan(spec) }
 
 // NewRepartitionController attaches a dynamic-repartitioning
 // controller to a fleet built with FleetOptions.Sweeper. Drive it

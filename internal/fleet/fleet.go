@@ -57,6 +57,26 @@
 // the same replica assignments, the same decisions, and the same
 // final partition (replayable capacity planning, probed by the
 // deterministic-replay tests).
+//
+// # Fault tolerance
+//
+// The fleet assumes replicas fail. A FaultPlan (Options.Faults)
+// injects cycle-scheduled crashes, stalls, admission-failure bursts
+// and recoveries, clocked by submission arrival cycles so chaos runs
+// replay bit-identically. The dispatcher tracks per-replica health: a
+// consecutive-failure circuit breaker with half-open probing routes
+// around replicas that stop admitting, and stall detection over the
+// cost-aware work-horizon ledger flags gray failures. A crash
+// extracts the dead replica's queued requests (serve.Engine.Crash)
+// and fails them over onto survivors under a per-request attempt
+// budget — the conservation invariant (no request lost or
+// double-served) holds across any crash point, including a fused
+// segment chain whose serving replica dies mid-chain. Overload sheds
+// at admission: when the best ETA already blows a request's SLA
+// budget and its tenant is at or above the fair share of outstanding
+// work, the request is rejected with a ShedError (HTTP 429 +
+// Retry-After) instead of deepening the backlog. See fault.go; every
+// decision lands in a replayable decision log (Decisions, Health).
 package fleet
 
 import (
@@ -154,6 +174,16 @@ type Options struct {
 	// total weight drop out of the mix. 0 disables decay (all-time
 	// counts, the legacy behavior).
 	MixHalfLife int
+
+	// Faults optionally injects a deterministic fault schedule (crash,
+	// stall, admission-failure burst, recover), clocked by submission
+	// arrival cycles. Nil serves fault-free.
+	Faults *FaultPlan
+
+	// Health tunes failure detection, failover budgets and overload
+	// shedding; the zero value uses detection defaults with the opt-in
+	// features (stall detection, shedding) off.
+	Health HealthOptions
 }
 
 // DefaultOptions returns a cost-aware fleet over the serving-engine
@@ -181,6 +211,19 @@ type replica struct {
 	horizon int64
 	// est memoizes each model's best-case busy cycles on this HDA.
 	est map[*dnn.Model]int64
+
+	// Fault-layer state (see fault.go), under Fleet.mu.
+	health healthState
+	// stall scales this replica's cost estimates — the injected
+	// slowdown factor (1 = nominal).
+	stall float64
+	// admitFails is the remaining injected admission-failure burst.
+	admitFails int
+	// consecFails is the circuit breaker's failure streak.
+	consecFails int
+	// openedSeq is the fleet dispatch sequence at which the breaker
+	// last opened (the half-open probe window counts from here).
+	openedSeq int64
 
 	// handler lazily builds the engine's HTTP API for /v1/replicas/{i}
 	// delegation (replica sets change across migrations, so handlers
@@ -275,13 +318,49 @@ type Fleet struct {
 	// NewController, read by the HTTP status endpoint).
 	ctrlMu     sync.Mutex
 	controller *Controller
+
+	// Fault-tolerance state (see fault.go), under mu. The fault clock
+	// (faultCycle) advances only with submission arrival cycles;
+	// dispatchSeq counts routing decisions (the breaker's probe window
+	// is measured in it).
+	health         HealthOptions
+	faults         []FaultEvent
+	faultNext      int
+	faultCycle     int64
+	dispatchSeq    int64
+	failedReplicas []*replica // crashed, awaiting FaultRecover
+	decisions      []FaultDecision
+	decSeq         int
+	shed           int64
+	shedT          map[string]int64
+	failovers      int64
+	crashes        int64
+	recoveries     int64
+	breakerTrips   int64
+	// lostFailed counts crash-orphaned requests no survivor could take
+	// (terminal fleet-side failures). Their engines erased them, so
+	// aggregates add lostFailed to both Submitted and Failed to keep
+	// conservation exact.
+	lostFailed  int64
+	lostFailedT map[string]int64
+
+	// outMu guards the failover queue and the per-tenant outstanding
+	// counts. Lock order: mu → outMu. Ticket resolution takes only
+	// outMu, so completion hooks may fire while mu is held — crash
+	// extraction relies on this to have lostQ complete before
+	// failover runs.
+	outMu     sync.Mutex
+	lostQ     []*dispatch
+	tenantOut map[string]int64
 }
 
-// retiredHistory is the folded statistics of retired generations.
+// retiredHistory is the folded statistics of retired and
+// crash-recovered engines.
 type retiredHistory struct {
 	replicas                               int
 	submitted, completed, failed, rejected int64
 	pending                                int64 // requests lost to a cancelled drain (should stay 0)
+	lost                                   int64 // crash-extracted requests (failover re-admits them)
 	makespan                               int64
 	tenants                                map[string]*serve.TenantWindow
 }
@@ -304,14 +383,27 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 		return nil, fmt.Errorf("fleet: MixHalfLife must be >= 0 (got %d)", opts.MixHalfLife)
 	}
 	f := &Fleet{
-		cache:     cache,
-		policy:    opts.Policy,
-		serveOpts: opts.Serve,
-		start:     time.Now(),
-		mix:       make(map[string]*mixEntry),
-		mixDecay:  1,
-		sweeper:   opts.Sweeper,
-		plans:     opts.Plans,
+		cache:       cache,
+		policy:      opts.Policy,
+		serveOpts:   opts.Serve,
+		start:       time.Now(),
+		mix:         make(map[string]*mixEntry),
+		mixDecay:    1,
+		sweeper:     opts.Sweeper,
+		plans:       opts.Plans,
+		health:      opts.Health.withDefaults(),
+		shedT:       make(map[string]int64),
+		lostFailedT: make(map[string]int64),
+		tenantOut:   make(map[string]int64),
+	}
+	if opts.Faults != nil && len(opts.Faults.Events) > 0 {
+		// Re-validate and re-sort: callers may hand-build the plan
+		// instead of going through NewFaultPlan.
+		fp, err := NewFaultPlan(opts.Faults.Events)
+		if err != nil {
+			return nil, err
+		}
+		f.faults = fp.Events
 	}
 	if opts.MixHalfLife > 0 {
 		f.mixDecay = math.Exp2(-1 / float64(opts.MixHalfLife))
@@ -339,7 +431,7 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 func (f *Fleet) buildReplicas(hdas []*accel.HDA) ([]*replica, error) {
 	rs := make([]*replica, 0, len(hdas))
 	for i, h := range hdas {
-		r := &replica{hda: h, est: make(map[*dnn.Model]int64)}
+		r := &replica{hda: h, est: make(map[*dnn.Model]int64), stall: 1}
 		so := f.serveOpts
 		userHook := so.OnRequestDone
 		so.OnRequestDone = func(rec serve.Record) {
@@ -426,48 +518,118 @@ func (f *Fleet) replicaByID(id int) *replica {
 			return r
 		}
 	}
+	for _, r := range f.failedReplicas {
+		if r.id == id {
+			return r
+		}
+	}
 	return nil
 }
 
 // Ticket tracks a dispatched submission and the replica serving it.
+// Every accepted ticket resolves exactly once — even if its replica
+// crashes, the failover path either re-admits the request elsewhere
+// or terminates it with a failed record — so a submitter waiting on
+// Done never hangs on a dead replica.
 type Ticket struct {
-	// ID is the request's record id on its (first) replica engine.
+	// ID is the request's record id on its first replica engine (a
+	// failed-over request keeps this id on the fleet surface; its
+	// final record carries the surviving engine's own id).
 	ID int64
-	// Replica is the replica serving the request — for a fused chain,
-	// the replica its first segment was dispatched to (per-segment
-	// replicas are in the final record's Segments).
+	// Replica is the replica the request was first dispatched to —
+	// for a fused chain, the replica of its first segment. Failover
+	// may move the request; Served reports where it ended up.
 	Replica int
 
-	// inner is the engine ticket of an unfused dispatch; fused chains
-	// resolve through rec/done instead (the chain goroutine completes
-	// every write to rec before closing done).
-	inner *serve.Ticket
-	rec   *serve.Record
-	done  chan struct{}
+	// served is the final serving replica (-1 until resolution, and
+	// for requests that failed without being served); rec is the final
+	// record. Both are fully written before done closes.
+	served int
+	rec    *serve.Record
+	done   chan struct{}
 }
 
 // Done is closed when the request (all segments, for a fused chain)
 // has been scheduled or failed.
-func (t *Ticket) Done() <-chan struct{} {
-	if t.inner != nil {
-		return t.inner.Done()
-	}
-	return t.done
-}
+func (t *Ticket) Done() <-chan struct{} { return t.done }
 
 // Wait blocks until the request completes or ctx is cancelled, and
 // returns the final record. A fused chain's record carries one
 // SegmentRecord per plan segment with the serving replica of each.
 func (t *Ticket) Wait(ctx context.Context) (serve.Record, error) {
-	if t.inner != nil {
-		return t.inner.Wait(ctx)
-	}
 	select {
 	case <-t.done:
 		return *t.rec, nil
 	case <-ctx.Done():
 		return serve.Record{}, ctx.Err()
 	}
+}
+
+// Served returns the replica that finally served the request: equal
+// to Replica in the common case, a survivor's id after a crash
+// failover, the last segment's replica for a fused chain, and -1 for
+// a request that terminated unserved. Valid once Done is closed.
+func (t *Ticket) Served() int {
+	select {
+	case <-t.done:
+		return t.served
+	default:
+		return -1
+	}
+}
+
+// dispatch is one unfused request's dispatcher-side lifetime: the
+// submission, its fleet ticket, and the attempt budget consumed so
+// far. Its resolve method is the request's engine completion hook —
+// a terminal record closes the ticket, a StatusLost record (replica
+// crash) queues the dispatch for failover instead.
+type dispatch struct {
+	f     *Fleet
+	req   serve.Request
+	model *dnn.Model
+	t     *Ticket
+	// attempts counts admissions (initial + failovers), under f.mu.
+	attempts int
+	// replica is the latest admission's replica id, written under f.mu
+	// before the engine sees the request (so resolve reads it safely).
+	replica int
+}
+
+// resolve is the engine-side completion hook: it runs on the serving
+// engine's scheduling goroutine (or the Crash caller's) and must not
+// take f.mu (crash extraction fires it with f.mu held).
+func (d *dispatch) resolve(rec serve.Record) {
+	if rec.Status == serve.StatusLost {
+		// The serving replica crashed with the request still queued;
+		// park it for the crash handler's failover pass.
+		d.f.outMu.Lock()
+		d.f.lostQ = append(d.f.lostQ, d)
+		d.f.outMu.Unlock()
+		return
+	}
+	d.f.tenantOutDec(d.req.Tenant)
+	d.t.rec = &rec
+	d.t.served = d.replica
+	close(d.t.done)
+}
+
+// tenantOutDec retires one outstanding request from the shed-fairness
+// ledger.
+func (f *Fleet) tenantOutDec(tenant string) {
+	f.outMu.Lock()
+	if f.tenantOut[tenant]--; f.tenantOut[tenant] <= 0 {
+		delete(f.tenantOut, tenant)
+	}
+	f.outMu.Unlock()
+}
+
+// tenantOutInc admits one outstanding request into the shed-fairness
+// ledger. Incremented before the engine sees the request: completion
+// hooks can fire before dispatch even returns.
+func (f *Fleet) tenantOutInc(tenant string) {
+	f.outMu.Lock()
+	f.tenantOut[tenant]++
+	f.outMu.Unlock()
 }
 
 // Submit routes one request to a replica under the fleet's policy and
@@ -498,27 +660,81 @@ func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
 	if f.draining {
 		return nil, serve.ErrDraining
 	}
-	r, eta := f.pickLocked(model, req.ArrivalCycle)
-	// Count the dispatch before the engine sees it: the engine's
-	// scheduling goroutine can finish the request (and decrement
-	// inflight via the hook) before Submit even returns.
-	r.inflight.Add(1)
-	ticket, err := r.engine.Submit(req)
-	if err != nil {
-		r.inflight.Add(-1)
+	f.advanceFaultsLocked(max(req.ArrivalCycle, 0))
+	if f.shedEnabled(req) {
+		if eta, ok := f.bestETALocked(model, req.ArrivalCycle); ok {
+			if err := f.shedLocked(req, eta); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d := &dispatch{f: f, req: req, model: model,
+		t: &Ticket{Replica: -1, served: -1, done: make(chan struct{})}}
+	f.tenantOutInc(req.Tenant)
+	if err := f.dispatchLocked(d); err != nil {
+		f.tenantOutDec(req.Tenant)
 		return nil, err
 	}
-	r.dispatched++
 	if model != nil {
 		f.mixAdd(model.Name)
 	}
-	if f.policy == CostAware {
-		r.horizon = eta
+	return d.t, nil
+}
+
+// dispatchLocked admits one tracked request on a replica chosen under
+// the routing policy, rotating to the next-best replica on every
+// replica-attributable admission failure (full queue, draining engine,
+// injected fault) while feeding the circuit breaker. It returns an
+// error only when the request cannot be admitted anywhere: a client
+// error from the first engine that evaluated it, or ErrNoReplicas
+// once every eligible replica has been tried. f.mu held.
+func (f *Fleet) dispatchLocked(d *dispatch) error {
+	f.dispatchSeq++
+	cycle := f.faultCycle
+	var tried map[int]bool
+	for {
+		r, eta, err := f.pickLocked(d.model, d.req.ArrivalCycle, tried)
+		if err != nil {
+			return err
+		}
+		if tried == nil {
+			tried = make(map[int]bool)
+		}
+		tried[r.id] = true
+		if r.admitFails > 0 {
+			r.admitFails--
+			f.noteFailureLocked(r, cycle, "injected admission fault")
+			continue
+		}
+		// Publish the serving replica and count the dispatch before the
+		// engine sees the request: its scheduling goroutine can finish
+		// it (firing resolve and the inflight hook) before this returns.
+		d.replica = r.id
+		r.inflight.Add(1)
+		ticket, err := r.engine.SubmitTracked(d.req, d.resolve)
+		if err != nil {
+			r.inflight.Add(-1)
+			if retryableAdmit(err) {
+				f.noteFailureLocked(r, cycle, err.Error())
+				continue
+			}
+			return err
+		}
+		f.noteSuccessLocked(r, cycle)
+		d.attempts++
+		if d.t.ID == 0 {
+			d.t.ID = ticket.ID
+			d.t.Replica = r.id
+		}
+		r.dispatched++
+		if f.policy == CostAware {
+			r.horizon = eta
+		}
+		if f.policy == RoundRobin {
+			f.rrNext++
+		}
+		return nil
 	}
-	if f.policy == RoundRobin {
-		f.rrNext++
-	}
-	return &Ticket{ID: ticket.ID, Replica: r.id, inner: ticket}, nil
 }
 
 // submitFused decomposes one request into its plan's segments,
@@ -534,9 +750,20 @@ func (f *Fleet) submitFused(req serve.Request, model *dnn.Model, plan dse.Segmen
 		f.mu.Unlock()
 		return nil, serve.ErrDraining
 	}
+	f.advanceFaultsLocked(max(req.ArrivalCycle, 0))
+	if f.shedEnabled(req) {
+		if eta, ok := f.bestETALocked(segs[0], req.ArrivalCycle); ok {
+			if err := f.shedLocked(req, eta); err != nil {
+				f.mu.Unlock()
+				return nil, err
+			}
+		}
+	}
+	f.tenantOutInc(req.Tenant)
 	r, first, err := f.dispatchSegmentLocked(req, req.ArrivalCycle, segs[0])
 	if err != nil {
 		f.mu.Unlock()
+		f.tenantOutDec(req.Tenant)
 		return nil, err
 	}
 	f.mixAdd(model.Name)
@@ -545,7 +772,7 @@ func (f *Fleet) submitFused(req serve.Request, model *dnn.Model, plan dse.Segmen
 	f.chainWG.Add(1)
 	f.mu.Unlock()
 
-	t := &Ticket{ID: first.ID, Replica: r.id, done: make(chan struct{})}
+	t := &Ticket{ID: first.ID, Replica: r.id, served: -1, done: make(chan struct{})}
 	go f.runChain(t, req, model, segs, first, r.id)
 	return t, nil
 }
@@ -554,27 +781,52 @@ func (f *Fleet) submitFused(req serve.Request, model *dnn.Model, plan dse.Segmen
 // policy and admits it to the picked engine via SubmitModel (segment
 // models are interned slices, not zoo entries). The segment request
 // carries the chain's tenant and priority but no SLA — the SLA is a
-// request-level contract, checked on the merged record. f.mu held.
+// request-level contract, checked on the merged record. Like
+// dispatchLocked it rotates to the next-best replica on
+// replica-attributable admission failures, feeding the breaker. f.mu
+// held.
 func (f *Fleet) dispatchSegmentLocked(req serve.Request, arrival int64, sm *dnn.Model) (*replica, *serve.Ticket, error) {
-	r, eta := f.pickLocked(sm, arrival)
-	r.inflight.Add(1)
-	ticket, err := r.engine.SubmitModel(serve.Request{
-		Tenant:       req.Tenant,
-		Priority:     req.Priority,
-		ArrivalCycle: arrival,
-	}, sm)
-	if err != nil {
-		r.inflight.Add(-1)
-		return nil, nil, err
+	f.dispatchSeq++
+	cycle := f.faultCycle
+	var tried map[int]bool
+	for {
+		r, eta, err := f.pickLocked(sm, arrival, tried)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tried == nil {
+			tried = make(map[int]bool)
+		}
+		tried[r.id] = true
+		if r.admitFails > 0 {
+			r.admitFails--
+			f.noteFailureLocked(r, cycle, "injected admission fault")
+			continue
+		}
+		r.inflight.Add(1)
+		ticket, err := r.engine.SubmitModel(serve.Request{
+			Tenant:       req.Tenant,
+			Priority:     req.Priority,
+			ArrivalCycle: arrival,
+		}, sm)
+		if err != nil {
+			r.inflight.Add(-1)
+			if retryableAdmit(err) {
+				f.noteFailureLocked(r, cycle, err.Error())
+				continue
+			}
+			return nil, nil, err
+		}
+		f.noteSuccessLocked(r, cycle)
+		r.dispatched++
+		if f.policy == CostAware {
+			r.horizon = eta
+		}
+		if f.policy == RoundRobin {
+			f.rrNext++
+		}
+		return r, ticket, nil
 	}
-	r.dispatched++
-	if f.policy == CostAware {
-		r.horizon = eta
-	}
-	if f.policy == RoundRobin {
-		f.rrNext++
-	}
-	return r, ticket, nil
 }
 
 // runChain drives one fused request's segments 1..n-1: wait for the
@@ -583,6 +835,14 @@ func (f *Fleet) dispatchSegmentLocked(req serve.Request, arrival int64, sm *dnn.
 // pipelining — the cross-replica analogue of the scheduler's
 // precedence edge). It assembles the merged record and closes the
 // ticket when the last segment lands or the chain breaks.
+//
+// If a segment's serving replica crashes before scheduling it (the
+// segment resolves StatusLost), the chain re-routes that segment —
+// and with it the rest of the chain — to a survivor, keeping the same
+// pipeline arrival (its predecessor's finish cycle), under the same
+// per-request attempt budget as unfused failover. Only when the
+// budget is exhausted or no survivor can take the segment does the
+// chain terminate with a failed record.
 func (f *Fleet) runChain(t *Ticket, req serve.Request, model *dnn.Model, segs []*dnn.Model, first *serve.Ticket, firstReplica int) {
 	defer f.chainWG.Done()
 	n := len(segs)
@@ -600,9 +860,39 @@ func (f *Fleet) runChain(t *Ticket, req serve.Request, model *dnn.Model, segs []
 	}
 	completed := int64(0)
 	cross := int64(0)
+	attempts := 1 // admissions consumed, shared across the whole chain
 	cur, curReplica := first, firstReplica
+	curArrival := req.ArrivalCycle
 	for k := 0; k < n; k++ {
 		srec, _ := cur.Wait(context.Background())
+		if srec.Status == serve.StatusLost {
+			// The serving replica crashed with this segment still
+			// queued. Try to re-route it to a survivor at the same
+			// pipeline arrival.
+			if attempts >= f.health.MaxAttempts {
+				srec.Err = fmt.Sprintf("replica %d crashed; attempt budget exhausted (%d admissions)",
+					curReplica, attempts)
+			} else {
+				f.mu.Lock()
+				r, ticket, err := f.dispatchSegmentLocked(req, curArrival, segs[k])
+				if err == nil {
+					attempts++
+					f.failovers++
+					f.noteDecisionLocked(max(curArrival, 0), "failover", r.id,
+						fmt.Sprintf("fused request %d (tenant %q) segment %d re-admitted, attempt %d",
+							t.ID, req.Tenant, k, attempts))
+					f.mu.Unlock()
+					if r.id != curReplica {
+						cross++
+					}
+					cur, curReplica = ticket, r.id
+					k--
+					continue
+				}
+				f.mu.Unlock()
+				srec.Err = fmt.Sprintf("replica %d crashed; failover failed: %s", curReplica, err)
+			}
+		}
 		if k == 0 {
 			rec.ArrivalCycle = srec.ArrivalCycle
 		}
@@ -630,8 +920,9 @@ func (f *Fleet) runChain(t *Ticket, req serve.Request, model *dnn.Model, segs []
 		if k == n-1 {
 			break
 		}
+		curArrival = srec.FinishCycle
 		f.mu.Lock()
-		r, ticket, err := f.dispatchSegmentLocked(req, srec.FinishCycle, segs[k+1])
+		r, ticket, err := f.dispatchSegmentLocked(req, curArrival, segs[k+1])
 		f.mu.Unlock()
 		if err != nil {
 			rec.Status = serve.StatusFailed
@@ -675,7 +966,11 @@ func (f *Fleet) runChain(t *Ticket, req serve.Request, model *dnn.Model, segs []
 	}
 	f.mu.Unlock()
 
+	f.tenantOutDec(req.Tenant)
 	t.rec = rec
+	if rec.Status == serve.StatusDone {
+		t.served = curReplica
+	}
 	close(t.done)
 }
 
@@ -702,39 +997,82 @@ type mixEntry struct {
 	tick int64
 }
 
-// pickLocked chooses the replica for one submission and, for the
-// cost-aware policy, returns the ETA to commit to its horizon. Ties
-// break toward the lower replica index. f.mu held.
-func (f *Fleet) pickLocked(model *dnn.Model, arrival int64) (*replica, int64) {
+// etaLocked is one replica's cost-aware completion estimate for a
+// model arriving at the given cycle: the horizon of work already
+// routed there (or the arrival, whichever is later) plus the model's
+// best-case busy cycles, scaled by any injected stall. Returns 0
+// under the other policies (they keep no horizon). f.mu held.
+func (f *Fleet) etaLocked(r *replica, model *dnn.Model, arrival int64) int64 {
+	if f.policy != CostAware {
+		return 0
+	}
+	// "Now" arrivals (negative) estimate from cycle 0: the horizon
+	// term dominates and wall-clock must not enter dispatch (it
+	// would break replayability).
+	if arrival < 0 {
+		arrival = 0
+	}
+	return max(r.horizon, arrival) + stallCycles(r.estCycles(f.cache, model), r.stall)
+}
+
+// bestETALocked is the minimum cost-aware ETA any eligible replica
+// offers the model — what the admission controller compares against
+// the SLA budget. ok is false when no replica is eligible. f.mu held.
+func (f *Fleet) bestETALocked(model *dnn.Model, arrival int64) (int64, bool) {
+	elig, _ := f.eligibleLocked(nil)
+	if len(elig) == 0 {
+		return 0, false
+	}
+	best := int64(math.MaxInt64)
+	for _, r := range elig {
+		if eta := f.etaLocked(r, model, arrival); eta < best {
+			best = eta
+		}
+	}
+	return best, true
+}
+
+// pickLocked chooses the replica for one submission among the
+// eligible set (active, not breaker-open, not in tried) and, for the
+// cost-aware policy, returns the ETA to commit to its horizon. A
+// half-open replica takes priority as the breaker's probe. Ties break
+// toward the lower replica position; with every replica healthy the
+// eligible set is exactly f.replicas, so routing is unchanged from
+// the fault-free dispatcher. f.mu held.
+func (f *Fleet) pickLocked(model *dnn.Model, arrival int64, tried map[int]bool) (*replica, int64, error) {
+	elig, probe := f.eligibleLocked(tried)
+	if len(elig) == 0 {
+		return nil, 0, ErrNoReplicas
+	}
+	if probe != nil {
+		// The half-open breaker's single probe request: route it to the
+		// recovering replica regardless of policy so the breaker can
+		// close (or re-open) promptly.
+		return probe, f.etaLocked(probe, model, arrival), nil
+	}
 	switch f.policy {
 	case LeastOutstanding:
-		best, bestLoad := f.replicas[0], f.replicas[0].engine.Load()
-		for _, r := range f.replicas[1:] {
+		best, bestLoad := elig[0], elig[0].engine.Load()
+		for _, r := range elig[1:] {
 			ld := r.engine.Load()
 			if ld.BacklogCycles < bestLoad.BacklogCycles ||
 				(ld.BacklogCycles == bestLoad.BacklogCycles && ld.Pending < bestLoad.Pending) {
 				best, bestLoad = r, ld
 			}
 		}
-		return best, 0
+		return best, 0, nil
 	case CostAware:
-		// "Now" arrivals (negative) estimate from cycle 0: the horizon
-		// term dominates and wall-clock must not enter dispatch (it
-		// would break replayability).
-		if arrival < 0 {
-			arrival = 0
-		}
 		var best *replica
 		var bestETA int64
-		for _, r := range f.replicas {
-			eta := max(r.horizon, arrival) + r.estCycles(f.cache, model)
+		for _, r := range elig {
+			eta := f.etaLocked(r, model, arrival)
 			if best == nil || eta < bestETA {
 				best, bestETA = r, eta
 			}
 		}
-		return best, bestETA
+		return best, bestETA, nil
 	default: // RoundRobin
-		return f.replicas[f.rrNext%len(f.replicas)], 0
+		return elig[f.rrNext%len(elig)], 0, nil
 	}
 }
 
@@ -752,8 +1090,15 @@ type ReplicaStats struct {
 	Inflight   int64 `json:"inflight"`
 	// HorizonCycles is the cost-aware dispatcher's completion-time
 	// estimate for everything routed here (0 under other policies).
-	HorizonCycles int64       `json:"horizon_cycles"`
-	Engine        serve.Stats `json:"engine"`
+	HorizonCycles int64 `json:"horizon_cycles"`
+	// Health is the dispatcher-side health state: healthy, degraded
+	// (stall detection), breaker-open, breaker-half-open or crashed.
+	Health string `json:"health"`
+	// StallFactor is the injected slowdown multiplier (omitted at 1);
+	// ConsecutiveFailures is the breaker's current failure streak.
+	StallFactor         float64     `json:"stall_factor,omitempty"`
+	ConsecutiveFailures int         `json:"consecutive_failures,omitempty"`
+	Engine              serve.Stats `json:"engine"`
 }
 
 // Stats is a fleet-wide snapshot: per-replica engine statistics plus
@@ -777,6 +1122,21 @@ type Stats struct {
 	Failed    int64 `json:"failed,omitempty"`
 	Rejected  int64 `json:"rejected,omitempty"`
 	Pending   int64 `json:"pending"`
+
+	// Fault-tolerance counters. Shed counts arrivals turned away by
+	// admission control; Failovers counts crash-orphaned requests (or
+	// chain segments) re-admitted on survivors; Lost counts requests
+	// extracted by replica crashes (each either failed over — counted
+	// once on its survivor — or terminally failed); BreakerTrips
+	// counts circuit-breaker opens. FailedReplicas is the current
+	// number of crashed replicas awaiting recovery.
+	Shed           int64 `json:"shed,omitempty"`
+	Failovers      int64 `json:"failovers,omitempty"`
+	Lost           int64 `json:"lost,omitempty"`
+	Crashes        int64 `json:"crashes,omitempty"`
+	Recoveries     int64 `json:"recoveries,omitempty"`
+	BreakerTrips   int64 `json:"breaker_trips,omitempty"`
+	FailedReplicas int   `json:"failed_replicas,omitempty"`
 
 	// MakespanCycles is the slowest replica's committed horizon —
 	// replicas run in parallel in simulated time, so fleet throughput
@@ -828,6 +1188,9 @@ func (f *Fleet) Stats() Stats {
 		r                   *replica
 		retiring            bool
 		dispatched, horizon int64
+		health              string
+		stall               float64
+		consecFails         int
 	}
 	f.mu.Lock()
 	st := Stats{
@@ -837,24 +1200,46 @@ func (f *Fleet) Stats() Stats {
 		Generation:           f.generation,
 		Migrations:           f.migrations,
 		RetiredReplicas:      f.history.replicas,
-		Submitted:            f.history.submitted,
+		Submitted:            f.history.submitted + f.lostFailed,
 		Completed:            f.history.completed,
-		Failed:               f.history.failed,
+		Failed:               f.history.failed + f.lostFailed,
 		Rejected:             f.history.rejected,
 		Pending:              f.history.pending,
+		Lost:                 f.history.lost,
+		Shed:                 f.shed,
+		Failovers:            f.failovers,
+		Crashes:              f.crashes,
+		Recoveries:           f.recoveries,
+		BreakerTrips:         f.breakerTrips,
+		FailedReplicas:       len(f.failedReplicas),
 		MakespanCycles:       f.history.makespan,
 		Segments:             f.segStats,
 		CrossReplicaHandoffs: f.crossHandoffs,
 	}
-	snaps := make([]rsnap, 0, len(f.replicas)+len(f.retiring))
+	minH := f.minHorizonLocked()
+	snaps := make([]rsnap, 0, len(f.replicas)+len(f.retiring)+len(f.failedReplicas))
 	for _, r := range f.replicas {
-		snaps = append(snaps, rsnap{r: r, dispatched: r.dispatched, horizon: r.horizon})
+		snaps = append(snaps, rsnap{r: r, dispatched: r.dispatched, horizon: r.horizon,
+			health: f.healthStringLocked(r, minH), stall: r.stall, consecFails: r.consecFails})
 	}
 	for _, r := range f.retiring {
-		snaps = append(snaps, rsnap{r: r, retiring: true, dispatched: r.dispatched, horizon: r.horizon})
+		snaps = append(snaps, rsnap{r: r, retiring: true, dispatched: r.dispatched, horizon: r.horizon,
+			health: r.health.String()})
+	}
+	for _, r := range f.failedReplicas {
+		snaps = append(snaps, rsnap{r: r, dispatched: r.dispatched, horizon: r.horizon,
+			health: r.health.String()})
 	}
 	for _, w := range f.history.tenants {
 		addWindow(tenants, w)
+	}
+	shedT := make(map[string]int64, len(f.shedT))
+	for tn, c := range f.shedT {
+		shedT[tn] = c
+	}
+	lostFailedT := make(map[string]int64, len(f.lostFailedT))
+	for tn, c := range f.lostFailedT {
+		lostFailedT[tn] = c
 	}
 	f.mu.Unlock()
 
@@ -868,21 +1253,47 @@ func (f *Fleet) Stats() Stats {
 		st.Failed += es.Failed
 		st.Rejected += es.Rejected
 		st.Pending += es.Pending
+		st.Lost += es.Lost
 		if es.MakespanCycles > st.MakespanCycles {
 			st.MakespanCycles = es.MakespanCycles
 		}
-		st.PerReplica = append(st.PerReplica, ReplicaStats{
-			Replica:       r.id,
-			Generation:    r.gen,
-			HDA:           r.hda.Name,
-			Retiring:      sn.retiring,
-			Dispatched:    sn.dispatched,
-			Inflight:      r.inflight.Load(),
-			HorizonCycles: sn.horizon,
-			Engine:        es,
-		})
+		rs := ReplicaStats{
+			Replica:             r.id,
+			Generation:          r.gen,
+			HDA:                 r.hda.Name,
+			Retiring:            sn.retiring,
+			Dispatched:          sn.dispatched,
+			Inflight:            r.inflight.Load(),
+			HorizonCycles:       sn.horizon,
+			Health:              sn.health,
+			ConsecutiveFailures: sn.consecFails,
+			Engine:              es,
+		}
+		if sn.stall > 1 {
+			rs.StallFactor = sn.stall
+		}
+		st.PerReplica = append(st.PerReplica, rs)
 		for _, w := range r.engine.TenantWindows() {
 			addWindow(tenants, &w)
+		}
+	}
+
+	// Crash-orphaned requests that terminally failed were erased from
+	// their engines; count them per tenant on both sides of the
+	// conservation equation. Shed tenants get a row even if no engine
+	// ever saw them.
+	for tn, c := range lostFailedT {
+		w := tenants[tn]
+		if w == nil {
+			w = &serve.TenantWindow{Tenant: tn}
+			tenants[tn] = w
+		}
+		w.Submitted += c
+		w.Failed += c
+	}
+	for tn := range shedT {
+		if tenants[tn] == nil {
+			tenants[tn] = &serve.TenantWindow{Tenant: tn}
 		}
 	}
 
@@ -899,6 +1310,7 @@ func (f *Fleet) Stats() Stats {
 			Completed:     a.Completed,
 			Failed:        a.Failed,
 			Rejected:      a.Rejected,
+			Shed:          shedT[name],
 			SLATracked:    a.SLATracked,
 			SLAViolations: a.SLAViolations,
 			EnergyPJ:      a.EnergyPJ,
@@ -1106,6 +1518,21 @@ func (f *Fleet) fold(r *replica) {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.foldStatsLocked(es, windows)
+	for i, rr := range f.retiring {
+		if rr == r {
+			f.retiring = append(f.retiring[:i], f.retiring[i+1:]...)
+			break
+		}
+	}
+}
+
+// foldStatsLocked accumulates one retired (or crash-recovered)
+// engine's final statistics into the fleet history. f.mu held — safe
+// even though Stats/TenantWindows take the engine's own locks, because
+// an engine never takes f.mu. Crash recovery folds under f.mu so the
+// old engine's numbers and the replacement replica appear atomically.
+func (f *Fleet) foldStatsLocked(es serve.Stats, windows []serve.TenantWindow) {
 	h := &f.history
 	if h.tenants == nil {
 		h.tenants = make(map[string]*serve.TenantWindow)
@@ -1116,6 +1543,7 @@ func (f *Fleet) fold(r *replica) {
 	h.failed += es.Failed
 	h.rejected += es.Rejected
 	h.pending += es.Pending
+	h.lost += es.Lost
 	if es.MakespanCycles > h.makespan {
 		h.makespan = es.MakespanCycles
 	}
@@ -1127,12 +1555,6 @@ func (f *Fleet) fold(r *replica) {
 		t := h.tenants[windows[i].Tenant]
 		if n := len(t.Latencies); n > maxHistoryLatencies {
 			t.Latencies = append(t.Latencies[:0], t.Latencies[n-maxHistoryLatencies:]...)
-		}
-	}
-	for i, rr := range f.retiring {
-		if rr == r {
-			f.retiring = append(f.retiring[:i], f.retiring[i+1:]...)
-			break
 		}
 	}
 }
@@ -1154,9 +1576,12 @@ func (f *Fleet) Drain(ctx context.Context) (Stats, error) {
 	f.chainWG.Wait()
 
 	f.mu.Lock()
-	live := make([]*replica, 0, len(f.replicas)+len(f.retiring))
+	live := make([]*replica, 0, len(f.replicas)+len(f.retiring)+len(f.failedReplicas))
 	live = append(live, f.replicas...)
 	live = append(live, f.retiring...)
+	// Crashed engines are already stopped; joining them is immediate
+	// but keeps the error surface uniform.
+	live = append(live, f.failedReplicas...)
 	f.mu.Unlock()
 
 	errs := make([]error, len(live))

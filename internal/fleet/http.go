@@ -26,8 +26,42 @@ type DispatchRecord struct {
 	Replica int `json:"replica"`
 }
 
+// httpError is the JSON error body of every fleet endpoint. Code is a
+// stable machine-readable discriminator shared with the engine
+// surface (bad_request, queue_full, draining, not_found, timeout)
+// plus the fleet-only codes shed and no_replicas.
 type httpError struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// writeError emits the JSON error body, adding a Retry-After header
+// to retryable rejections: retryAfter seconds when positive, else 1
+// second for any 429.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter int) {
+	if retryAfter < 1 && status == http.StatusTooManyRequests {
+		retryAfter = 1
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, httpError{Error: msg, Code: code})
+}
+
+// submitErrorStatus maps a fleet Submit error onto the engine error
+// contract plus the fleet-only rejections: a shed request is
+// retryable overload (429, Retry-After from the shed decision), a
+// fleet with no eligible replica is unavailable (503).
+func submitErrorStatus(err error) (status int, code string, retryAfter int) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		return http.StatusTooManyRequests, "shed", shed.RetryAfterSeconds
+	case errors.Is(err, ErrNoReplicas):
+		return http.StatusServiceUnavailable, "no_replicas", 0
+	}
+	status, code = serve.SubmitErrorStatus(err)
+	return status, code, 0
 }
 
 // Handler returns the fleet's JSON-over-HTTP API:
@@ -37,6 +71,8 @@ type httpError struct {
 //	                               responses carry the replica index)
 //	GET  /v1/fleet/stats           fleet-wide aggregate + per-replica
 //	GET  /v1/stats                 alias of /v1/fleet/stats
+//	GET  /v1/fleet/health          per-replica health, fault counters,
+//	                               and the fault-handling decision log
 //	GET  /v1/fleet/repartition     repartitioning controller status
 //	                               (404 when no controller is attached)
 //	POST /v1/drain                 drain every replica, final stats
@@ -54,6 +90,7 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/requests", f.handleSubmit)
 	mux.HandleFunc("GET /v1/fleet/stats", f.handleStats)
 	mux.HandleFunc("GET /v1/stats", f.handleStats)
+	mux.HandleFunc("GET /v1/fleet/health", f.handleHealth)
 	mux.HandleFunc("GET /v1/fleet/repartition", f.handleRepartition)
 	mux.HandleFunc("POST /v1/drain", f.handleDrain)
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
@@ -75,17 +112,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (f *Fleet) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req serve.SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad request body: %v", err), 0)
 		return
 	}
 	req.Normalize()
 	ticket, err := f.Submit(req.Request)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrQueueFull) {
-			code = http.StatusTooManyRequests
-		}
-		writeJSON(w, code, httpError{err.Error()})
+		status, code, retryAfter := submitErrorStatus(err)
+		writeError(w, status, code, err.Error(), retryAfter)
 		return
 	}
 	if !req.Wait {
@@ -94,20 +128,24 @@ func (f *Fleet) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := ticket.Wait(r.Context())
 	if err != nil {
-		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		writeError(w, http.StatusRequestTimeout, "timeout", err.Error(), 0)
 		return
 	}
-	writeJSON(w, http.StatusOK, DispatchRecord{Record: rec, Replica: ticket.Replica})
+	writeJSON(w, http.StatusOK, DispatchRecord{Record: rec, Replica: ticket.Served()})
 }
 
 func (f *Fleet) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, f.Stats())
 }
 
+func (f *Fleet) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Health())
+}
+
 func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
 	st, err := f.Drain(r.Context())
 	if err != nil {
-		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		writeError(w, http.StatusRequestTimeout, "timeout", err.Error(), 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -130,7 +168,8 @@ func (f *Fleet) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	c := f.controller
 	f.ctrlMu.Unlock()
 	if c == nil {
-		writeJSON(w, http.StatusNotFound, httpError{"no repartitioning controller attached (start one with fleet.NewController / heraldd -repartition)"})
+		writeError(w, http.StatusNotFound, "not_found",
+			"no repartitioning controller attached (start one with fleet.NewController / heraldd -repartition)", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Status())
@@ -148,9 +187,9 @@ func (f *Fleet) handleReplica(w http.ResponseWriter, r *http.Request) {
 		rep = f.replicaByID(id)
 	}
 	if rep == nil {
-		writeJSON(w, http.StatusNotFound, httpError{fmt.Sprintf(
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf(
 			"no live replica %q (the id may belong to a retired generation; the fleet is at generation %d)",
-			r.PathValue("replica"), f.Generation())})
+			r.PathValue("replica"), f.Generation()), 0)
 		return
 	}
 	r2 := r.Clone(r.Context())

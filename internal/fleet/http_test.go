@@ -112,10 +112,12 @@ func TestFleetHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("stats alias: %d", code)
 	}
 
-	// A drained fleet refuses new work with a retryable status.
+	// A drained fleet refuses new work with 503: it is going away, so
+	// retrying against it is futile (429 is reserved for retryable
+	// overload — full queues and shed arrivals).
 	if code := doJSON(t, "POST", srv.URL+"/v1/requests",
-		`{"tenant":"x","model":"mobilenetv1"}`, nil); code != http.StatusTooManyRequests {
-		t.Errorf("post-drain dispatch: %d, want 429", code)
+		`{"tenant":"x","model":"mobilenetv1"}`, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain dispatch: %d, want 503", code)
 	}
 }
 

@@ -44,8 +44,37 @@ type submitAck struct {
 	Status Status `json:"status"`
 }
 
+// httpError is the JSON error body of every engine endpoint. Code is
+// a stable machine-readable discriminator (clients branch on it, not
+// on the message text): bad_request, queue_full, draining, not_found,
+// timeout.
 type httpError struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// writeError emits the JSON error body. Retryable rejections carry a
+// Retry-After header: overload (429) suggests a short backoff.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, httpError{Error: msg, Code: code})
+}
+
+// SubmitErrorStatus maps a Submit error to its HTTP status and stable
+// error code: a full tenant queue is retryable overload (429), a
+// draining engine is going away (503), anything else is the client's
+// bug (400). Exported so the fleet surface speaks the same error
+// contract (layering its own shed/no-replica codes on top).
+func SubmitErrorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	}
+	return http.StatusBadRequest, "bad_request"
 }
 
 // Handler returns the engine's JSON-over-HTTP API:
@@ -83,18 +112,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	req.Normalize()
 	ticket, err := e.Submit(req.Request)
 	if err != nil {
-		// Overload is retryable; everything else is the client's bug.
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
-			code = http.StatusTooManyRequests
-		}
-		writeJSON(w, code, httpError{err.Error()})
+		status, code := SubmitErrorStatus(err)
+		writeError(w, status, code, err.Error())
 		return
 	}
 	if !req.Wait {
@@ -103,7 +128,7 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := ticket.Wait(r.Context())
 	if err != nil {
-		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		writeError(w, http.StatusRequestTimeout, "timeout", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -112,12 +137,12 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (e *Engine) handleLookup(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{"bad request id"})
+		writeError(w, http.StatusBadRequest, "bad_request", "bad request id")
 		return
 	}
 	rec, ok := e.Lookup(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{fmt.Sprintf("no request %d", id)})
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no request %d", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -137,7 +162,7 @@ func (e *Engine) handleSchedule(w http.ResponseWriter, r *http.Request) {
 func (e *Engine) handleDrain(w http.ResponseWriter, r *http.Request) {
 	st, err := e.Drain(r.Context())
 	if err != nil {
-		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+		writeError(w, http.StatusRequestTimeout, "timeout", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -158,9 +158,10 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if final.Pending != 0 || final.Completed != 2*perTenant {
 		t.Fatalf("final stats: %+v", final)
 	}
-	// Draining engines refuse new work over HTTP too.
-	if code := postJSON(t, srv.URL+"/v1/requests", SubmitRequest{Request: Request{Tenant: "x", Model: "resnet50"}}, nil); code != http.StatusTooManyRequests {
-		t.Errorf("post-drain submit: code %d, want 429", code)
+	// Draining engines refuse new work over HTTP too: 503, the engine
+	// is going away (unlike a 429 full queue, retrying here is futile).
+	if code := postJSON(t, srv.URL+"/v1/requests", SubmitRequest{Request: Request{Tenant: "x", Model: "resnet50"}}, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: code %d, want 503", code)
 	}
 }
 

@@ -151,6 +151,11 @@ const (
 	StatusDone Status = "done"
 	// StatusFailed: could not be scheduled; the record carries the error.
 	StatusFailed Status = "failed"
+	// StatusLost: the request was accepted but its engine crashed
+	// (Crash) before serving it. Lost requests are erased from the
+	// crashed engine's accounting — a fleet dispatcher re-admits them
+	// on a surviving replica, where they are counted exactly once.
+	StatusLost Status = "lost"
 )
 
 // Record is the engine's view of one request, including its schedule
@@ -242,6 +247,12 @@ type pending struct {
 	inst workload.Instance
 	done chan struct{}
 
+	// onDone, when set, receives the final record after finalization
+	// (including a StatusLost record on Crash) — the per-request
+	// counterpart of Options.OnRequestDone, used by fleet dispatchers
+	// to resolve their tickets and detect lost work.
+	onDone func(Record)
+
 	chain    *chainState
 	segIndex int
 }
@@ -251,8 +262,9 @@ type pending struct {
 // pendings become visible and touched only by the single scheduling
 // goroutine afterwards, so it needs no lock of its own.
 type chainState struct {
-	rec  *Record
-	done chan struct{}
+	rec    *Record
+	done   chan struct{}
+	onDone func(Record)
 
 	// placed[k] is segment k's global schedule instance index, -1
 	// until admitted — the value segment k+1's Admission.After names.
@@ -265,6 +277,13 @@ type chainState struct {
 	// failed marks a broken chain: once any segment fails, every later
 	// segment fails fast without touching the scheduler.
 	failed bool
+
+	// lost marks a chain finalized by Crash: some of its segments were
+	// extracted from the queues, the record is already terminal and
+	// done is closed. Segments of a lost chain still in the admitting
+	// batch only update the segment counters — they must not touch the
+	// published record or re-finalize the chain.
+	lost bool
 }
 
 // errChainBroken fails the remaining segments of a chain whose
@@ -320,6 +339,9 @@ type Engine struct {
 	rejectedOther int64
 	nextID        int64
 	draining      bool
+	paused        bool
+	crashed       bool
+	lost          int64 // requests extracted by Crash (observability)
 	loopDone      chan struct{}
 
 	maxFinishCycle int64
@@ -380,6 +402,18 @@ func (e *Engine) NowCycles() int64 {
 // is draining. A model with a multi-segment plan (Options.Plans) is
 // admitted as a precedence-chained segment pipeline under one ticket.
 func (e *Engine) Submit(req Request) (*Ticket, error) {
+	return e.SubmitTracked(req, nil)
+}
+
+// SubmitTracked is Submit plus a per-request completion callback:
+// onDone (when non-nil) receives the final record exactly once — a
+// done/failed record after the scheduling round that finalizes it, or
+// a StatusLost record when the engine crashes (Crash) with the request
+// still queued. Like Options.OnRequestDone it runs on the engine's
+// scheduling goroutine (or the Crash caller's) outside the engine's
+// locks and must not block. Fleet dispatchers use it to resolve their
+// tickets without polling and to collect lost requests for failover.
+func (e *Engine) SubmitTracked(req Request, onDone func(Record)) (*Ticket, error) {
 	if req.Tenant == "" {
 		return nil, fmt.Errorf("serve: request needs a tenant")
 	}
@@ -389,9 +423,9 @@ func (e *Engine) Submit(req Request) (*Ticket, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	if plan, ok := e.opts.Plans[model.Name]; ok && plan.NumSegments() > 1 {
-		return e.submitFused(req, model, plan)
+		return e.submitFused(req, model, plan, onDone)
 	}
-	return e.submitModel(req, model)
+	return e.submitModel(req, model, onDone)
 }
 
 // SubmitModel is Submit for a caller-resolved model: fleet dispatchers
@@ -406,11 +440,11 @@ func (e *Engine) SubmitModel(req Request, m *dnn.Model) (*Ticket, error) {
 		e.countRejected(req.Tenant)
 		return nil, fmt.Errorf("serve: nil or empty model")
 	}
-	return e.submitModel(req, m)
+	return e.submitModel(req, m, nil)
 }
 
 // submitModel admits one whole-model request.
-func (e *Engine) submitModel(req Request, model *dnn.Model) (*Ticket, error) {
+func (e *Engine) submitModel(req Request, model *dnn.Model, onDone func(Record)) (*Ticket, error) {
 	if err := e.feasible(model); err != nil {
 		e.countRejected(req.Tenant)
 		return nil, err
@@ -449,8 +483,9 @@ func (e *Engine) submitModel(req Request, model *dnn.Model) (*Ticket, error) {
 		// Batch is the 1-based per-model index across the whole
 		// engine (the committed schedule is one workload), so trace
 		// names like "unet#3" stay unique.
-		inst: workload.Instance{Model: model, Batch: e.modelCounts[model.Name], ArrivalCycle: arrival},
-		done: make(chan struct{}),
+		inst:   workload.Instance{Model: model, Batch: e.modelCounts[model.Name], ArrivalCycle: arrival},
+		done:   make(chan struct{}),
+		onDone: onDone,
 	}
 	e.records[rec.ID] = rec
 	if len(e.queues[req.Tenant]) == 0 {
@@ -466,7 +501,7 @@ func (e *Engine) submitModel(req Request, model *dnn.Model) (*Ticket, error) {
 // enqueued consecutively on the tenant's queue (FIFO pops guarantee a
 // predecessor is admitted no later than its successor), all under one
 // record and one ticket.
-func (e *Engine) submitFused(req Request, model *dnn.Model, plan dse.SegmentPlan) (*Ticket, error) {
+func (e *Engine) submitFused(req Request, model *dnn.Model, plan dse.SegmentPlan, onDone func(Record)) (*Ticket, error) {
 	segModels, err := segmentModels(model, plan)
 	if err != nil {
 		e.countRejected(req.Tenant)
@@ -508,6 +543,7 @@ func (e *Engine) submitFused(req Request, model *dnn.Model, plan dse.SegmentPlan
 	ch := &chainState{
 		rec:    rec,
 		done:   make(chan struct{}),
+		onDone: onDone,
 		placed: make([]int, len(segModels)),
 		left:   len(segModels),
 	}
@@ -597,7 +633,7 @@ func (e *Engine) agg(tenant string) *tenantAgg {
 func (e *Engine) loop() {
 	for {
 		e.mu.Lock()
-		for e.npending == 0 && !e.draining {
+		for (e.npending == 0 || e.paused) && !e.draining {
 			e.cond.Wait()
 		}
 		if e.npending == 0 && e.draining {
@@ -672,8 +708,8 @@ func (e *Engine) admit(batch []*pending) {
 
 	// finalized collects the records that reached a terminal status in
 	// this round (every unfused request; a fused request only with its
-	// final segment) for the OnRequestDone hook outside the locks.
-	var finalized []*Record
+	// final segment) for the completion hooks outside the locks.
+	var finalized []doneEvent
 	e.mu.Lock()
 	for i, p := range batch {
 		if p.chain != nil {
@@ -687,7 +723,7 @@ func (e *Engine) admit(batch []*pending) {
 			e.agg(rec.Tenant).failed++
 			e.finishLocked(rec.ID)
 			close(p.done)
-			finalized = append(finalized, rec)
+			finalized = append(finalized, doneEvent{rec, p.onDone})
 			continue
 		}
 		pl := placements[i]
@@ -721,13 +757,29 @@ func (e *Engine) admit(batch []*pending) {
 		}
 		e.finishLocked(rec.ID)
 		close(p.done)
-		finalized = append(finalized, rec)
+		finalized = append(finalized, doneEvent{rec, p.onDone})
 	}
 	e.mu.Unlock()
 
-	if hook := e.opts.OnRequestDone; hook != nil {
-		for _, rec := range finalized {
-			hook(*rec)
+	e.fireHooks(finalized)
+}
+
+// doneEvent pairs a finalized record with its per-request callback.
+type doneEvent struct {
+	rec    *Record
+	onDone func(Record)
+}
+
+// fireHooks delivers finalized records to the global OnRequestDone
+// hook and each request's onDone callback, outside the engine's locks.
+func (e *Engine) fireHooks(events []doneEvent) {
+	hook := e.opts.OnRequestDone
+	for _, ev := range events {
+		if hook != nil {
+			hook(*ev.rec)
+		}
+		if ev.onDone != nil {
+			ev.onDone(*ev.rec)
 		}
 	}
 }
@@ -735,9 +787,20 @@ func (e *Engine) admit(batch []*pending) {
 // admitSegmentLocked publishes one fused-chain segment's outcome into
 // the shared record and finalizes the request when its last segment
 // lands. e.mu held.
-func (e *Engine) admitSegmentLocked(p *pending, pl sched.Placement, err error, finalized *[]*Record) {
+func (e *Engine) admitSegmentLocked(p *pending, pl sched.Placement, err error, finalized *[]doneEvent) {
 	ch := p.chain
 	rec := ch.rec
+	if ch.lost {
+		// The chain was finalized by Crash while this segment was in
+		// the admitting batch: the record is already terminal (and its
+		// waiters released), so only the segment counters move.
+		if err != nil {
+			e.segStats.SegmentsFailed++
+		} else {
+			e.segStats.SegmentsCompleted++
+		}
+		return
+	}
 	sr := &rec.Segments[p.segIndex]
 	sr.Index = p.segIndex
 	sr.Model = p.inst.Model.Name
@@ -803,7 +866,7 @@ func (e *Engine) admitSegmentLocked(p *pending, pl sched.Placement, err error, f
 	}
 	e.finishLocked(rec.ID)
 	close(ch.done)
-	*finalized = append(*finalized, rec)
+	*finalized = append(*finalized, doneEvent{rec, ch.onDone})
 }
 
 // extendBatch admits the whole batch to the incremental schedule in
@@ -971,6 +1034,29 @@ func (e *Engine) Snapshot() *sched.Schedule {
 	return e.inc.Snapshot()
 }
 
+// Pause suspends the scheduling loop: requests admitted while paused
+// stay queued until Resume, though Submit keeps accepting them.
+// Quiesce, Drain and Crash override a pause, so lifecycle transitions
+// never hang on a frozen engine. Pausing is the determinism handle for
+// fault injection: the scheduling goroutine normally races ahead of
+// the submitter in wall time, so which requests a Crash finds queued
+// depends on goroutine progress — but on an idle, paused engine the
+// extracted set is exactly the requests admitted since the pause,
+// bit-replayable run to run.
+func (e *Engine) Pause() {
+	e.mu.Lock()
+	e.paused = true
+	e.mu.Unlock()
+}
+
+// Resume lifts a Pause and wakes the scheduling loop.
+func (e *Engine) Resume() {
+	e.mu.Lock()
+	e.paused = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
 // Quiesce stops admissions without waiting: every later Submit fails
 // with ErrDraining, while the scheduling loop keeps running until the
 // already-accepted queues are empty. It is idempotent. Use Done to
@@ -988,8 +1074,100 @@ func (e *Engine) Quiesce() {
 
 // Done is closed once a quiesced (or draining) engine has finished
 // every accepted request and its scheduling goroutine has exited. It
-// never closes before Quiesce or Drain is called.
+// never closes before Quiesce, Drain or Crash is called.
 func (e *Engine) Done() <-chan struct{} { return e.loopDone }
+
+// Crash simulates an abrupt replica failure: admissions stop (like
+// Quiesce), but instead of serving the accepted queues, every queued
+// request is extracted — finalized as StatusLost, erased from the
+// engine's accounting (its tenant's submitted count rolls back, so a
+// crashed engine's statistics cover only requests it actually
+// terminated), its waiters released, and its completion hooks fired
+// with the lost record. A fleet dispatcher re-admits lost requests on
+// surviving replicas, so each is counted exactly once fleet-wide.
+//
+// The scheduling goroutine finishes the batch it is currently
+// admitting (those requests complete normally — they made it under
+// the wire) and then exits; wait on Done to observe that every
+// completion hook has fired. A fused chain with extracted segments
+// can never complete: it is finalized immediately (StatusLost, or
+// StatusFailed if it had already broken) and its remaining in-batch
+// segments only update the segment counters. Extraction order is the
+// tenant round-robin rotation then FIFO within each tenant, so a
+// fleet's failover re-dispatch order is deterministic. Idempotent;
+// returns the number of lost requests (0 on repeat calls).
+func (e *Engine) Crash() int {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return 0
+	}
+	e.crashed = true
+	e.draining = true
+
+	var events []doneEvent
+	lostChains := make(map[*chainState]int)
+	var chainOrder []*chainState
+	requests := 0
+	for _, tenant := range e.rr {
+		for _, p := range e.queues[tenant] {
+			if p.chain != nil {
+				if lostChains[p.chain] == 0 {
+					chainOrder = append(chainOrder, p.chain)
+				}
+				lostChains[p.chain]++
+				continue
+			}
+			requests++
+			rec := p.rec
+			e.agg(rec.Tenant).submitted--
+			delete(e.records, rec.ID)
+			rec.Status = StatusLost
+			rec.Err = "replica crashed"
+			close(p.done)
+			events = append(events, doneEvent{rec, p.onDone})
+		}
+		delete(e.queues, tenant)
+	}
+	e.rr = e.rr[:0]
+	e.npending = 0
+	for _, ch := range chainOrder {
+		requests++
+		extracted := lostChains[ch]
+		ch.lost = true
+		rec := ch.rec
+		delete(e.records, rec.ID)
+		if ch.failed {
+			// The chain had already broken; finalize with the failure
+			// it would have reported.
+			rec.Status = StatusFailed
+			e.agg(rec.Tenant).failed++
+			e.segStats.FusedFailed++
+			e.segStats.SegmentsFailed += int64(extracted)
+		} else {
+			rec.Status = StatusLost
+			rec.Err = "replica crashed"
+			e.agg(rec.Tenant).submitted--
+			e.segStats.FusedLost++
+			e.segStats.SegmentsLost += int64(extracted)
+		}
+		close(ch.done)
+		events = append(events, doneEvent{rec, ch.onDone})
+	}
+	e.lost += int64(requests)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	e.fireHooks(events)
+	return requests
+}
+
+// Crashed reports whether Crash has been called.
+func (e *Engine) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
 
 // Prewarm resolves the cost columns of every model in w on the
 // engine's HDA, so the first admissions after a cold start (or a

@@ -13,6 +13,11 @@ type TenantStats struct {
 	Failed    int64  `json:"failed,omitempty"`
 	Rejected  int64  `json:"rejected,omitempty"`
 
+	// Shed counts arrivals turned away by fleet-level overload
+	// shedding (admission control ahead of the engines; engines never
+	// see shed requests, so only fleet aggregation fills this).
+	Shed int64 `json:"shed,omitempty"`
+
 	SLATracked    int64 `json:"sla_tracked,omitempty"`
 	SLAViolations int64 `json:"sla_violations,omitempty"`
 
@@ -38,6 +43,17 @@ type Stats struct {
 	Failed    int64 `json:"failed,omitempty"`
 	Rejected  int64 `json:"rejected,omitempty"`
 	Pending   int64 `json:"pending"`
+
+	// Lost counts requests extracted by Crash. They are erased from
+	// Submitted (and the per-tenant counters) when extracted, so
+	// conservation (Submitted == Completed + Failed + Pending) holds
+	// on the crashed engine and a failover re-admission elsewhere
+	// counts each lost request exactly once; Lost only records how
+	// much work the crash orphaned.
+	Lost int64 `json:"lost,omitempty"`
+
+	// Crashed marks an engine stopped by Crash.
+	Crashed bool `json:"crashed,omitempty"`
 
 	// MakespanCycles is the committed schedule's horizon; simulated
 	// throughput is completions per simulated second over it.
@@ -69,15 +85,21 @@ type SegmentStats struct {
 	// FusedRequests counts accepted submissions that were decomposed
 	// into a multi-segment chain.
 	FusedRequests int64 `json:"fused_requests"`
-	// FusedCompleted / FusedFailed split finished fused requests.
+	// FusedCompleted / FusedFailed split finished fused requests;
+	// FusedLost counts chains orphaned by an engine Crash (their
+	// fleet-level retry, if any, is a fresh chain elsewhere).
 	FusedCompleted int64 `json:"fused_completed"`
 	FusedFailed    int64 `json:"fused_failed"`
+	FusedLost      int64 `json:"fused_lost"`
 
-	// Segments counts admitted chain segments; completed/failed split
-	// the finished ones.
+	// Segments counts admitted chain segments; completed/failed/lost
+	// split the finished ones (lost = extracted by Crash before
+	// scheduling). Conservation after a drain: Segments ==
+	// SegmentsCompleted + SegmentsFailed + SegmentsLost.
 	Segments          int64 `json:"segments"`
 	SegmentsCompleted int64 `json:"segments_completed"`
 	SegmentsFailed    int64 `json:"segments_failed"`
+	SegmentsLost      int64 `json:"segments_lost"`
 
 	// HandoffBubbleCycles sums inter-segment gaps (successor start
 	// minus predecessor finish) across completed fused requests: the
@@ -95,9 +117,11 @@ func (s *SegmentStats) Add(o SegmentStats) {
 	s.FusedRequests += o.FusedRequests
 	s.FusedCompleted += o.FusedCompleted
 	s.FusedFailed += o.FusedFailed
+	s.FusedLost += o.FusedLost
 	s.Segments += o.Segments
 	s.SegmentsCompleted += o.SegmentsCompleted
 	s.SegmentsFailed += o.SegmentsFailed
+	s.SegmentsLost += o.SegmentsLost
 	s.HandoffBubbleCycles += o.HandoffBubbleCycles
 	s.SegmentSpanCycles += o.SegmentSpanCycles
 	s.SegmentBusyCycles += o.SegmentBusyCycles
@@ -175,6 +199,8 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		UptimeSeconds:    time.Since(e.start).Seconds(),
 		ClockGHz:         e.opts.ClockGHz,
+		Lost:             e.lost,
+		Crashed:          e.crashed,
 		Pending:          int64(e.npending),
 		MakespanCycles:   snap.MakespanCycles,
 		Utilization:      snap.Utilization(),
