@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate vet smoke chaos doclint staticcheck vulncheck
+.PHONY: build test race bench bench-json bench-gate vet heraldvet smoke chaos doclint staticcheck vulncheck
 
 build:
 	$(GO) build ./...
 
+# vet is the tier-1 static gate: the stock toolchain vet plus
+# heraldvet, the repo's own analyzer suite (determinism, lock
+# discipline, JSON zero-value contracts — see internal/analysis).
 vet:
 	$(GO) vet ./...
+	$(MAKE) heraldvet
+
+# heraldvet runs the four repo-specific analyzers (detmap, wallclock,
+# lockguard, jsonzero) over the whole module. Dependency-free: built
+# on the standard library only, so it runs offline.
+heraldvet:
+	$(GO) run ./cmd/heraldvet ./...
 
 test:
 	$(GO) test ./...
@@ -36,19 +46,20 @@ chaos:
 	$(GO) run ./examples/chaos
 
 # staticcheck / vulncheck fetch their tools at run time (CI has
-# network; local offline runs can skip them — go vet covers the
-# tier-1 gate).
+# network; local offline runs can skip them — make vet covers the
+# tier-1 gate). Both versions are pinned so a tool release cannot
+# change what CI enforces mid-flight.
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
 
 vulncheck:
-	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./...
 
 # doclint fails on broken intra-repo markdown links (file + anchor)
 # and on exported identifiers in the serving-tier packages missing
 # doc comments. CI runs this per PR.
 doclint:
-	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve,internal/dse,internal/sched
+	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve,internal/dse,internal/sched,internal/analysis
 
 # bench runs the full benchmark suite once per benchmark (short form:
 # the perf trajectory gate wants per-PR numbers, not nanosecond-grade

@@ -1,0 +1,193 @@
+// Command heraldvet runs the repo's invariant analyzers
+// (internal/analysis) over module packages and fails on findings —
+// the mechanical enforcement of the determinism, lock-discipline and
+// JSON-zero-value contracts every perf and replay claim rests on.
+//
+// Usage:
+//
+//	go run ./cmd/heraldvet ./...
+//	go run ./cmd/heraldvet -analyzers detmap,wallclock ./internal/fleet
+//
+// Each analyzer is applied only to the packages its invariant scopes
+// to: detmap and wallclock to the determinism-critical packages
+// (internal/sched, internal/dse, internal/fleet, internal/serve),
+// jsonzero to the JSON-surface packages (internal/serve,
+// internal/fleet, internal/dse), and lockguard to every package that
+// documents guarded fields. Findings print as file:line:col with the
+// analyzer name; the exit status is 1 when any finding is reported, 2
+// on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	analysis.Detmap,
+	analysis.Wallclock,
+	analysis.Lockguard,
+	analysis.Jsonzero,
+}
+
+// deterministicPkgs lists the package-path suffixes whose scheduling
+// and dispatch decisions must replay bit-identically.
+var deterministicPkgs = []string{"internal/sched", "internal/dse", "internal/fleet", "internal/serve"}
+
+// jsonPkgs lists the package-path suffixes exposing exported JSON
+// contracts.
+var jsonPkgs = []string{"internal/serve", "internal/fleet", "internal/dse"}
+
+// scopes maps each analyzer to the package suffixes it applies to;
+// nil means every loaded package.
+var scopes = map[string][]string{
+	"detmap":    deterministicPkgs,
+	"wallclock": deterministicPkgs,
+	"lockguard": nil,
+	"jsonzero":  jsonPkgs,
+}
+
+func main() {
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: heraldvet [-analyzers a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heraldvet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heraldvet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heraldvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heraldvet:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	var fsetPkg *analysis.Package
+	for _, pkg := range pkgs {
+		fsetPkg = pkg
+		for _, a := range selected {
+			if !inScope(a.Name, pkg.Path) {
+				continue
+			}
+			pass := analysis.NewPass(a, pkg, func(d analysis.Diagnostic) { diags = append(diags, d) })
+			a.Run(pass)
+		}
+	}
+	if len(diags) == 0 {
+		return
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fsetPkg.Fset.Position(diags[i].Pos), fsetPkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fsetPkg.Fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	fmt.Fprintf(os.Stderr, "heraldvet: %d finding(s)\n", len(diags))
+	os.Exit(1)
+}
+
+// selectAnalyzers resolves the -analyzers flag to suite entries.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// inScope reports whether the analyzer applies to the package path.
+func inScope(analyzer, pkgPath string) bool {
+	suffixes := scopes[analyzer]
+	if suffixes == nil {
+		return true
+	}
+	for _, s := range suffixes {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot walks up from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

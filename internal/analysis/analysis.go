@@ -1,0 +1,127 @@
+// Package analysis is heraldvet's stdlib-only analyzer framework: a
+// deliberately small reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) that the repo's
+// four invariant checkers — detmap, wallclock, lockguard, jsonzero —
+// are written against.
+//
+// Why not depend on golang.org/x/tools? The repo builds and vets in
+// hermetic, network-less environments (the same property the
+// bit-reproducibility suites rely on), and x/tools would be its first
+// external module dependency. The subset these analyzers need — one
+// type-checked package at a time, position-addressed diagnostics, and
+// comment-directive suppression — fits in a few hundred lines of
+// go/ast + go/types, so the framework is vendored as plain code
+// instead. Loader (load.go) resolves in-module imports itself and
+// type-checks the standard library from GOROOT source, so `go run
+// ./cmd/heraldvet ./...` works offline.
+//
+// # Suppression directives
+//
+// Findings are silenced site-by-site with herald directives in line
+// comments, each carrying a mandatory human-readable justification:
+//
+//	//herald:nondet <reason>   - detmap, wallclock
+//	//herald:nolock <reason>   - lockguard
+//	//herald:jsonzero <reason> - jsonzero
+//
+// A directive applies to findings on its own line or, when written on
+// a line of its own, to the line directly below it. A bare directive
+// with no reason is itself a finding: the whole point is that every
+// suppression documents *why* the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker: a name (stable, used
+// in diagnostics and the heraldvet -analyzers flag), a one-line Doc,
+// and the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run analyzes one package, reporting findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package. All
+// slices and maps are read-only from the analyzer's perspective.
+type Pass struct {
+	// Fset maps token.Pos values in Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object facts.
+	Info *types.Info
+	// report receives diagnostics; nil panics loudly in tests.
+	report func(Diagnostic)
+
+	directives map[*ast.File][]Directive
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	// Pos is the finding's source position.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's Name.
+	Analyzer string
+	// Message states the violated invariant and the offending site.
+	Message string
+}
+
+// Reportf reports a finding at pos with a formatted message. The
+// analyzer name is stamped on by the driver.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed reports whether a herald directive of the given kind
+// (with a non-empty reason) covers the source line of pos in the file
+// containing it: either on the same line, or alone on the line above.
+func (p *Pass) Suppressed(kind string, pos token.Pos) bool {
+	line := p.Fset.Position(pos).Line
+	for _, d := range p.fileDirectives(pos) {
+		if d.Kind != kind || d.Reason == "" {
+			continue
+		}
+		if d.Line == line || d.Line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives returns the herald directives of the file containing
+// pos, parsing (and caching) them on first use.
+func (p *Pass) Directives(pos token.Pos) []Directive {
+	return p.fileDirectives(pos)
+}
+
+func (p *Pass) fileDirectives(pos token.Pos) []Directive {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.Fset.File(f.Pos()) != tf {
+			continue
+		}
+		if p.directives == nil {
+			p.directives = make(map[*ast.File][]Directive)
+		}
+		ds, ok := p.directives[f]
+		if !ok {
+			ds = ParseDirectives(p.Fset, f)
+			p.directives[f] = ds
+		}
+		return ds
+	}
+	return nil
+}

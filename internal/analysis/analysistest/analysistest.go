@@ -1,0 +1,168 @@
+// Package analysistest runs an internal/analysis analyzer over a
+// self-contained fixture package and checks its diagnostics against
+// `// want "regexp"` comments — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// standard library so fixtures run offline with no module
+// dependencies.
+//
+// Fixture layout mirrors x/tools: testdata/src/<pkg>/*.go, each file
+// annotating every line expected to produce a finding with one or
+// more `// want "re"` fragments. A want comment standing alone on its
+// line binds to the line above it — needed when the expected finding
+// is on a line that already carries a line comment (a bare
+// //herald: directive, which is itself a finding). The fixture
+// package may import only the standard library (type-checked from
+// GOROOT source). The test fails on any unmatched diagnostic and any
+// unmet expectation.
+package analysistest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one `want "regexp"` fragment inside a comment.
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` annotation: a pattern expected to
+// match a diagnostic on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run applies the analyzer to the fixture package at
+// <testdata>/src/<pkg> and reports mismatches between its
+// diagnostics and the fixture's want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	build.Default.CgoEnabled = false // std is type-checked from source
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := cfg.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	expects := collectWants(t, fset, files)
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, &analysis.Package{
+		Path: pkg, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	a.Run(pass)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants extracts every want annotation with its file and
+// line. A want comment with nothing but whitespace before it binds to
+// the previous line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	srcLines := make(map[string][]string)
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					line := pos.Line
+					if standaloneComment(t, srcLines, pos) {
+						line--
+					}
+					out = append(out, &expectation{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment on its source line.
+func standaloneComment(t *testing.T, cache map[string][]string, pos token.Position) bool {
+	t.Helper()
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			t.Fatalf("reading fixture source: %v", err)
+		}
+		lines = strings.Split(string(data), "\n")
+		cache[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) {
+		return false
+	}
+	return strings.TrimSpace(lines[pos.Line-1][:pos.Column-1]) == ""
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture package under testdata/src,
+// which pairs flagged sites with the accepted idiom (collect-then-
+// sort, seeded rand, lock-before-access, pointer-for-optional) and a
+// reasoned suppression.
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Detmap, "detmap")
+}
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclock")
+}
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockguard, "lockguard")
+}
+
+func TestJsonzero(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Jsonzero, "jsonzero")
+}
+
+// TestSuppressionContract pins the directive semantics end to end: a
+// reasoned //herald:nondet silences the finding at its line, and a
+// bare //herald:nondet both fails to suppress and is itself reported
+// (once, by detmap, the analyzer that owns the nondet kind).
+func TestSuppressionContract(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Detmap, "suppress")
+}

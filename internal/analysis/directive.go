@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //herald:<kind> comment.
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Line is the comment's source line.
+	Line int
+	// Kind is the directive name after "herald:" (nondet, nolock,
+	// jsonzero).
+	Kind string
+	// Reason is the mandatory justification text after the kind;
+	// empty means the directive is malformed (bare) and suppresses
+	// nothing.
+	Reason string
+}
+
+// directivePrefix is the comment marker all suppression directives
+// share. Like go:build directives, the comment must start exactly
+// with it — no space between // and herald.
+const directivePrefix = "//herald:"
+
+// ParseDirectives extracts every herald directive from a parsed
+// file's comments, in source order.
+func ParseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			kind, reason, _ := strings.Cut(rest, " ")
+			kind = strings.TrimSpace(kind)
+			if kind == "" {
+				continue
+			}
+			out = append(out, Directive{
+				Pos:    c.Pos(),
+				Line:   fset.Position(c.Pos()).Line,
+				Kind:   kind,
+				Reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}
+
+// CheckDirectives reports malformed herald directives of the given
+// kinds in the pass's files: a bare directive (no reason) is a
+// finding, because suppressions must document why the invariant does
+// not apply at the site. Exactly one analyzer owns each kind (detmap
+// owns nondet, lockguard owns nolock, jsonzero owns jsonzero) so a
+// malformed directive is reported once, not once per analyzer it
+// would have silenced.
+func CheckDirectives(pass *Pass, kinds ...string) {
+	for _, f := range pass.Files {
+		for _, d := range ParseDirectives(pass.Fset, f) {
+			for _, k := range kinds {
+				if d.Kind == k && d.Reason == "" {
+					pass.Reportf(d.Pos, "bare //herald:%s directive: a suppression must carry a reason (//herald:%s <why>)", k, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package, ready to be
+// handed to analyzers via NewPass.
+type Package struct {
+	// Path is the package's import path (e.g. repro/internal/fleet).
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, sorted by name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's facts for Files.
+	Info *types.Info
+}
+
+// NewPass builds an analyzer Pass over the package, delivering
+// diagnostics (stamped with the analyzer's name) to report.
+func NewPass(a *Analyzer, pkg *Package, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+		report: func(d Diagnostic) {
+			d.Analyzer = a.Name
+			report(d)
+		},
+	}
+}
+
+// A Loader parses and type-checks packages of one module from
+// source, resolving in-module imports itself and standard-library
+// imports via GOROOT source (no compiled export data, no network, no
+// external dependencies). Not safe for concurrent use.
+type Loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory
+// (containing go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	modPath, err := modulePathOf(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	// The standard library is type-checked from GOROOT source; cgo
+	// bodies cannot be type-checked that way, so resolve the pure-Go
+	// variants (exported APIs are identical).
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleDir:  moduleDir,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePathOf extracts the module path from dir/go.mod.
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", dir)
+}
+
+// Load resolves the patterns ("./...", "./internal/fleet", or plain
+// relative directories) to module packages, loading each at most
+// once, and returns them sorted by import path.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "." {
+			pat = "..."
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok || pat == "..." {
+			root := l.moduleDir
+			if ok && rest != "" {
+				root = filepath.Join(l.moduleDir, rest)
+			}
+			sub, err := goDirsUnder(root)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, filepath.Join(l.moduleDir, pat))
+	}
+	var out []*Package
+	seen := make(map[string]bool)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.moduleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modulePath
+		if rel != "." {
+			path = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// goDirsUnder lists directories under root that contain at least one
+// non-test .go file, skipping testdata, vendored and hidden trees.
+func goDirsUnder(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goSources(p)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// goSources lists dir's non-test .go files, sorted.
+func goSources(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// load parses and type-checks the module package with the given
+// import path, memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	dir := filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+	srcs, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, src := range srcs {
+		f, err := parser.ParseFile(l.fset, src, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: importerFunc(l.importFor)}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importFor resolves one import: module-internal paths recurse into
+// the loader, everything else (the standard library) goes to the
+// GOROOT source importer.
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import implements types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

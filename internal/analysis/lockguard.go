@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard checks the repo's documented lock discipline: a struct
+// field whose comment says it is guarded by a sibling mutex
+// ("guarded by mu", "under mu") may only be touched from a method
+// that either acquired that mutex earlier in its body, or is
+// documented as a with-lock helper ("f.mu held." in its doc comment,
+// or a name ending in Locked).
+//
+// The check is a deliberate approximation, not a dominator analysis:
+// an access is accepted if any textually earlier statement of the
+// same method calls <recv>.<mu>.Lock or RLock (function literals are
+// skipped entirely — goroutine and callback bodies have their own
+// locking contracts). That still catches the real bug class — a
+// method reading or writing guarded state with no locking at all, or
+// before it locks — without false-flagging branchy unlock/return
+// shapes. Intentional lock-free accesses (constructors via receiver
+// helpers, atomics, single-goroutine setup) are justified
+// site-by-site with //herald:nolock <reason>.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "guarded-by-mu struct fields must be accessed under their mutex or from a documented with-lock helper",
+	Run:  runLockguard,
+}
+
+// guardedRe matches a field comment declaring its guard:
+// "guarded by mu", "under f.mu", "(under outMu)".
+var guardedRe = regexp.MustCompile(`(?i)\b(?:guarded by|under)\s+([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func runLockguard(pass *Pass) {
+	CheckDirectives(pass, "nolock")
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			structName := receiverTypeName(fd.Recv.List[0].Type)
+			fieldGuards, ok := guards[structName]
+			if !ok {
+				continue
+			}
+			var recvName string
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				continue
+			}
+			checkMethod(pass, fd, recvName, fieldGuards)
+		}
+	}
+}
+
+// collectGuards scans struct declarations for guarded-field comments
+// and returns, per struct type name, the map from guarded field name
+// to the sibling mutex field guarding it.
+func collectGuards(pass *Pass) map[string]map[string]string {
+	out := make(map[string]map[string]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexes := mutexFields(pass, st)
+			if len(mutexes) == 0 {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardOf(field, mutexes)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					// A mutex is never guarded by another mutex: its
+					// doc often narrates the locking protocol ("writes
+					// happen under stepMu") without meaning guardianship.
+					if mutexes[name.Name] {
+						continue
+					}
+					if out[ts.Name.Name] == nil {
+						out[ts.Name.Name] = make(map[string]string)
+					}
+					out[ts.Name.Name][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutexFields returns the names of the struct's fields whose type is
+// sync.Mutex or sync.RWMutex (possibly behind a pointer).
+func mutexFields(pass *Pass, st *ast.StructType) map[string]bool {
+	out := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+			continue
+		}
+		if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+			continue
+		}
+		for _, n := range field.Names {
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// guardOf extracts the guarding mutex named in the field's doc or
+// line comment, if it names a sibling mutex field. Qualified names
+// ("f.mu") match on their last segment.
+func guardOf(field *ast.Field, mutexes map[string]bool) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, m := range guardedRe.FindAllStringSubmatch(cg.Text(), -1) {
+			name := m[1]
+			if i := strings.LastIndexByte(name, '.'); i >= 0 {
+				name = name[i+1:]
+			}
+			name = strings.TrimRight(name, ".,;:")
+			if mutexes[name] {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// receiverTypeName returns the base type name of a method receiver
+// expression (*Fleet -> Fleet).
+func receiverTypeName(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return receiverTypeName(x.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(x.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(x.X)
+	}
+	return ""
+}
+
+// heldDoc reports whether the method's doc comment documents the
+// caller-holds-the-lock contract for mu ("f.mu held", "mu held",
+// "caller holds mu").
+func heldDoc(doc *ast.CommentGroup, mu string) bool {
+	if doc == nil {
+		return false
+	}
+	text := doc.Text()
+	re := regexp.MustCompile(`(?i)(?:\b[A-Za-z_][A-Za-z0-9_]*\.)?\b` + regexp.QuoteMeta(mu) + `\b\s+(?:is\s+)?held|\bholds\s+(?:[A-Za-z_][A-Za-z0-9_]*\.)?` + regexp.QuoteMeta(mu) + `\b`)
+	return re.MatchString(text)
+}
+
+// checkMethod walks one method body in source order and reports
+// guarded-field accesses not preceded by a Lock/RLock of the guarding
+// mutex.
+func checkMethod(pass *Pass, fd *ast.FuncDecl, recvName string, fieldGuards map[string]string) {
+	// lockedAt records the earliest position at which each mutex was
+	// acquired in this method body.
+	lockedAt := make(map[string]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate locking context
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if mu, locks := lockCallOn(call, recvName); locks {
+				if at, ok := lockedAt[mu]; !ok || call.Pos() < at {
+					lockedAt[mu] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return true
+		}
+		mu, guarded := fieldGuards[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		if at, ok := lockedAt[mu]; ok && at < sel.Pos() {
+			return true
+		}
+		if fd.Name != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+			return true
+		}
+		if heldDoc(fd.Doc, mu) {
+			return true
+		}
+		if pass.Suppressed("nolock", sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but accessed in %s without %s.%s.Lock (document the contract with %q, suffix the method Locked, or justify with //herald:nolock <reason>)",
+			recvName, sel.Sel.Name, mu, fd.Name.Name, recvName, mu, mu+" held")
+		return true
+	})
+}
+
+// lockCallOn matches <recv>.<mu>.Lock() / RLock() and returns the
+// mutex field name.
+func lockCallOn(call *ast.CallExpr, recvName string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok || base.Name != recvName {
+		return "", false
+	}
+	return inner.Sel.Name, true
+}

@@ -1,0 +1,67 @@
+// Package detmap is the analysistest fixture for the detmap
+// analyzer: map ranges are flagged unless they follow the
+// collect-then-sort idiom or carry a reasoned //herald:nondet.
+package detmap
+
+import "sort"
+
+func flaggedSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "non-deterministic iteration over map m"
+		total += v
+	}
+	return total
+}
+
+func collectThenSortOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesStyleSortOK(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "non-deterministic iteration over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mixedBodyNotCollect(m map[string]int) ([]string, int) {
+	var keys []string
+	n := 0
+	for k := range m { // want "non-deterministic iteration over map m"
+		keys = append(keys, k)
+		n++
+	}
+	sort.Strings(keys)
+	return keys, n
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	for range m { //herald:nondet fixture: an exact count is order-independent
+		n++
+	}
+	return n
+}
+
+func sliceRangeNotFlagged(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

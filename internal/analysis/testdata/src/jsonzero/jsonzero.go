@@ -1,0 +1,32 @@
+// Package jsonzero is the analysistest fixture for the jsonzero
+// analyzer: omitempty on numeric/bool fields of exported JSON structs
+// is flagged; strings, pointers, unexported types and reasoned
+// //herald:jsonzero sites pass.
+package jsonzero
+
+// Stats is an exported output struct.
+type Stats struct {
+	Count int  `json:"count,omitempty"` // want "omitempty on Stats.Count"
+	OK    bool `json:"ok,omitempty"`    // want "omitempty on Stats.OK"
+
+	Name string `json:"name,omitempty"` // strings: empty genuinely means absent
+	Ptr  *int   `json:"ptr,omitempty"`  // a pointer is the sanctioned optional number
+	Tags []int  `json:"tags,omitempty"` // slices: nil means absent
+
+	Plain   int `json:"plain"` // no omitempty: fine
+	ignored int `json:"x,omitempty"`
+}
+
+// internal is unexported, so its JSON shape is not a public contract.
+type internal struct {
+	Count int `json:"count,omitempty"`
+}
+
+// Request is an input struct whose zero is a documented sentinel.
+type Request struct {
+	SLACycles int64 `json:"sla_cycles,omitempty"` //herald:jsonzero fixture: 0 is the no-SLA sentinel on this input struct
+}
+
+func use(s Stats, i internal, r Request) (int, int, int64) {
+	return s.ignored, i.Count, r.SLACycles
+}

@@ -1,0 +1,79 @@
+// Package lockguard is the analysistest fixture for the lockguard
+// analyzer: accesses to guarded-by-mu fields are flagged unless the
+// method locks first, is a documented with-lock helper, ends in
+// Locked, or carries a reasoned //herald:nolock.
+package lockguard
+
+import "sync"
+
+// Counter is a guarded struct: n and label may only be touched under mu.
+type Counter struct {
+	mu    sync.Mutex
+	n     int    // guarded by mu
+	label string // under mu
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want "c.n is guarded by mu but accessed in Bad"
+}
+
+func (c *Counter) BadBeforeLock() int {
+	v := c.n // want "c.n is guarded by mu but accessed in BadBeforeLock"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.n
+}
+
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) GoodLabel() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.label
+}
+
+// snapshotLocked returns the count. The Locked suffix marks the
+// caller-holds-mu contract.
+func (c *Counter) snapshotLocked() int {
+	return c.n
+}
+
+// peek returns the count without locking: c.mu held.
+func (c *Counter) peek() int {
+	return c.n
+}
+
+func (c *Counter) suppressed() int {
+	return c.n //herald:nolock fixture: single-goroutine setup before the counter is shared
+}
+
+// Window is read-locked: RLock counts as acquiring the guard.
+type Window struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (w *Window) Read() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.v
+}
+
+// TwoLocks narrates its locking protocol on the mutex field itself; a
+// mutex is never registered as guarded by another mutex, so locking
+// mu from any method is legal.
+type TwoLocks struct {
+	stepMu sync.Mutex
+	mu     sync.Mutex // writes to the state below happen under stepMu
+	x      int        // guarded by mu
+}
+
+func (t *TwoLocks) Get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.x
+}

@@ -1,0 +1,24 @@
+// Package suppress pins the suppression contract the analyzers
+// share: //herald:nondet with a reason silences the finding at its
+// line, while a bare //herald:nondet both fails to suppress and is
+// itself a finding (reported once, by detmap, which owns the nondet
+// kind). The standalone want comment below a line binds to the line
+// above it — the bare directive occupies the line's only comment slot.
+package suppress
+
+func reasoned(m map[string]int) int {
+	n := 0
+	for range m { //herald:nondet fixture: an exact count is order-independent
+		n++
+	}
+	return n
+}
+
+func bare(m map[string]int) int {
+	n := 0
+	for range m { //herald:nondet
+		// want "bare //herald:nondet directive: a suppression must carry a reason" want "non-deterministic iteration over map m"
+		n++
+	}
+	return n
+}

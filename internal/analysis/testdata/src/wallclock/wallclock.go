@@ -1,0 +1,44 @@
+// Package wallclock is the analysistest fixture for the wallclock
+// analyzer: wall-clock reads and unseeded math/rand draws are
+// flagged; seeded generators and reasoned //herald:nondet sites pass.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flaggedNow() time.Time {
+	return time.Now() // want "wall-clock time.Now in a determinism-critical package"
+}
+
+func flaggedSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock time.Since in a determinism-critical package"
+}
+
+func flaggedUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want "wall-clock time.Until in a determinism-critical package"
+}
+
+func flaggedGlobalRand() int {
+	return rand.Intn(10) // want "unseeded rand.Intn draws from the process-global source"
+}
+
+func seededOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func constructorsOK(d time.Duration) time.Time {
+	// Non-clock time functions (construction, parsing, arithmetic on
+	// explicit inputs) are deterministic and stay legal.
+	return time.Unix(0, 0).Add(d)
+}
+
+func suppressedNow() time.Time {
+	return time.Now() //herald:nondet fixture: uptime diagnostics only, never a scheduling input
+}
+
+func suppressedRand() int {
+	return rand.Int() //herald:nondet fixture: jitter on a reporting path only
+}

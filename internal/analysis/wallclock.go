@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock bans wall-clock reads and unseeded randomness in
+// determinism-critical packages: `arrival_cycle` is the only clock a
+// scheduling or dispatch decision may observe, and every random draw
+// must come from an explicitly seeded generator, or fixed traces stop
+// replaying bit-identically.
+//
+// Flagged: time.Now / time.Since / time.Until, and package-level
+// math/rand (and math/rand/v2) functions, which draw from the
+// process-global, non-deterministically seeded source. Constructing a
+// seeded generator (rand.New(rand.NewSource(seed))) and calling its
+// methods is fine. Diagnostic-only uses (uptime strings, perf
+// timings) are suppressed site-by-site with //herald:nondet <reason>.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "bans time.Now/Since/Until and unseeded math/rand in determinism-critical packages; arrival_cycle is the only clock",
+	Run:  runWallclock,
+}
+
+// wallclockBanned lists the time package functions that read the wall
+// clock.
+var wallclockBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randAllowed lists math/rand package-level constructors that build
+// explicitly seeded state rather than drawing from the global source.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockBanned[fn.Name()] && !pass.Suppressed("nondet", id.Pos()) {
+					pass.Reportf(id.Pos(), "wall-clock time.%s in a determinism-critical package: arrival_cycle is the only clock (justify diagnostics with //herald:nondet <reason>)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[fn.Name()] && !pass.Suppressed("nondet", id.Pos()) {
+					pass.Reportf(id.Pos(), "unseeded rand.%s draws from the process-global source: use rand.New(rand.NewSource(seed)) or justify with //herald:nondet <reason>", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

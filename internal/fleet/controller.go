@@ -119,8 +119,8 @@ type Decision struct {
 	CooldownLeft int `json:"cooldown_left"`
 
 	// Explored/Pruned are the probe sweep's coverage counters.
-	Explored int `json:"explored,omitempty"`
-	Pruned   int `json:"pruned,omitempty"`
+	Explored int `json:"explored"`
+	Pruned   int `json:"pruned"`
 }
 
 // String renders the decision as a one-line log entry.
@@ -188,17 +188,17 @@ type Controller struct {
 	// therefore guarded separately so Status stays responsive during
 	// exactly the window an operator wants to watch.
 	stepMu sync.Mutex
-	s      *sched.Scheduler
+	s      *sched.Scheduler // guarded by stepMu
 
 	// mu guards the published state below. Writes happen only inside
 	// Step (under stepMu); Status/Migrations read concurrently.
 	mu           sync.Mutex
-	steps        int
-	migrations   int
-	cooldownLeft int
-	pendingKey   string // partition string of the candidate being confirmed
-	streak       int
-	last         *Decision
+	steps        int       // guarded by mu
+	migrations   int       // guarded by mu
+	cooldownLeft int       // guarded by mu
+	pendingKey   string    // partition string of the candidate being confirmed; guarded by mu
+	streak       int       // guarded by mu
+	last         *Decision // guarded by mu
 }
 
 // NewController attaches a repartitioning controller to a fleet. The
@@ -281,7 +281,7 @@ func (c *Controller) Step(ctx context.Context) (Decision, error) {
 	// State fields are written only here (under stepMu), so lock-free
 	// reads are safe; every write goes through setState so Status's
 	// locked reads are too.
-	d := Decision{Step: c.steps, Objective: c.obj.String()}
+	d := Decision{Step: c.steps, Objective: c.obj.String()} //herald:nolock single-writer read: steps is written only inside Step, and stepMu serializes Steps
 	c.setState(func() { c.steps++ })
 
 	mix := c.f.ObservedMix("observed-mix")
@@ -313,7 +313,7 @@ func (c *Controller) Step(ctx context.Context) (Decision, error) {
 
 	// Cooldown: observe, report, never act — and accumulate no streak,
 	// so the cooldown and confirmation windows are strictly serial.
-	if c.cooldownLeft > 0 {
+	if c.cooldownLeft > 0 { //herald:nolock single-writer read under stepMu (see the state-fields comment above)
 		c.setState(func() {
 			c.cooldownLeft--
 			c.streak, c.pendingKey = 0, ""
@@ -342,7 +342,7 @@ func (c *Controller) Step(ctx context.Context) (Decision, error) {
 			c.streak = 1
 		}
 	})
-	if c.streak < c.opts.Confirm {
+	if c.streak < c.opts.Confirm { //herald:nolock single-writer read under stepMu (see the state-fields comment above)
 		d.Action = ActionConfirming
 		return c.finish(d), nil
 	}
@@ -406,7 +406,8 @@ func (c *Controller) finish(d Decision) Decision {
 // servingValue evaluates the probed mix on every distinct active
 // partition with the sweeper's scheduler configuration and returns
 // the best one — the objective value the current fleet could achieve
-// on that mix, the fair baseline for the sweep winner.
+// on that mix, the fair baseline for the sweep winner. Called from
+// Step only: c.stepMu held.
 func (c *Controller) servingValue(mix *workload.Workload) (*accel.HDA, float64, error) {
 	hdas := c.f.ActiveHDAs()
 	var bestHDA *accel.HDA

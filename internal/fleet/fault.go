@@ -108,10 +108,10 @@ type FaultEvent struct {
 	// Kind selects the fault.
 	Kind FaultKind `json:"kind"`
 	// Factor is the stall slowdown multiplier (FaultStall, > 1).
-	Factor float64 `json:"factor,omitempty"`
+	Factor float64 `json:"factor,omitempty"` //herald:jsonzero only stall events carry a factor; 0 is never a valid factor
 	// Count is the injected admission-failure burst length
 	// (FaultAdmitFail, >= 1).
-	Count int `json:"count,omitempty"`
+	Count int `json:"count,omitempty"` //herald:jsonzero only admit-fail events carry a count; 0 is never a valid count
 }
 
 // FaultPlan is a deterministic schedule of fault events, replayable
@@ -612,6 +612,7 @@ func (f *Fleet) shedLocked(req serve.Request, eta int64) error {
 	f.outMu.Lock()
 	out := f.tenantOut[req.Tenant]
 	var total int64
+	//herald:nondet exact integer sum; order cannot change the result
 	for _, v := range f.tenantOut {
 		total += v
 	}
@@ -653,12 +654,12 @@ type ReplicaHealth struct {
 	// breaker-open, breaker-half-open or crashed.
 	Health string `json:"health"`
 	// StallFactor is the injected slowdown multiplier (omitted at 1).
-	StallFactor float64 `json:"stall_factor,omitempty"`
+	StallFactor float64 `json:"stall_factor,omitempty"` //herald:jsonzero a valid stall factor is > 1; unset means not stalled
 	// ConsecutiveFailures is the current breaker failure streak.
-	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	ConsecutiveFailures int `json:"consecutive_failures"`
 	// PendingAdmitFaults is the remaining injected admission-failure
 	// burst.
-	PendingAdmitFaults int `json:"pending_admit_faults,omitempty"`
+	PendingAdmitFaults int `json:"pending_admit_faults"`
 	// HorizonCycles is the dispatcher's completion-time ledger for the
 	// replica — what stall detection reads.
 	HorizonCycles int64 `json:"horizon_cycles"`

@@ -83,6 +83,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"math"
 	"net/http"
 	"sort"
@@ -275,27 +276,28 @@ type Fleet struct {
 	// bookkeeping), which is what makes routing deterministic for a
 	// fixed submission sequence.
 	mu       sync.Mutex
-	replicas []*replica // the active generation: the only dispatch targets
+	replicas []*replica // the active generation: the only dispatch targets; guarded by mu
 	// retiring holds previous-generation replicas that are quiesced
 	// but still finishing in-flight work; once drained they fold into
-	// history and are dropped.
+	// history and are dropped. Guarded by mu.
 	retiring []*replica
 	// history accumulates the final statistics of fully-retired
 	// generations so fleet aggregates never lose a served request.
+	// Guarded by mu.
 	history    retiredHistory
-	rrNext     int
-	draining   bool
-	generation int
-	migrations int64
-	nextID     int
+	rrNext     int   // guarded by mu
+	draining   bool  // guarded by mu
+	generation int   // guarded by mu
+	migrations int64 // guarded by mu
+	nextID     int   // guarded by mu
 
 	// mix tracks accepted submissions per model name (under mu) — the
 	// observed tenant mix Resweep searches over. With MixHalfLife set,
 	// entries decay exponentially per accepted submission (lazily, at
 	// mixTick distance); with decay 1 the weights are exact counts.
-	mix      map[string]*mixEntry
-	mixTick  int64
-	mixDecay float64 // per-submission multiplier; 1 = no decay
+	mix      map[string]*mixEntry // guarded by mu
+	mixTick  int64                // guarded by mu
+	mixDecay float64              // per-submission multiplier; 1 = no decay (construction-set, immutable)
 
 	// plans is the fleet-owned fusion table (Options.Plans).
 	plans map[string]dse.SegmentPlan
@@ -306,8 +308,8 @@ type Fleet struct {
 	// segStats / crossHandoffs accumulate fleet-level fused counters
 	// (under mu). Engines in a fleet-fused deployment see only plain
 	// segment submissions, so these are the only fused counters.
-	segStats      serve.SegmentStats
-	crossHandoffs int64
+	segStats      serve.SegmentStats // guarded by mu
+	crossHandoffs int64              // guarded by mu
 
 	// resweepMu serializes Resweep calls: a dse.Sweeper is a reusable
 	// handle but not safe for concurrent sweeps.
@@ -317,32 +319,33 @@ type Fleet struct {
 	// ctrlMu guards the attached repartitioning controller (set by
 	// NewController, read by the HTTP status endpoint).
 	ctrlMu     sync.Mutex
-	controller *Controller
+	controller *Controller // guarded by ctrlMu
 
 	// Fault-tolerance state (see fault.go), under mu. The fault clock
 	// (faultCycle) advances only with submission arrival cycles;
 	// dispatchSeq counts routing decisions (the breaker's probe window
 	// is measured in it).
-	health         HealthOptions
-	faults         []FaultEvent
-	faultNext      int
-	faultCycle     int64
-	dispatchSeq    int64
-	failedReplicas []*replica // crashed, awaiting FaultRecover
-	decisions      []FaultDecision
-	decSeq         int
-	shed           int64
-	shedT          map[string]int64
-	failovers      int64
-	crashes        int64
-	recoveries     int64
-	breakerTrips   int64
+	health         HealthOptions    // construction-set limits, immutable afterwards
+	faults         []FaultEvent     // guarded by mu
+	faultNext      int              // guarded by mu
+	faultCycle     int64            // guarded by mu
+	dispatchSeq    int64            // guarded by mu
+	failedReplicas []*replica       // crashed, awaiting FaultRecover; guarded by mu
+	decisions      []FaultDecision  // guarded by mu
+	decSeq         int              // guarded by mu
+	shed           int64            // guarded by mu
+	shedT          map[string]int64 // guarded by mu
+	failovers      int64            // guarded by mu
+	crashes        int64            // guarded by mu
+	recoveries     int64            // guarded by mu
+	breakerTrips   int64            // guarded by mu
 	// lostFailed counts crash-orphaned requests no survivor could take
 	// (terminal fleet-side failures). Their engines erased them, so
 	// aggregates add lostFailed to both Submitted and Failed to keep
 	// conservation exact.
+	// Guarded by mu.
 	lostFailed  int64
-	lostFailedT map[string]int64
+	lostFailedT map[string]int64 // guarded by mu
 
 	// outMu guards the failover queue and the per-tenant outstanding
 	// counts. Lock order: mu → outMu. Ticket resolution takes only
@@ -350,8 +353,8 @@ type Fleet struct {
 	// extraction relies on this to have lostQ complete before
 	// failover runs.
 	outMu     sync.Mutex
-	lostQ     []*dispatch
-	tenantOut map[string]int64
+	lostQ     []*dispatch      // guarded by outMu
+	tenantOut map[string]int64 // guarded by outMu
 }
 
 // retiredHistory is the folded statistics of retired and
@@ -386,7 +389,7 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 		cache:       cache,
 		policy:      opts.Policy,
 		serveOpts:   opts.Serve,
-		start:       time.Now(),
+		start:       time.Now(), //herald:nondet uptime diagnostics only; dispatch and the fault clock run on arrival_cycle
 		mix:         make(map[string]*mixEntry),
 		mixDecay:    1,
 		sweeper:     opts.Sweeper,
@@ -1085,7 +1088,7 @@ type ReplicaStats struct {
 	HDA        string `json:"hda"`
 	// Retiring marks a previous-generation replica that no longer
 	// receives dispatches but is still finishing in-flight work.
-	Retiring   bool  `json:"retiring,omitempty"`
+	Retiring   bool  `json:"retiring"`
 	Dispatched int64 `json:"dispatched"`
 	Inflight   int64 `json:"inflight"`
 	// HorizonCycles is the cost-aware dispatcher's completion-time
@@ -1096,8 +1099,8 @@ type ReplicaStats struct {
 	Health string `json:"health"`
 	// StallFactor is the injected slowdown multiplier (omitted at 1);
 	// ConsecutiveFailures is the breaker's current failure streak.
-	StallFactor         float64     `json:"stall_factor,omitempty"`
-	ConsecutiveFailures int         `json:"consecutive_failures,omitempty"`
+	StallFactor         float64     `json:"stall_factor,omitempty"` //herald:jsonzero a valid stall factor is > 1; unset means not stalled
+	ConsecutiveFailures int         `json:"consecutive_failures"`
 	Engine              serve.Stats `json:"engine"`
 }
 
@@ -1114,13 +1117,13 @@ type Stats struct {
 	// fully-drained previous-generation engines folded into the
 	// aggregates.
 	Generation      int   `json:"generation"`
-	Migrations      int64 `json:"migrations,omitempty"`
-	RetiredReplicas int   `json:"retired_replicas,omitempty"`
+	Migrations      int64 `json:"migrations"`
+	RetiredReplicas int   `json:"retired_replicas"`
 
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed,omitempty"`
-	Rejected  int64 `json:"rejected,omitempty"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
 	Pending   int64 `json:"pending"`
 
 	// Fault-tolerance counters. Shed counts arrivals turned away by
@@ -1130,13 +1133,13 @@ type Stats struct {
 	// once on its survivor — or terminally failed); BreakerTrips
 	// counts circuit-breaker opens. FailedReplicas is the current
 	// number of crashed replicas awaiting recovery.
-	Shed           int64 `json:"shed,omitempty"`
-	Failovers      int64 `json:"failovers,omitempty"`
-	Lost           int64 `json:"lost,omitempty"`
-	Crashes        int64 `json:"crashes,omitempty"`
-	Recoveries     int64 `json:"recoveries,omitempty"`
-	BreakerTrips   int64 `json:"breaker_trips,omitempty"`
-	FailedReplicas int   `json:"failed_replicas,omitempty"`
+	Shed           int64 `json:"shed"`
+	Failovers      int64 `json:"failovers"`
+	Lost           int64 `json:"lost"`
+	Crashes        int64 `json:"crashes"`
+	Recoveries     int64 `json:"recoveries"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	FailedReplicas int   `json:"failed_replicas"`
 
 	// MakespanCycles is the slowest replica's committed horizon —
 	// replicas run in parallel in simulated time, so fleet throughput
@@ -1196,7 +1199,7 @@ func (f *Fleet) Stats() Stats {
 	st := Stats{
 		Policy:               f.policy.String(),
 		Replicas:             len(f.replicas),
-		UptimeSeconds:        time.Since(f.start).Seconds(),
+		UptimeSeconds:        time.Since(f.start).Seconds(), //herald:nondet wall-clock uptime is reporting-only
 		Generation:           f.generation,
 		Migrations:           f.migrations,
 		RetiredReplicas:      f.history.replicas,
@@ -1230,17 +1233,14 @@ func (f *Fleet) Stats() Stats {
 		snaps = append(snaps, rsnap{r: r, dispatched: r.dispatched, horizon: r.horizon,
 			health: r.health.String()})
 	}
+	//herald:nondet additive per-tenant merge; latencies are sorted before percentiles, sums commute
 	for _, w := range f.history.tenants {
 		addWindow(tenants, w)
 	}
 	shedT := make(map[string]int64, len(f.shedT))
-	for tn, c := range f.shedT {
-		shedT[tn] = c
-	}
+	maps.Copy(shedT, f.shedT)
 	lostFailedT := make(map[string]int64, len(f.lostFailedT))
-	for tn, c := range f.lostFailedT {
-		lostFailedT[tn] = c
-	}
+	maps.Copy(lostFailedT, f.lostFailedT)
 	f.mu.Unlock()
 
 	var clockGHz float64
@@ -1282,6 +1282,7 @@ func (f *Fleet) Stats() Stats {
 	// their engines; count them per tenant on both sides of the
 	// conservation equation. Shed tenants get a row even if no engine
 	// ever saw them.
+	//herald:nondet additive per-tenant counters into a map; emission below iterates sorted names
 	for tn, c := range lostFailedT {
 		w := tenants[tn]
 		if w == nil {
@@ -1291,6 +1292,7 @@ func (f *Fleet) Stats() Stats {
 		w.Submitted += c
 		w.Failed += c
 	}
+	//herald:nondet set insertion only; emission below iterates sorted names
 	for tn := range shedT {
 		if tenants[tn] == nil {
 			tenants[tn] = &serve.TenantWindow{Tenant: tn}
@@ -1350,9 +1352,20 @@ func (f *Fleet) Stats() Stats {
 // nothing is dropped (legacy behavior, bit-identical mixes).
 func (f *Fleet) ObservedMix(name string) *workload.Workload {
 	f.mu.Lock()
+	// Accumulate weights in sorted key order: total is a float sum, and
+	// float addition is order-dependent, so iterating the map directly
+	// would let Go's randomized iteration order perturb the
+	// mixDropFraction threshold — and with it the probe mix and the
+	// controller's replayed decisions — in the last bit.
+	models := make([]string, 0, len(f.mix))
+	for m := range f.mix {
+		models = append(models, m)
+	}
+	sort.Strings(models)
 	weights := make(map[string]float64, len(f.mix))
 	var total float64
-	for m, e := range f.mix {
+	for _, m := range models {
+		e := f.mix[m]
 		w := e.w
 		if f.mixDecay < 1 && f.mixTick > e.tick {
 			w *= math.Pow(f.mixDecay, float64(f.mixTick-e.tick))
@@ -1367,7 +1380,8 @@ func (f *Fleet) ObservedMix(name string) *workload.Workload {
 	}
 	names := make([]string, 0, len(weights))
 	minW := 0.0
-	for m, w := range weights {
+	for _, m := range models {
+		w := weights[m]
 		if decayed && w < mixDropFraction*total {
 			continue
 		}
@@ -1379,7 +1393,6 @@ func (f *Fleet) ObservedMix(name string) *workload.Workload {
 	if len(names) == 0 {
 		return nil
 	}
-	sort.Strings(names)
 	entries := make([]workload.Entry, 0, len(names))
 	for _, m := range names {
 		b := int(weights[m]/minW + 0.5) // round to nearest share

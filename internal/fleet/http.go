@@ -157,7 +157,7 @@ func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"replicas":   f.Size(),
 		"generation": f.Generation(),
 		"policy":     f.Policy().String(),
-		"uptime":     time.Since(f.start).String(),
+		"uptime":     time.Since(f.start).String(), //herald:nondet wall-clock uptime is reporting-only
 	})
 }
 

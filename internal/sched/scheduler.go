@@ -186,7 +186,7 @@ func (s *Scheduler) Schedule(h *accel.HDA, w *workload.Workload) (*Schedule, err
 	if w == nil || len(w.Instances) == 0 {
 		return nil, fmt.Errorf("sched: nil or empty workload")
 	}
-	start := time.Now()
+	start := time.Now() //herald:nondet SchedulingTime is a diagnostic; placement never reads the wall clock
 
 	sch, err := s.assign(h, w)
 	if err != nil {
@@ -197,7 +197,7 @@ func (s *Scheduler) Schedule(h *accel.HDA, w *workload.Workload) (*Schedule, err
 			sch = improved
 		}
 	}
-	sch.SchedulingTime = time.Since(start)
+	sch.SchedulingTime = time.Since(start) //herald:nondet SchedulingTime is a diagnostic; placement never reads the wall clock
 	return sch, nil
 }
 

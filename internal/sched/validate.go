@@ -51,8 +51,11 @@ func (s *Schedule) Validate() error {
 
 	// Dependence: within an instance, layer l must start at or after
 	// layer l-1 ends; the first layer must respect the instance's
-	// arrival time (periodic-stream workloads).
-	for key, idx := range seen {
+	// arrival time (periodic-stream workloads). Iterate assignments
+	// rather than the seen map so the first violation reported is
+	// deterministic when a schedule breaks several constraints at once.
+	for idx, a := range s.Assignments {
+		key := item{a.Instance, a.Layer}
 		if key.layer == 0 {
 			if arr := s.Workload.Instances[key.inst].ArrivalCycle; s.Assignments[idx].Start < arr {
 				return fmt.Errorf("sched: instance %d starts %d before its arrival %d",

@@ -25,7 +25,7 @@ type SubmitRequest struct {
 
 	// Wait makes the call synchronous: the response carries the
 	// final record instead of a queued acknowledgement.
-	Wait bool `json:"wait,omitempty"`
+	Wait bool `json:"wait,omitempty"` //herald:jsonzero absent and false both mean fire-and-forget on this input struct
 }
 
 // Normalize folds the wire-level arrival into the embedded Request:
@@ -198,6 +198,6 @@ func (e *Engine) handleHDA(w http.ResponseWriter, r *http.Request) {
 func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":     true,
-		"uptime": time.Since(e.start).String(),
+		"uptime": time.Since(e.start).String(), //herald:nondet wall-clock uptime is reporting-only
 	})
 }

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// requireKeys marshals v and fails if any of the listed JSON keys is
+// absent — the regression the jsonzero analyzer guards against:
+// omitempty on a numeric or bool field silently drops the zero value,
+// making "counter is 0" indistinguishable from "field not reported".
+func requireKeys(t *testing.T, v any, keys ...string) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	for _, k := range keys {
+		if _, ok := m[k]; !ok {
+			t.Errorf("%T: zero-valued field %q missing from JSON %s", v, k, raw)
+		}
+	}
+}
+
+// TestZeroValuedStatsFieldsSurviveJSON pins the jsonzero triage for
+// this package: every counter and flag below is meaningful at zero
+// and must round-trip through JSON even when zero.
+func TestZeroValuedStatsFieldsSurviveJSON(t *testing.T) {
+	requireKeys(t, Stats{}, "failed", "rejected", "lost", "crashed")
+	requireKeys(t, TenantStats{},
+		"failed", "rejected", "shed", "sla_tracked", "sla_violations",
+		"mean_latency_cycles", "p50_latency_cycles", "p95_latency_cycles",
+		"p99_latency_cycles", "mean_queue_cycles", "energy_pj")
+	// SLAViolated false and segment replica index 0 are both real
+	// placements — the SegmentRecord.Replica omitempty was a live bug.
+	requireKeys(t, Record{}, "sla_violated", "instance", "start_cycle")
+	requireKeys(t, SegmentRecord{}, "replica")
+}

@@ -127,17 +127,17 @@ const maxLatencySamples = 4096
 type Request struct {
 	Tenant   string `json:"tenant"`
 	Model    string `json:"model"`
-	Priority int    `json:"priority,omitempty"`
+	Priority int    `json:"priority,omitempty"` //herald:jsonzero zero is the default priority; absent and 0 mean the same on this input struct
 
 	// SLACycles is the relative response-time target (cycles from
 	// arrival to completion); 0 disables SLA tracking.
-	SLACycles int64 `json:"sla_cycles,omitempty"`
+	SLACycles int64 `json:"sla_cycles,omitempty"` //herald:jsonzero 0 is the no-SLA sentinel on this input struct; absent means the same
 
 	// ArrivalCycle is the request's arrival on the engine's cycle
 	// clock. Negative means "now" (wall clock scaled by ClockGHz).
 	// Arrivals in the committed past are clamped to the admission
 	// floor at scheduling time.
-	ArrivalCycle int64 `json:"arrival_cycle,omitempty"`
+	ArrivalCycle int64 `json:"arrival_cycle,omitempty"` //herald:jsonzero 0 is the live-clock sentinel on this input struct; HTTP replays use SubmitRequest's pointer field
 }
 
 // Status is a request's lifecycle state.
@@ -168,7 +168,7 @@ type Record struct {
 	Status   Status `json:"status"`
 
 	ArrivalCycle int64 `json:"arrival_cycle"`
-	SLACycles    int64 `json:"sla_cycles,omitempty"`
+	SLACycles    int64 `json:"sla_cycles,omitempty"` //herald:jsonzero echoes the request's no-SLA sentinel; 0 and absent both mean untracked
 
 	// Set once Status == StatusDone. None of the placement fields may
 	// carry omitempty: instance index 0, start cycle 0 and queueing
@@ -182,7 +182,7 @@ type Record struct {
 	BusyCycles    int64   `json:"busy_cycles"`
 	LatencyCycles int64   `json:"latency_cycles"`
 	EnergyPJ      float64 `json:"energy_pj"`
-	SLAViolated   bool    `json:"sla_violated,omitempty"`
+	SLAViolated   bool    `json:"sla_violated"`
 
 	Err string `json:"error,omitempty"`
 
@@ -202,7 +202,7 @@ type SegmentRecord struct {
 
 	// Replica is set only by fleet-level fusion (segments dispatched
 	// across replica engines); engine-level fusion runs on one HDA.
-	Replica int `json:"replica,omitempty"`
+	Replica int `json:"replica"`
 
 	StartCycle  int64   `json:"start_cycle"`
 	FinishCycle int64   `json:"finish_cycle"`
@@ -321,30 +321,30 @@ type Engine struct {
 	// schedMu serializes incremental-schedule access (the scheduling
 	// loop's Extend vs. snapshot readers).
 	schedMu sync.Mutex
-	inc     *sched.Incremental
+	inc     *sched.Incremental // guarded by schedMu
 
 	mu          sync.Mutex
 	cond        *sync.Cond
-	queues      map[string][]*pending
-	rr          []string // tenant round-robin rotation
-	npending    int
-	records     map[int64]*Record
-	doneFIFO    []int64 // finished record ids in completion order (eviction)
-	modelCounts map[string]int
-	tenants     map[string]*tenantAgg
+	queues      map[string][]*pending // guarded by mu
+	rr          []string              // tenant round-robin rotation; guarded by mu
+	npending    int                   // guarded by mu
+	records     map[int64]*Record     // guarded by mu
+	doneFIFO    []int64               // finished record ids in completion order (eviction); guarded by mu
+	modelCounts map[string]int        // guarded by mu
+	tenants     map[string]*tenantAgg // guarded by mu
 	// rejectedOther counts rejections whose tenant never had an
 	// admitted request (no aggregate is created for them — an
 	// unauthenticated client cycling junk tenant names must not grow
 	// the tenant table).
-	rejectedOther int64
-	nextID        int64
-	draining      bool
-	paused        bool
-	crashed       bool
-	lost          int64 // requests extracted by Crash (observability)
+	rejectedOther int64 // guarded by mu
+	nextID        int64 // guarded by mu
+	draining      bool  // guarded by mu
+	paused        bool  // guarded by mu
+	crashed       bool  // guarded by mu
+	lost          int64 // requests extracted by Crash (observability); guarded by mu
 	loopDone      chan struct{}
 
-	maxFinishCycle int64
+	maxFinishCycle int64 // latest committed finish cycle; guarded by mu
 
 	// segStats accumulates fused-serving counters (under e.mu).
 	segStats SegmentStats
@@ -371,7 +371,7 @@ func New(cache *maestro.Cache, hda *accel.HDA, opts Options) (*Engine, error) {
 		opts:        opts,
 		hda:         hda,
 		cache:       cache,
-		start:       time.Now(),
+		start:       time.Now(), //herald:nondet live-mode clock anchor; replays pass explicit arrival_cycle
 		inc:         inc,
 		queues:      make(map[string][]*pending),
 		records:     make(map[int64]*Record),
@@ -392,6 +392,7 @@ func (e *Engine) ClockGHz() float64 { return e.opts.ClockGHz }
 
 // NowCycles maps the wall clock onto the engine's cycle clock.
 func (e *Engine) NowCycles() int64 {
+	//herald:nondet live-mode arrival fallback by design; bit-reproducible replays pass explicit arrival_cycle
 	return int64(time.Since(e.start).Seconds() * e.opts.ClockGHz * 1e9)
 }
 

@@ -10,27 +10,27 @@ type TenantStats struct {
 	Tenant    string `json:"tenant"`
 	Submitted int64  `json:"submitted"`
 	Completed int64  `json:"completed"`
-	Failed    int64  `json:"failed,omitempty"`
-	Rejected  int64  `json:"rejected,omitempty"`
+	Failed    int64  `json:"failed"`
+	Rejected  int64  `json:"rejected"`
 
 	// Shed counts arrivals turned away by fleet-level overload
 	// shedding (admission control ahead of the engines; engines never
 	// see shed requests, so only fleet aggregation fills this).
-	Shed int64 `json:"shed,omitempty"`
+	Shed int64 `json:"shed"`
 
-	SLATracked    int64 `json:"sla_tracked,omitempty"`
-	SLAViolations int64 `json:"sla_violations,omitempty"`
+	SLATracked    int64 `json:"sla_tracked"`
+	SLAViolations int64 `json:"sla_violations"`
 
 	// Latency percentiles over the most recent completions (sliding
 	// window), in cycles (arrival to completion: queueing +
 	// execution); means are all-time.
-	MeanLatencyCycles int64 `json:"mean_latency_cycles,omitempty"`
-	P50LatencyCycles  int64 `json:"p50_latency_cycles,omitempty"`
-	P95LatencyCycles  int64 `json:"p95_latency_cycles,omitempty"`
-	P99LatencyCycles  int64 `json:"p99_latency_cycles,omitempty"`
-	MeanQueueCycles   int64 `json:"mean_queue_cycles,omitempty"`
+	MeanLatencyCycles int64 `json:"mean_latency_cycles"`
+	P50LatencyCycles  int64 `json:"p50_latency_cycles"`
+	P95LatencyCycles  int64 `json:"p95_latency_cycles"`
+	P99LatencyCycles  int64 `json:"p99_latency_cycles"`
+	MeanQueueCycles   int64 `json:"mean_queue_cycles"`
 
-	EnergyPJ float64 `json:"energy_pj,omitempty"`
+	EnergyPJ float64 `json:"energy_pj"`
 }
 
 // Stats is an aggregate engine snapshot.
@@ -40,8 +40,8 @@ type Stats struct {
 
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed,omitempty"`
-	Rejected  int64 `json:"rejected,omitempty"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
 	Pending   int64 `json:"pending"`
 
 	// Lost counts requests extracted by Crash. They are erased from
@@ -50,10 +50,10 @@ type Stats struct {
 	// on the crashed engine and a failover re-admission elsewhere
 	// counts each lost request exactly once; Lost only records how
 	// much work the crash orphaned.
-	Lost int64 `json:"lost,omitempty"`
+	Lost int64 `json:"lost"`
 
 	// Crashed marks an engine stopped by Crash.
-	Crashed bool `json:"crashed,omitempty"`
+	Crashed bool `json:"crashed"`
 
 	// MakespanCycles is the committed schedule's horizon; simulated
 	// throughput is completions per simulated second over it.
@@ -197,7 +197,7 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.Unlock()
 
 	st := Stats{
-		UptimeSeconds:    time.Since(e.start).Seconds(),
+		UptimeSeconds:    time.Since(e.start).Seconds(), //herald:nondet wall-clock uptime is reporting-only
 		ClockGHz:         e.opts.ClockGHz,
 		Lost:             e.lost,
 		Crashed:          e.crashed,
