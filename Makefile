@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate vet heraldvet smoke chaos doclint staticcheck vulncheck
+.PHONY: build test race bench bench-json bench-gate vet heraldvet smoke chaos replay doclint staticcheck vulncheck
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ smoke:
 	$(GO) run ./examples/repartition
 	$(GO) run ./examples/segments
 	$(MAKE) chaos
+	$(MAKE) replay
 
 # chaos drives a replicated fleet through a seeded fault schedule
 # (stall, admission-failure burst, crash with queued requests,
@@ -44,6 +45,16 @@ smoke:
 # bit-identically. CI gates on it per PR.
 chaos:
 	$(GO) run ./examples/chaos
+
+# replay drills the committed adversarial-scenario corpus
+# (testdata/scenarios) through the deterministic replay harness: the
+# corpus must regenerate byte-identically, every replay (fault-free,
+# faulted, repartitioning) must render byte-identical digests twice
+# with conservation intact, and the steady tenant's p99 must stay
+# inside a bounded envelope of the smooth control. Non-zero exit on
+# any violation; CI gates on it per PR.
+replay:
+	$(GO) run ./examples/replay
 
 # staticcheck / vulncheck fetch their tools at run time (CI has
 # network; local offline runs can skip them — make vet covers the
@@ -59,7 +70,7 @@ vulncheck:
 # and on exported identifiers in the serving-tier packages missing
 # doc comments. CI runs this per PR.
 doclint:
-	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve,internal/dse,internal/sched,internal/analysis
+	$(GO) run ./cmd/doclint -md . -pkgs internal/fleet,internal/serve,internal/dse,internal/sched,internal/analysis,internal/capture,internal/scenario,internal/replay,cmd/heraldplay
 
 # bench runs the full benchmark suite once per benchmark (short form:
 # the perf trajectory gate wants per-PR numbers, not nanosecond-grade
@@ -78,4 +89,4 @@ bench:
 BENCH_BASE ?= BENCH_PR4.json
 bench-gate:
 	$(GO) run ./cmd/benchgate -old $(BENCH_BASE) -new $(BENCH_OUT) \
-		-match 'BenchmarkDSE|BenchmarkFigure6|BenchmarkFigure11|BenchmarkFigure13|BenchmarkResweep|BenchmarkFusedServing' -max-pct 25
+		-match 'BenchmarkDSE|BenchmarkFigure6|BenchmarkFigure11|BenchmarkFigure13|BenchmarkResweep|BenchmarkFusedServing|BenchmarkReplayThroughput' -max-pct 25

@@ -58,6 +58,13 @@
 // shuts down gracefully on SIGINT/SIGTERM: stop admissions, drain
 // in-flight work, log final stats.
 //
+// -capture streams every accepted request (tenant, model, arrival
+// cycle, SLA, fusion-plan id) to a versioned JSONL trace file in
+// admission order, flushed after the graceful drain. Together with the
+// exported fault log (GET /v1/fleet/decisions) the trace re-runs
+// offline under cmd/heraldplay — byte-reproducible incident replay and
+// config A/B (docs/OPERATIONS.md, "Trace capture & replay").
+//
 // API (see internal/serve; fleets serve internal/fleet's API, which
 // adds GET /v1/fleet/stats, GET /v1/fleet/repartition and
 // /v1/replicas/{i}/... delegation):
@@ -116,6 +123,7 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 3, "per-request admission budget across crash failovers (initial dispatch included)")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive replica admission failures that open its circuit breaker")
 	breakerProbeAfter := flag.Int("breaker-probe-after", 8, "fleet dispatches after a breaker opens before it admits a half-open probe")
+	capturePath := flag.String("capture", "", "stream every accepted request to this JSONL trace file, flushed on graceful shutdown (replay it with cmd/heraldplay)")
 	flag.Parse()
 
 	class, err := herald.ParseClass(*className)
@@ -169,6 +177,30 @@ func main() {
 	srvOpts.MaxQueue = *maxQueue
 	srvOpts.MaxBatch = *maxBatch
 
+	// Trace capture: the recorder hooks the engine's (or fleet's)
+	// OnAccept, so the trace is exactly the accepted-submission
+	// sequence in admission order — the input cmd/heraldplay replays.
+	var rec *herald.TraceRecorder
+	var captureFile *os.File
+	var record func(req herald.InferenceRequest, plan string)
+	if *capturePath != "" {
+		f, err := os.Create(*capturePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		captureFile = f
+		if rec, err = herald.NewTraceRecorder(f, "heraldd capture"); err != nil {
+			log.Fatal(err)
+		}
+		record = func(req herald.InferenceRequest, plan string) {
+			_ = rec.Record(herald.TraceEntry{ // sticky error, reported at flush
+				Tenant: req.Tenant, Model: req.Model, ArrivalCycle: req.ArrivalCycle,
+				SLACycles: req.SLACycles, Priority: req.Priority, Plan: plan,
+			})
+		}
+		log.Printf("capturing accepted requests to %s", *capturePath)
+	}
+
 	var plans map[string]herald.SegmentPlan
 	if *fuse {
 		if *maxSegments < 2 {
@@ -195,6 +227,7 @@ func main() {
 	var drain func(context.Context)
 	if *replicas == 1 && *resweepEvery <= 0 && faultPlan == nil && *shedSLAFactor == 0 {
 		srvOpts.Plans = plans
+		srvOpts.OnAccept = record
 		engine, err := herald.NewServingEngine(cache, hdas[0], srvOpts)
 		if err != nil {
 			log.Fatal(err)
@@ -220,7 +253,8 @@ func main() {
 		}
 		fopts := herald.FleetOptions{
 			Serve: srvOpts, Policy: policy, Plans: plans, MixHalfLife: *mixHalfLife,
-			Faults: faultPlan,
+			OnAccept: record,
+			Faults:   faultPlan,
 			Health: herald.FleetHealthOptions{
 				FailureThreshold: *breakerThreshold,
 				ProbeAfter:       *breakerProbeAfter,
@@ -311,6 +345,19 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	drain(shutCtx)
+	// Flush the capture after the drain: admissions have stopped, so
+	// the trace is complete and replayable the moment the process
+	// exits.
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			log.Printf("capture flush: %v", err)
+		} else {
+			log.Printf("captured %d accepted requests to %s", rec.Count(), *capturePath)
+		}
+		if err := captureFile.Close(); err != nil {
+			log.Printf("capture close: %v", err)
+		}
+	}
 }
 
 // resweepSweeper builds the reusable partition-search handle the fleet

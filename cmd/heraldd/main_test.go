@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -225,5 +230,125 @@ func TestTopKHDAs(t *testing.T) {
 	rep := repeatHDA(res.Best.HDA, 4)
 	if len(rep) != 4 || rep[0] != rep[3] || rep[0] != res.Best.HDA {
 		t.Errorf("repeatHDA: %v", rep)
+	}
+}
+
+// TestCaptureReplayRoundTrip: the -capture wiring end to end through
+// the HTTP surface — a fleet records its accepted submissions through
+// OnAccept exactly as main() wires it, traffic flows through POST
+// /v1/requests and /v1/drain, and the captured trace replays under
+// cmd/heraldplay's engine (herald.Replay) to the live run's counters,
+// twice, byte-identically.
+func TestCaptureReplayRoundTrip(t *testing.T) {
+	cache := herald.NewCostCache(herald.DefaultEnergyTable())
+	hda, err := herald.NewHDA("cap", herald.Edge, []herald.Partition{
+		{Style: herald.NVDLA, PEs: 512, BWGBps: 8},
+		{Style: herald.ShiDiannao, PEs: 512, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec, err := herald.NewTraceRecorder(&buf, "heraldd capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := herald.DefaultFleetOptions()
+	opts.OnAccept = func(req herald.InferenceRequest, plan string) {
+		_ = rec.Record(herald.TraceEntry{
+			Tenant: req.Tenant, Model: req.Model, ArrivalCycle: req.ArrivalCycle,
+			SLACycles: req.SLACycles, Priority: req.Priority, Plan: plan,
+		})
+	}
+	fl, err := herald.NewReplicatedFleet(cache, hda, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(fl.Handler())
+	defer srv.Close()
+
+	// Live traffic with explicit arrival cycles (what a replayable
+	// client sends) through the public endpoint.
+	reqs := []string{
+		`{"tenant":"a","model":"mobilenetv1","arrival_cycle":1000,"sla_cycles":90000000,"wait":true}`,
+		`{"tenant":"b","model":"brq-handpose","arrival_cycle":2000,"wait":true}`,
+		`{"tenant":"a","model":"mobilenetv1","arrival_cycle":250000,"priority":1,"wait":true}`,
+		`{"tenant":"c","model":"no-such-model","arrival_cycle":3000}`, // rejected: must NOT be captured
+		`{"tenant":"b","model":"resnet50","arrival_cycle":500000,"wait":true}`,
+	}
+	for i, body := range reqs {
+		resp, err := http.Post(srv.URL+"/v1/requests", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if i == 3 {
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("bad-model submission: status %d", resp.StatusCode)
+			}
+		} else if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live struct {
+		Submitted int64 `json:"submitted"`
+		Completed int64 `json:"completed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() != 4 {
+		t.Fatalf("captured %d entries, want 4 (the rejected submission must not be recorded)", rec.Count())
+	}
+
+	tr, err := herald.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 4 {
+		t.Fatalf("trace holds %d entries, want 4", len(tr.Entries))
+	}
+	if e := tr.Entries[0]; e.Tenant != "a" || e.SLACycles != 90000000 {
+		t.Fatalf("entry 0 lost fields: %+v", e)
+	}
+	if e := tr.Entries[2]; e.Priority != 1 {
+		t.Fatalf("entry 2 lost priority: %+v", e)
+	}
+
+	// Replay the capture twice against the same config: byte-identical
+	// digests, counters matching the live run.
+	run := func() ([]byte, *herald.ReplayDigest) {
+		d, err := herald.Replay(context.Background(), cache, []*herald.HDA{hda, hda}, tr,
+			herald.ReplayOptions{Fleet: herald.DefaultFleetOptions()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, d
+	}
+	b1, d1 := run()
+	b2, _ := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("replaying the captured trace twice produced different digests")
+	}
+	if !d1.Conservation.Holds {
+		t.Fatalf("replay conservation violated: %+v", d1.Conservation)
+	}
+	if d1.Counters.Submitted != live.Submitted || d1.Counters.Completed != live.Completed {
+		t.Fatalf("replay counters (%d submitted, %d completed) diverge from the live run (%d, %d)",
+			d1.Counters.Submitted, d1.Counters.Completed, live.Submitted, live.Completed)
 	}
 }

@@ -39,11 +39,17 @@ var analyzers = []*analysis.Analyzer{
 
 // deterministicPkgs lists the package-path suffixes whose scheduling
 // and dispatch decisions must replay bit-identically.
-var deterministicPkgs = []string{"internal/sched", "internal/dse", "internal/fleet", "internal/serve"}
+var deterministicPkgs = []string{
+	"internal/sched", "internal/dse", "internal/fleet", "internal/serve",
+	"internal/capture", "internal/scenario", "internal/replay", "cmd/heraldplay",
+}
 
 // jsonPkgs lists the package-path suffixes exposing exported JSON
 // contracts.
-var jsonPkgs = []string{"internal/serve", "internal/fleet", "internal/dse"}
+var jsonPkgs = []string{
+	"internal/serve", "internal/fleet", "internal/dse",
+	"internal/capture", "internal/scenario", "internal/replay",
+}
 
 // scopes maps each analyzer to the package suffixes it applies to;
 // nil means every loaded package.

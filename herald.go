@@ -35,9 +35,11 @@
 package herald
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/accel"
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dnn"
@@ -46,6 +48,8 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/maestro"
 	"repro/internal/refsim"
+	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -558,6 +562,82 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) { return fleet.ParseFaultPl
 func NewRepartitionController(f *Fleet, opts RepartitionOptions) (*RepartitionController, error) {
 	return fleet.NewController(f, opts)
 }
+
+// ExportFaultPlan reconstructs an injectable FaultPlan from a fault
+// decision log (GET /v1/fleet/decisions) — the export-an-incident
+// path: capture the trace, export the decisions, re-run both offline.
+func ExportFaultPlan(decs []FaultDecision) (*FaultPlan, error) { return fleet.ExportFaultPlan(decs) }
+
+// FormatFaultPlan renders a plan in ParseFaultPlan's syntax
+// ("cycle:replica:kind[:arg],..."), round-tripping exactly.
+func FormatFaultPlan(p *FaultPlan) string { return fleet.FormatFaultPlan(p) }
+
+// --- Trace capture, scenario generation, deterministic replay ---
+
+type (
+	// TraceEntry is one captured request in a versioned JSONL trace.
+	TraceEntry = capture.Entry
+	// TraceRecorder streams accepted submissions to a trace writer
+	// (wire it to ServingOptions.OnAccept or FleetOptions.OnAccept).
+	TraceRecorder = capture.Recorder
+	// Trace is a fully-read request trace (header note + entries).
+	Trace = capture.Trace
+	// ScenarioSpec declares a seeded synthetic traffic scenario
+	// (internal/scenario): Zipf tenant skew, diurnal ramps, flash
+	// crowds, correlated bursts, flip-flop mixes. Kind is one of the
+	// Scenario* constants below.
+	ScenarioSpec = scenario.Spec
+	// ReplayOptions configures one deterministic replay run.
+	ReplayOptions = replay.Options
+	// ReplayDigest is a replay's deterministic outcome: counters,
+	// conservation, per-tenant percentiles, fault and repartition
+	// decisions. Byte-compare Canonical() renderings for equality.
+	ReplayDigest = replay.Digest
+)
+
+// Scenario generator families.
+const (
+	ScenarioSmooth     = scenario.Smooth
+	ScenarioZipf       = scenario.Zipf
+	ScenarioDiurnal    = scenario.Diurnal
+	ScenarioFlash      = scenario.Flash
+	ScenarioCorrelated = scenario.Correlated
+	ScenarioFlipFlop   = scenario.FlipFlop
+)
+
+// NewTraceRecorder starts a capture stream on w: a version header now,
+// one JSONL entry per recorded request.
+func NewTraceRecorder(w io.Writer, note string) (*TraceRecorder, error) {
+	return capture.NewRecorder(w, note)
+}
+
+// ReadTrace parses a captured or generated trace stream.
+func ReadTrace(r io.Reader) (*Trace, error) { return capture.Read(r) }
+
+// WriteTrace renders entries in the capture wire format, so generated
+// and captured traces are byte-compatible.
+func WriteTrace(w io.Writer, note string, entries []TraceEntry) error {
+	return capture.Write(w, note, entries)
+}
+
+// GenerateScenario renders a scenario spec into a sorted, seeded,
+// byte-stable arrival trace.
+func GenerateScenario(spec ScenarioSpec) ([]TraceEntry, error) { return scenario.Generate(spec) }
+
+// ParseScenarioSpec decodes a scenario-spec JSON document (unknown
+// fields rejected; see internal/scenario for the knobs).
+func ParseScenarioSpec(r io.Reader) (ScenarioSpec, error) { return scenario.ParseSpec(r) }
+
+// Replay re-runs a trace against a candidate fleet configuration under
+// the windowed deterministic protocol and returns its digest. See
+// internal/replay and cmd/heraldplay.
+func Replay(ctx context.Context, cache *CostCache, hdas []*HDA, tr *Trace, o ReplayOptions) (*ReplayDigest, error) {
+	return replay.Run(ctx, cache, hdas, tr, o)
+}
+
+// DiffDigests compares two digest JSON documents leaf by leaf,
+// returning one "path: a -> b" line per difference.
+func DiffDigests(a, b []byte) ([]string, error) { return replay.DiffJSON(a, b) }
 
 // DesignFromSearch converts a search outcome into the Fig. 10 design
 // view — the plumbing callers use to render what a probe or

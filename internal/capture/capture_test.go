@@ -1,0 +1,134 @@
+package capture
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Tenant: "a", Model: "mobilenetv1", ArrivalCycle: 0, SLACycles: 1 << 20},
+		{Tenant: "b", Model: "resnet50", ArrivalCycle: 100, Priority: 2},
+		{Tenant: "a", Model: "unet", ArrivalCycle: 250, Plan: "unet/3"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "round trip", entries); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Note != "round trip" || !reflect.DeepEqual(tr.Entries, entries) {
+		t.Fatalf("round trip: %+v", tr)
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	entries := []Entry{
+		{Tenant: "a", Model: "mobilenetv1", ArrivalCycle: 0},
+		{Tenant: "b", Model: "mobilenetv1", ArrivalCycle: 7, SLACycles: 5},
+	}
+	var one, two bytes.Buffer
+	if err := Write(&one, "n", entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&two, "n", entries); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("same entries rendered differently")
+	}
+}
+
+func TestZeroArrivalSurvives(t *testing.T) {
+	// Cycle 0 is a real arrival: it must be emitted and read back, not
+	// dropped as a zero value.
+	var buf bytes.Buffer
+	if err := Write(&buf, "", []Entry{{Tenant: "t", Model: "m", ArrivalCycle: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"arrival_cycle":0`) {
+		t.Fatalf("arrival_cycle 0 dropped from %q", buf.String())
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 1 || tr.Entries[0].ArrivalCycle != 0 {
+		t.Fatalf("entries %+v", tr.Entries)
+	}
+}
+
+func TestReadRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "not json\n",
+		"wrong version":    `{"herald_trace":99}` + "\n",
+		"bad entry":        `{"herald_trace":1}` + "\nnope\n",
+		"no tenant":        `{"herald_trace":1}` + "\n" + `{"model":"m","arrival_cycle":1}` + "\n",
+		"negative arrival": `{"herald_trace":1}` + "\n" + `{"tenant":"t","model":"m","arrival_cycle":-1}` + "\n",
+	}
+	for name, raw := range cases {
+		if _, err := Read(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRecorderRejectsInvalidEntries(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Record(Entry{Tenant: "t", Model: "m", ArrivalCycle: -5}); err == nil {
+		t.Fatal("negative arrival recorded")
+	}
+	// The error is sticky: a capture with a hole must not pass for
+	// complete.
+	if err := rec.Record(Entry{Tenant: "t", Model: "m", ArrivalCycle: 1}); err == nil {
+		t.Fatal("recorder kept accepting after an error")
+	}
+	if err := rec.Flush(); err == nil {
+		t.Fatal("flush cleared the sticky error")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := rec.Record(Entry{Tenant: "t", Model: "m", ArrivalCycle: int64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() != 400 {
+		t.Fatalf("count %d, want 400", rec.Count())
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 400 {
+		t.Fatalf("%d entries, want 400", len(tr.Entries))
+	}
+}

@@ -210,6 +210,63 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	return NewFaultPlan(events)
 }
 
+// ExportFaultPlan reconstructs a runnable FaultPlan from a
+// fault-handling decision log: injected-fault applications (crash,
+// stall, admit-fail, recover) become schedule events again, so a live
+// incident's Decisions() — or the payload of GET /v1/fleet/decisions —
+// can be re-run offline against a candidate configuration
+// (heraldplay -faults). Derived decisions (failovers, breaker
+// transitions, sheds) are consequences of the schedule, not part of
+// it, and are skipped. Returns (nil, nil) when the log holds no
+// injectable events.
+func ExportFaultPlan(decs []FaultDecision) (*FaultPlan, error) {
+	var events []FaultEvent
+	for _, d := range decs {
+		ev := FaultEvent{Cycle: d.Cycle, Replica: d.Replica}
+		switch d.Kind {
+		case "crash":
+			ev.Kind = FaultCrash
+		case "stall":
+			ev.Kind = FaultStall
+			ev.Factor = d.Factor
+		case "admit-fail":
+			ev.Kind = FaultAdmitFail
+			ev.Count = d.Count
+		case "recover":
+			ev.Kind = FaultRecover
+		default:
+			continue
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, nil
+	}
+	return NewFaultPlan(events)
+}
+
+// FormatFaultPlan renders a plan in ParseFaultPlan's flag syntax
+// ("cycle:replica:kind[:arg],..."), so an exported incident can be
+// handed straight to a -faults flag. FormatFaultPlan and
+// ParseFaultPlan round-trip.
+func FormatFaultPlan(p *FaultPlan) string {
+	if p == nil || len(p.Events) == 0 {
+		return ""
+	}
+	items := make([]string, len(p.Events))
+	for i, ev := range p.Events {
+		switch ev.Kind {
+		case FaultStall:
+			items[i] = fmt.Sprintf("%d:%d:stall:%g", ev.Cycle, ev.Replica, ev.Factor)
+		case FaultAdmitFail:
+			items[i] = fmt.Sprintf("%d:%d:admit-fail:%d", ev.Cycle, ev.Replica, ev.Count)
+		default:
+			items[i] = fmt.Sprintf("%d:%d:%s", ev.Cycle, ev.Replica, ev.Kind)
+		}
+	}
+	return strings.Join(items, ",")
+}
+
 // HealthOptions tunes failure detection, failover budgets and overload
 // shedding. The zero value is safe: detection thresholds default to
 // sane values and the opt-in features (stall detection, shedding) stay
@@ -306,14 +363,21 @@ type FaultDecision struct {
 	Replica int `json:"replica"`
 	// Detail is the human-readable rationale.
 	Detail string `json:"detail,omitempty"`
+	// Factor carries a stall decision's injected slowdown factor, so
+	// ExportFaultPlan can turn the log back into a runnable plan.
+	Factor float64 `json:"factor,omitempty"` //herald:jsonzero only stall decisions carry a factor; 0 is never a valid factor
+	// Count carries an admit-fail decision's burst length (see Factor).
+	Count int `json:"count,omitempty"` //herald:jsonzero only admit-fail decisions carry a count; 0 is never a valid count
 }
 
 // maxDecisions bounds the retained decision log; older halves are
 // dropped once exceeded.
 const maxDecisions = 4096
 
-// noteDecisionLocked appends one decision log entry. f.mu held.
-func (f *Fleet) noteDecisionLocked(cycle int64, kind string, replica int, detail string) {
+// noteDecisionLocked appends one decision log entry and returns a
+// pointer to it so callers can attach structured parameters (Factor,
+// Count); the pointer must not outlive f.mu. f.mu held.
+func (f *Fleet) noteDecisionLocked(cycle int64, kind string, replica int, detail string) *FaultDecision {
 	f.decSeq++
 	if len(f.decisions) >= maxDecisions {
 		keep := f.decisions[len(f.decisions)-maxDecisions/2:]
@@ -322,6 +386,7 @@ func (f *Fleet) noteDecisionLocked(cycle int64, kind string, replica int, detail
 	f.decisions = append(f.decisions, FaultDecision{
 		Seq: f.decSeq, Cycle: cycle, Kind: kind, Replica: replica, Detail: detail,
 	})
+	return &f.decisions[len(f.decisions)-1]
 }
 
 // Decisions returns a copy of the fault-handling decision log.
@@ -366,19 +431,19 @@ func (f *Fleet) applyFaultLocked(ev FaultEvent) {
 	case FaultStall:
 		r := f.activeByID(ev.Replica)
 		if r == nil {
-			f.noteDecisionLocked(ev.Cycle, "stall", ev.Replica, "replica not active; ignored")
+			f.noteDecisionLocked(ev.Cycle, "stall", ev.Replica, "replica not active; ignored").Factor = ev.Factor
 			return
 		}
 		r.stall = ev.Factor
-		f.noteDecisionLocked(ev.Cycle, "stall", r.id, fmt.Sprintf("cost estimates scaled by %g", ev.Factor))
+		f.noteDecisionLocked(ev.Cycle, "stall", r.id, fmt.Sprintf("cost estimates scaled by %g", ev.Factor)).Factor = ev.Factor
 	case FaultAdmitFail:
 		r := f.activeByID(ev.Replica)
 		if r == nil {
-			f.noteDecisionLocked(ev.Cycle, "admit-fail", ev.Replica, "replica not active; ignored")
+			f.noteDecisionLocked(ev.Cycle, "admit-fail", ev.Replica, "replica not active; ignored").Count = ev.Count
 			return
 		}
 		r.admitFails += ev.Count
-		f.noteDecisionLocked(ev.Cycle, "admit-fail", r.id, fmt.Sprintf("next %d admissions will fail", ev.Count))
+		f.noteDecisionLocked(ev.Cycle, "admit-fail", r.id, fmt.Sprintf("next %d admissions will fail", ev.Count)).Count = ev.Count
 	case FaultRecover:
 		f.applyRecoverLocked(ev)
 	}
@@ -733,6 +798,30 @@ func (f *Fleet) ResumeReplica(id int) error {
 	}
 	r.engine.Resume()
 	return nil
+}
+
+// PauseAll freezes every active replica engine's scheduling while
+// still admitting work (see PauseReplica). With Options.StartPaused
+// it is the replay harness's window-boundary instrument: pause,
+// submit a window of the trace, ResumeAll, wait — the queues each
+// scheduling round sees are then identical run to run, making batch
+// composition (and with it latency percentiles) bit-reproducible.
+func (f *Fleet) PauseAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.replicas {
+		r.engine.Pause()
+	}
+}
+
+// ResumeAll lifts PauseAll (and Options.StartPaused), waking every
+// active replica engine.
+func (f *Fleet) ResumeAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.replicas {
+		r.engine.Resume()
+	}
 }
 
 // Health snapshots the fleet's fault surface: per-replica health,

@@ -606,3 +606,42 @@ func TestParseFaultPlan(t *testing.T) {
 		}
 	}
 }
+
+// TestExportFormatFaultPlan: ExportFaultPlan keeps exactly the
+// injectable decisions (derived ones — failovers, breaker transitions,
+// sheds — are consequences of the schedule, not part of it) and
+// FormatFaultPlan round-trips with ParseFaultPlan.
+func TestExportFormatFaultPlan(t *testing.T) {
+	decs := []FaultDecision{
+		{Seq: 0, Cycle: 100, Replica: 0, Kind: "stall", Factor: 2.5},
+		{Seq: 1, Cycle: 150, Replica: 1, Kind: "failover"}, // derived: skipped
+		{Seq: 2, Cycle: 200, Replica: 1, Kind: "admit-fail", Count: 3},
+		{Seq: 3, Cycle: 250, Replica: 0, Kind: "breaker-open"}, // derived: skipped
+		{Seq: 4, Cycle: 300, Replica: 0, Kind: "crash"},
+		{Seq: 5, Cycle: 400, Replica: 0, Kind: "recover"},
+	}
+	p, err := ExportFaultPlan(decs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("exported %d events, want 4: %+v", len(p.Events), p.Events)
+	}
+	spec := FormatFaultPlan(p)
+	if spec != "100:0:stall:2.5,200:1:admit-fail:3,300:0:crash,400:0:recover" {
+		t.Fatalf("formatted plan %q", spec)
+	}
+	back, err := ParseFaultPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Fatalf("format/parse round trip diverged:\n%+v\n%+v", back, p)
+	}
+
+	// A log of only derived decisions exports no plan at all.
+	none, err := ExportFaultPlan([]FaultDecision{{Cycle: 5, Kind: "shed"}})
+	if err != nil || none != nil {
+		t.Fatalf("derived-only log: (%v, %v), want (nil, nil)", none, err)
+	}
+}

@@ -185,6 +185,25 @@ type Options struct {
 	// shedding; the zero value uses detection defaults with the opt-in
 	// features (stall detection, shedding) off.
 	Health HealthOptions
+
+	// OnAccept, when set, is called once per accepted submission with
+	// the normalized request — model name resolved, live-clock
+	// arrivals pinned to an explicit cycle — and the fusion-plan id
+	// ("model/segments", "" when unfused). It fires under the dispatch
+	// lock, so callback order is exactly the fleet's acceptance order;
+	// trace capture (internal/capture) hooks here. Callbacks must be
+	// fast and must not call back into the fleet. Rejected and shed
+	// submissions do not fire it.
+	OnAccept func(req serve.Request, plan string)
+
+	// StartPaused starts every replica engine paused — including
+	// engines rebuilt by fault recovery and spawned by Migrate. The
+	// replay harness (internal/replay) sets it to pin batch
+	// composition: work admitted while paused forms a static queue, so
+	// the scheduling rounds after ResumeAll see identical queues run
+	// to run, making latency percentiles (not just counters and
+	// decisions) bit-reproducible. Live serving leaves it false.
+	StartPaused bool
 }
 
 // DefaultOptions returns a cost-aware fleet over the serving-engine
@@ -271,6 +290,11 @@ type Fleet struct {
 	policy    Policy
 	serveOpts serve.Options
 	start     time.Time
+	// onAccept is the capture hook (Options.OnAccept); startPaused
+	// makes every spawned engine start frozen (Options.StartPaused).
+	// Both construction-set, immutable afterwards.
+	onAccept    func(req serve.Request, plan string)
+	startPaused bool
 
 	// mu serializes dispatch decisions (and guards the dispatcher
 	// bookkeeping), which is what makes routing deterministic for a
@@ -398,6 +422,8 @@ func New(cache *maestro.Cache, hdas []*accel.HDA, opts Options) (*Fleet, error) 
 		shedT:       make(map[string]int64),
 		lostFailedT: make(map[string]int64),
 		tenantOut:   make(map[string]int64),
+		onAccept:    opts.OnAccept,
+		startPaused: opts.StartPaused,
 	}
 	if opts.Faults != nil && len(opts.Faults.Events) > 0 {
 		// Re-validate and re-sort: callers may hand-build the plan
@@ -449,6 +475,9 @@ func (f *Fleet) buildReplicas(hdas []*accel.HDA) ([]*replica, error) {
 				_, _ = started.engine.Drain(context.Background())
 			}
 			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		if f.startPaused {
+			eng.Pause()
 		}
 		r.engine = eng
 		rs = append(rs, r)
@@ -680,8 +709,29 @@ func (f *Fleet) Submit(req serve.Request) (*Ticket, error) {
 	}
 	if model != nil {
 		f.mixAdd(model.Name)
+		if f.onAccept != nil {
+			f.onAccept(f.acceptedLocked(req, model), "")
+		}
 	}
 	return d.t, nil
+}
+
+// acceptedLocked normalizes an accepted submission for the OnAccept
+// capture hook: the model name canonicalized and a live-clock arrival
+// pinned to an explicit cycle, so a captured trace always replays
+// deterministically even though the capturing run was wall-clock
+// driven. f.mu held.
+func (f *Fleet) acceptedLocked(req serve.Request, model *dnn.Model) serve.Request {
+	req.Model = model.Name
+	if req.ArrivalCycle < 0 {
+		ghz := f.serveOpts.ClockGHz
+		if ghz <= 0 {
+			ghz = 1
+		}
+		//herald:nondet live-mode arrival fallback by design; bit-reproducible replays pass explicit arrival_cycle
+		req.ArrivalCycle = int64(time.Since(f.start).Seconds() * ghz * 1e9)
+	}
+	return req
 }
 
 // dispatchLocked admits one tracked request on a replica chosen under
@@ -770,6 +820,9 @@ func (f *Fleet) submitFused(req serve.Request, model *dnn.Model, plan dse.Segmen
 		return nil, err
 	}
 	f.mixAdd(model.Name)
+	if f.onAccept != nil {
+		f.onAccept(f.acceptedLocked(req, model), fmt.Sprintf("%s/%d", model.Name, len(segs)))
+	}
 	f.segStats.FusedRequests++
 	f.segStats.Segments += int64(len(segs))
 	f.chainWG.Add(1)

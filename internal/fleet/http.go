@@ -73,6 +73,9 @@ func submitErrorStatus(err error) (status int, code string, retryAfter int) {
 //	GET  /v1/stats                 alias of /v1/fleet/stats
 //	GET  /v1/fleet/health          per-replica health, fault counters,
 //	                               and the fault-handling decision log
+//	GET  /v1/fleet/decisions       the fault-handling decision log on
+//	                               its own (export an incident; see
+//	                               ExportFaultPlan)
 //	GET  /v1/fleet/repartition     repartitioning controller status
 //	                               (404 when no controller is attached)
 //	POST /v1/drain                 drain every replica, final stats
@@ -91,6 +94,7 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fleet/stats", f.handleStats)
 	mux.HandleFunc("GET /v1/stats", f.handleStats)
 	mux.HandleFunc("GET /v1/fleet/health", f.handleHealth)
+	mux.HandleFunc("GET /v1/fleet/decisions", f.handleDecisions)
 	mux.HandleFunc("GET /v1/fleet/repartition", f.handleRepartition)
 	mux.HandleFunc("POST /v1/drain", f.handleDrain)
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
@@ -140,6 +144,22 @@ func (f *Fleet) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (f *Fleet) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, f.Health())
+}
+
+// DecisionLog is the GET /v1/fleet/decisions payload: the bounded
+// fault-handling decision log on its own, without the per-replica
+// health detail GET /v1/fleet/health wraps around it. An operator
+// exports it, feeds it to ExportFaultPlan (heraldplay -faults), and
+// re-runs the incident offline.
+type DecisionLog struct {
+	// Decisions is the retained log, oldest first. The log is bounded
+	// (older halves are dropped past the cap), so Seq of the first
+	// entry tells a consumer whether decisions were evicted.
+	Decisions []FaultDecision `json:"decisions"`
+}
+
+func (f *Fleet) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DecisionLog{Decisions: f.Decisions()})
 }
 
 func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {

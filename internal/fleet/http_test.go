@@ -134,3 +134,55 @@ func TestFleetHTTPBadRequests(t *testing.T) {
 		t.Errorf("missing tenant: %d, want 400", code)
 	}
 }
+
+// TestFleetHTTPDecisions: GET /v1/fleet/decisions exposes the
+// fault-handling decision log on its own, with the stall factor and
+// admit-fail count surviving the JSON round trip — exactly what an
+// operator feeds to ExportFaultPlan to re-run an incident offline.
+func TestFleetHTTPDecisions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Faults = mustPlan(t,
+		FaultEvent{Cycle: 100, Replica: 0, Kind: FaultStall, Factor: 4},
+		FaultEvent{Cycle: 200, Replica: 1, Kind: FaultAdmitFail, Count: 2},
+	)
+	f := faultFleet(t, opts)
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(srv.Close)
+
+	// An empty log decodes as an empty (not absent) array.
+	var log DecisionLog
+	if code := doJSON(t, "GET", srv.URL+"/v1/fleet/decisions", "", &log); code != http.StatusOK {
+		t.Fatalf("decisions: %d", code)
+	}
+	if len(log.Decisions) != 0 {
+		t.Fatalf("decision log before traffic: %+v", log.Decisions)
+	}
+
+	// Advance the fault clock past both events.
+	var rec DispatchRecord
+	if code := doJSON(t, "POST", srv.URL+"/v1/requests",
+		`{"tenant":"a","model":"mobilenetv1","arrival_cycle":500,"wait":true}`, &rec); code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/fleet/decisions", "", &log); code != http.StatusOK {
+		t.Fatalf("decisions: %d", code)
+	}
+	if len(log.Decisions) != 2 {
+		t.Fatalf("decision log: %+v", log.Decisions)
+	}
+	if d := log.Decisions[0]; d.Kind != "stall" || d.Factor != 4 {
+		t.Errorf("stall decision lost its factor over HTTP: %+v", d)
+	}
+	if d := log.Decisions[1]; d.Kind != "admit-fail" || d.Count != 2 {
+		t.Errorf("admit-fail decision lost its count over HTTP: %+v", d)
+	}
+
+	// The exported log reconstructs the injected plan.
+	p, err := ExportFaultPlan(log.Decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatFaultPlan(p), "100:0:stall:4,200:1:admit-fail:2"; got != want {
+		t.Errorf("exported plan %q, want %q", got, want)
+	}
+}

@@ -86,6 +86,18 @@ type Options struct {
 	// without a plan (or with a single-segment plan), and nil Plans,
 	// serve whole-model requests exactly as before.
 	Plans map[string]dse.SegmentPlan
+
+	// OnAccept, when set, is called once per accepted submission with
+	// the normalized request — model name resolved, live-clock
+	// arrivals pinned to an explicit cycle — and the fusion-plan id
+	// ("model/segments", "" when unfused). It fires under the engine
+	// lock, so callback order is exactly the admission order; trace
+	// capture (internal/capture) hooks here. Callbacks must be fast
+	// and must not call back into the engine. A fleet wires
+	// fleet.Options.OnAccept instead: engine-level hooks on fleet
+	// replicas would also see failover re-admissions and dispatched
+	// segments, double-counting requests.
+	OnAccept func(req Request, plan string)
 }
 
 // Overload conditions: submissions failing with one of these should
@@ -494,6 +506,11 @@ func (e *Engine) submitModel(req Request, model *dnn.Model, onDone func(Record))
 	}
 	e.queues[req.Tenant] = append(e.queues[req.Tenant], p)
 	e.npending++
+	if e.opts.OnAccept != nil {
+		ar := req
+		ar.Model, ar.ArrivalCycle = model.Name, arrival
+		e.opts.OnAccept(ar, "")
+	}
 	e.cond.Signal()
 	return &Ticket{ID: rec.ID, rec: rec, done: p.done}, nil
 }
@@ -567,6 +584,11 @@ func (e *Engine) submitFused(req Request, model *dnn.Model, plan dse.SegmentPlan
 		})
 	}
 	e.npending += len(segModels)
+	if e.opts.OnAccept != nil {
+		ar := req
+		ar.Model, ar.ArrivalCycle = model.Name, arrival
+		e.opts.OnAccept(ar, fmt.Sprintf("%s/%d", model.Name, len(segModels)))
+	}
 	e.cond.Signal()
 	return &Ticket{ID: rec.ID, rec: rec, done: ch.done}, nil
 }

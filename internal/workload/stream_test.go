@@ -107,3 +107,38 @@ func TestToWorkload(t *testing.T) {
 		t.Error("empty arrival set accepted")
 	}
 }
+
+// TestStreamGoldenArrivals pins the exact arrival sequence of a fixed
+// (entries, seed) pair. Go 1's compatibility promise fixes math/rand's
+// sequences, so these cycles can only change if Stream's jitter stops
+// drawing every value, in order, from the seeded source — exactly the
+// regression this test exists to catch: a wall-clock or global-rand
+// sneaking in would desync every committed trace and replay digest.
+func TestStreamGoldenArrivals(t *testing.T) {
+	got, err := Stream([]StreamEntry{
+		{Model: "mobilenetv1", Count: 6, PeriodCycles: 1000, JitterCycles: 400},
+		{Model: "brq-handpose", Count: 3, PeriodCycles: 2500, OffsetCycles: 300, JitterCycles: 100},
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Arrival{
+		{"mobilenetv1", 275},
+		{"brq-handpose", 347},
+		{"mobilenetv1", 1011},
+		{"mobilenetv1", 2360},
+		{"brq-handpose", 2808},
+		{"mobilenetv1", 3009},
+		{"mobilenetv1", 4057},
+		{"mobilenetv1", 5061},
+		{"brq-handpose", 5368},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d arrivals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v (seeded jitter sequence changed)", i, got[i], want[i])
+		}
+	}
+}

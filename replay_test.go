@@ -1,0 +1,169 @@
+package herald
+
+// Facade-level tests of the capture/replay/scenario stack: the
+// committed corpus regenerates byte for byte, and fault plans compose
+// with scenario traces deterministically (the offline incident-replay
+// contract CI's make replay drill also gates on).
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusSpecs returns the committed scenario names (spec files without
+// the generated .trace.jsonl companions).
+func corpusSpecs(t *testing.T) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no committed scenario specs under testdata/scenarios")
+	}
+	names := make([]string, 0, len(matches))
+	for _, m := range matches {
+		names = append(names, strings.TrimSuffix(filepath.Base(m), ".json"))
+	}
+	return names
+}
+
+// TestScenarioCorpusReproducible: regenerating every committed spec
+// renders the committed trace byte for byte, so the corpus can never
+// silently drift from the generator (or vice versa).
+func TestScenarioCorpusReproducible(t *testing.T) {
+	dir := filepath.Join("testdata", "scenarios")
+	for _, name := range corpusSpecs(t) {
+		sf, err := os.Open(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ParseScenarioSpec(sf)
+		sf.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		entries, err := GenerateScenario(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got strings.Builder
+		if err := WriteTrace(&got, spec.Note(), entries); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := os.ReadFile(filepath.Join(dir, name+".trace.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != string(want) {
+			t.Errorf("%s: regenerated trace differs from the committed %s.trace.jsonl (regenerate with heraldplay -gen and commit, or fix the generator)", name, name)
+		}
+	}
+}
+
+// TestFaultPlanScenarioComposition: a parsed fault plan composed with
+// a generated scenario trace replays to DeepEqual digests — decisions,
+// counters, tenants and all — and byte-identical canonical renderings,
+// twice. This is the satellite contract: ParseFaultPlan × scenario ×
+// replay is closed under determinism.
+func TestFaultPlanScenarioComposition(t *testing.T) {
+	entries, err := GenerateScenario(ScenarioSpec{
+		Name: "compose", Kind: ScenarioFlash, Seed: 21, Requests: 48, Tenants: 4,
+		SLACycles: 60_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Note: "compose", Entries: entries}
+	plan, err := ParseFaultPlan("2000000:1:stall:3,5000000:1:crash,9000000:1:recover")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCostCache(DefaultEnergyTable())
+	hda, err := NewHDA("compose", Edge, []Partition{
+		{Style: NVDLA, PEs: 512, BWGBps: 8},
+		{Style: ShiDiannao, PEs: 512, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*ReplayDigest, []byte) {
+		o := ReplayOptions{Fleet: DefaultFleetOptions(), Window: 12}
+		o.Fleet.Faults = plan
+		d, err := Replay(context.Background(), cache, []*HDA{hda, hda}, tr, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, b
+	}
+	d1, b1 := run()
+	d2, b2 := run()
+	if !bytes.Equal(b1, b2) {
+		lines, _ := DiffDigests(b1, b2)
+		t.Fatalf("composed replay not byte-deterministic:\n%s", strings.Join(lines, "\n"))
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("composed replay digests not DeepEqual")
+	}
+	if !d1.Conservation.Holds {
+		t.Fatalf("conservation violated: %+v", d1.Conservation)
+	}
+	if len(d1.FaultDecisions) == 0 {
+		t.Fatal("fault plan fired no decisions")
+	}
+	if d1.Counters.Crashes != 1 || d1.Counters.Recoveries != 1 {
+		t.Fatalf("crash/recover not applied: %+v", d1.Counters)
+	}
+}
+
+// TestExportedFaultPlanReplays: the full incident loop through the
+// facade — run with an injected plan, export the decision log back
+// into a plan (ExportFaultPlan), and verify the exported plan replays
+// to the same injectable schedule.
+func TestExportedFaultPlanReplays(t *testing.T) {
+	entries, err := GenerateScenario(ScenarioSpec{
+		Name: "incident", Kind: ScenarioZipf, Seed: 5, Requests: 32, Tenants: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Note: "incident", Entries: entries}
+	plan, err := ParseFaultPlan("3000000:0:stall:4,6000000:0:crash,9000000:0:recover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCostCache(DefaultEnergyTable())
+	hda, err := NewHDA("incident", Edge, []Partition{
+		{Style: NVDLA, PEs: 512, BWGBps: 8},
+		{Style: ShiDiannao, PEs: 512, BWGBps: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ReplayOptions{Fleet: DefaultFleetOptions()}
+	o.Fleet.Faults = plan
+	d, err := Replay(context.Background(), cache, []*HDA{hda, hda}, tr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported, err := ExportFaultPlan(d.FaultDecisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported == nil {
+		t.Fatal("decision log exported no injectable events")
+	}
+	if got, want := FormatFaultPlan(exported), FormatFaultPlan(plan); got != want {
+		t.Fatalf("exported plan %q, want the injected %q", got, want)
+	}
+}
