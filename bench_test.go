@@ -575,3 +575,69 @@ func BenchmarkReplayThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(replayed)/wall.Seconds(), "wall-req/s")
 }
+
+// BenchmarkElasticReassign measures one intra-HDA PE reassignment on a
+// live serving engine — the cost the elastic controller pays per
+// REASSIGNED step, and the number to weigh against a full migration
+// (generation spawn + drain). The engine carries a committed schedule
+// of mobilenet work; each iteration toggles it between the even
+// 512/512 split and the skewed 768/256 split, which swaps the HDA at
+// the layer boundary, re-interns the cost table for the new slices and
+// re-resolves every admitted instance's cost rows.
+func BenchmarkElasticReassign(b *testing.B) {
+	cache := NewCostCache(DefaultEnergyTable())
+	even := []Partition{
+		{Style: NVDLA, PEs: 512, BWGBps: 8},
+		{Style: ShiDiannao, PEs: 512, BWGBps: 8},
+	}
+	skew := []Partition{
+		{Style: NVDLA, PEs: 768, BWGBps: 12},
+		{Style: ShiDiannao, PEs: 256, BWGBps: 4},
+	}
+	hda, err := NewHDA("bench-elastic", Edge, even)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultServingOptions()
+	opts.Elastic = true
+	engine, err := NewServingEngine(cache, hda, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 16; i++ {
+		ticket, err := engine.Submit(InferenceRequest{
+			Tenant: "bench", Model: "mobilenetv1", ArrivalCycle: 0,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ticket.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm both partitions' interned cost tables: the steady-state
+	// controller cost is the swap + row re-resolution, not the first
+	// cold cost-model evaluation.
+	if err := engine.Reassign(skew); err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.Reassign(even); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := even
+		if i%2 == 0 {
+			parts = skew
+		}
+		if err := engine.Reassign(parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := engine.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+}

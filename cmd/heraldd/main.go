@@ -115,6 +115,13 @@ func main() {
 	repartitionThreshold := flag.Float64("repartition-threshold", 0.05, "minimum fractional objective improvement before migrating (0.05 = winner must be 5% better; 0 = any improvement)")
 	repartitionConfirm := flag.Int("repartition-confirm", 2, "consecutive probes that must agree on the winner before migrating (hysteresis, >= 1)")
 	repartitionCooldown := flag.Int("repartition-cooldown", 3, "observation-only probes after each migration (anti-flap; 0 = none)")
+	elastic := flag.Bool("elastic", false, "act on the resweep period with the elastic (intra-HDA) controller: re-slice PEs between sub-accelerators at layer boundaries instead of migrating, escalating to a migration only on persistent unreachable drift (requires -resweep-every; mutually exclusive with -repartition)")
+	elasticThreshold := flag.Float64("elastic-threshold", 0.02, "minimum fractional objective improvement before a PE reassignment (0 = any improvement)")
+	elasticQuantum := flag.Int("elastic-quantum", 0, "PEs one reassignment moves between two sub-accelerators (0 = class PEs / 16)")
+	elasticEscalate := flag.Int("elastic-escalate-after", 3, "consecutive unreachable-drift holds before the elastic controller escalates to a full migration")
+	elasticEscalateThreshold := flag.Float64("elastic-escalate-threshold", 0.10, "minimum sustained sweep-winner improvement that counts as unreachable drift")
+	elasticPreemptBelow := flag.Int("elastic-preempt-below", 0, "SLA-risk trigger: preempt requests with priority strictly below this when new violations appear (0 = off)")
+	elasticPreemptMax := flag.Int("elastic-preempt-max", 2, "preemptions per replica per elastic step")
 	fuse := flag.Bool("fuse", false, "layer-fused segment serving: decompose each request into its model's winning segment chain so consecutive requests pipeline across sub-accelerators")
 	maxSegments := flag.Int("max-segments", 4, "upper bound on segments per fused request (with -fuse; >= 2)")
 	mixHalfLife := flag.Int("mix-half-life", 0, "observed-mix half-life in submissions for resweep probes (0 = all-time counts)")
@@ -135,6 +142,19 @@ func main() {
 	}
 	if *repartition && *resweepEvery <= 0 {
 		log.Fatal("-repartition needs -resweep-every > 0 (the probe period is the control period)")
+	}
+	if *elastic && *resweepEvery <= 0 {
+		log.Fatal("-elastic needs -resweep-every > 0 (the probe period is the control period)")
+	}
+	if *elastic && *repartition {
+		log.Fatal("-elastic and -repartition are mutually exclusive (the elastic controller escalates to migrations on its own)")
+	}
+	if *elasticEscalate < 1 {
+		log.Fatalf("-elastic-escalate-after must be >= 1 (got %d)", *elasticEscalate)
+	}
+	if *elasticPreemptBelow < 0 || *elasticPreemptMax < 1 {
+		log.Fatalf("-elastic-preempt-below must be >= 0 and -elastic-preempt-max >= 1 (got %d, %d)",
+			*elasticPreemptBelow, *elasticPreemptMax)
 	}
 	var faultPlan *herald.FaultPlan
 	if *faultsFlag != "" {
@@ -176,6 +196,10 @@ func main() {
 	srvOpts.ClockGHz = *clockGHz
 	srvOpts.MaxQueue = *maxQueue
 	srvOpts.MaxBatch = *maxBatch
+	// The elastic controller's SLA-risk trigger checkpoints and resumes
+	// placements at layer boundaries; the engines must track revocable
+	// placements for that (the reassignment path needs nothing extra).
+	srvOpts.Elastic = *elastic
 
 	// Trace capture: the recorder hooks the engine's (or fleet's)
 	// OnAccept, so the trace is exactly the accepted-submission
@@ -294,7 +318,31 @@ func main() {
 			log.Printf("overload shedding on: budget %gx SLA (-shed-sla-factor)", *shedSLAFactor)
 		}
 		if *resweepEvery > 0 {
-			if *repartition {
+			if *elastic {
+				// The library treats 0 as "default"; at the flag level an
+				// explicit 0 means "any improvement".
+				threshold := *elasticThreshold
+				if threshold == 0 {
+					threshold = 1e-12
+				}
+				ctrl, err := herald.NewElasticController(fl, herald.ElasticOptions{
+					ReassignThreshold: threshold,
+					PEQuantum:         *elasticQuantum,
+					EscalateAfter:     *elasticEscalate,
+					EscalateThreshold: *elasticEscalateThreshold,
+					PreemptBelow:      *elasticPreemptBelow,
+					PreemptMax:        *elasticPreemptMax,
+					Logf:              log.Printf,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("elastic controller every %v (reassign threshold %.3g, escalate after %d at %.3g, preempt below %d max %d)",
+					*resweepEvery, *elasticThreshold, *elasticEscalate, *elasticEscalateThreshold,
+					*elasticPreemptBelow, *elasticPreemptMax)
+				// The signal context stops the controller before the drain.
+				go ctrl.Run(ctx, *resweepEvery)
+			} else if *repartition {
 				// The library treats 0 as "default"; at the flag level an
 				// explicit 0 means "none" (the flag defaults are non-zero).
 				threshold, cooldown := *repartitionThreshold, *repartitionCooldown

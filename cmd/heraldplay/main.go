@@ -23,7 +23,11 @@
 // decision — is a pure function of trace order; nothing reads the
 // wall clock. -window sets the window size in trace entries;
 // -repartition steps a repartitioning controller once per full window
-// (the deterministic stand-in for heraldd's -resweep-every ticker).
+// (the deterministic stand-in for heraldd's -resweep-every ticker);
+// -elastic steps the intra-HDA elastic controller instead (PE
+// reassignment at layer boundaries, escalating to a migration only on
+// persistent unreachable drift) — the two controllers are the A/B arms
+// of a shoot-out and cannot be combined in one run.
 //
 // A live incident exports through the daemon: capture the trace with
 // heraldd -capture, export the fault log from GET /v1/fleet/decisions,
@@ -71,6 +75,13 @@ func main() {
 	repartitionThreshold := flag.Float64("repartition-threshold", 0.05, "minimum fractional objective improvement before migrating (0 = any improvement)")
 	repartitionConfirm := flag.Int("repartition-confirm", 2, "consecutive window probes that must agree on the winner before migrating")
 	repartitionCooldown := flag.Int("repartition-cooldown", 3, "observation-only probes after each migration (0 = none)")
+	elastic := flag.Bool("elastic", false, "step an elastic (intra-HDA) controller at every full-window boundary (requires -window > 0; mutually exclusive with -repartition)")
+	elasticThreshold := flag.Float64("elastic-threshold", 0.02, "minimum fractional objective improvement before a PE reassignment (0 = any improvement)")
+	elasticQuantum := flag.Int("elastic-quantum", 0, "PEs one reassignment moves between two sub-accelerators (0 = class PEs / 16)")
+	elasticEscalate := flag.Int("elastic-escalate-after", 3, "consecutive unreachable-drift holds before escalating to a full migration")
+	elasticEscalateThreshold := flag.Float64("elastic-escalate-threshold", 0.10, "minimum sustained sweep-winner improvement that counts as drift")
+	elasticPreemptBelow := flag.Int("elastic-preempt-below", 0, "SLA-risk trigger: preempt requests with priority strictly below this on new violations (0 = off)")
+	elasticPreemptMax := flag.Int("elastic-preempt-max", 2, "preemptions per replica per elastic step")
 	stylesFlag := flag.String("styles", "nvdla,shi-diannao", "repartition sweep's sub-accelerator dataflow styles")
 	peUnits := flag.Int("pe-units", 8, "repartition sweep's PE partitioning granularity")
 	bwUnits := flag.Int("bw-units", 4, "repartition sweep's bandwidth partitioning granularity")
@@ -176,6 +187,35 @@ func main() {
 			Threshold: threshold,
 			Confirm:   *repartitionConfirm,
 			Cooldown:  cooldown,
+		}
+	}
+	if *elastic {
+		if *window <= 0 {
+			log.Fatal("-elastic needs -window > 0 (the controller steps once per full window)")
+		}
+		if *repartition {
+			log.Fatal("-elastic and -repartition are mutually exclusive (A/B them in separate runs and -diff the digests)")
+		}
+		// The sweeper feeds the escalation check; the elastic controller
+		// works without one but then never migrates.
+		sw, err := sweeper(cache, class, *stylesFlag, *peUnits, *bwUnits, *objectiveFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Fleet.Sweeper = sw
+		// The library treats 0 as "default"; at the flag level an
+		// explicit 0 means "any improvement".
+		threshold := *elasticThreshold
+		if threshold == 0 {
+			threshold = 1e-12
+		}
+		opts.Elastic = &herald.ElasticOptions{
+			ReassignThreshold: threshold,
+			PEQuantum:         *elasticQuantum,
+			EscalateAfter:     *elasticEscalate,
+			EscalateThreshold: *elasticEscalateThreshold,
+			PreemptBelow:      *elasticPreemptBelow,
+			PreemptMax:        *elasticPreemptMax,
 		}
 	}
 

@@ -368,11 +368,14 @@ type RequestStatus = serve.Status
 
 // Request lifecycle statuses. StatusLost marks a request extracted by
 // a replica crash (fleet failover re-admits it on a survivor).
+// StatusPreempted marks a request checkpointed at a layer boundary and
+// re-queued for resumption (elastic serving).
 const (
-	StatusQueued = serve.StatusQueued
-	StatusDone   = serve.StatusDone
-	StatusFailed = serve.StatusFailed
-	StatusLost   = serve.StatusLost
+	StatusQueued    = serve.StatusQueued
+	StatusDone      = serve.StatusDone
+	StatusFailed    = serve.StatusFailed
+	StatusLost      = serve.StatusLost
+	StatusPreempted = serve.StatusPreempted
 )
 
 // Incremental scheduling (the serving engine's substrate).
@@ -384,6 +387,9 @@ type (
 	Admission = sched.Admission
 	// Placement reports where an admitted instance landed.
 	Placement = sched.Placement
+	// SchedCheckpoint is the resumable token a layer-boundary
+	// preemption returns (IncrementalSchedule.Preempt/Resume).
+	SchedCheckpoint = sched.Checkpoint
 )
 
 // Streaming arrivals (serving traffic generation).
@@ -515,6 +521,44 @@ const (
 	RepartitionCooldown   = fleet.ActionCooldown
 	RepartitionMigrated   = fleet.ActionMigrated
 )
+
+// --- Elastic intra-HDA partitioning (internal/fleet's ElasticController) ---
+
+// Elasticity: re-slice sub-accelerators in place instead of migrating.
+type (
+	// ElasticController prefers the cheap intra-HDA moves — SLA-risk
+	// preemption, then PE reassignment at layer boundaries — and only
+	// escalates to a full migration when the sweep winner stays
+	// structurally out of reach of re-slicing.
+	ElasticController = fleet.ElasticController
+	// ElasticOptions tunes the elastic controller (reassign threshold,
+	// PE quantum, escalation budget, SLA-risk preemption trigger).
+	ElasticOptions = fleet.ElasticOptions
+	// ElasticDecision records one elastic-controller step.
+	ElasticDecision = fleet.ElasticDecision
+	// ElasticControllerStatus is the controller's state snapshot.
+	ElasticControllerStatus = fleet.ElasticStatus
+	// ElasticAction is the outcome of one elastic-controller step.
+	ElasticAction = fleet.ElasticAction
+)
+
+// Elastic controller step outcomes.
+const (
+	ElasticNoTraffic  = fleet.ElasticNoTraffic
+	ElasticHold       = fleet.ElasticHold
+	ElasticReassigned = fleet.ElasticReassigned
+	ElasticPreempted  = fleet.ElasticPreempted
+	ElasticMigrated   = fleet.ElasticMigrated
+)
+
+// NewElasticController attaches an elastic (intra-HDA) controller to a
+// fleet. A sweeper is optional: without one the controller reassigns
+// and preempts but never escalates to a migration; the SLA-risk
+// preemption trigger additionally needs ServingOptions.Elastic on the
+// fleet's engines.
+func NewElasticController(f *Fleet, opts ElasticOptions) (*ElasticController, error) {
+	return fleet.NewElasticController(f, opts)
+}
 
 // Fault tolerance (see internal/fleet's fault layer).
 type (

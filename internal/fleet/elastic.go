@@ -1,0 +1,568 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/dnn"
+	"repro/internal/dse"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// ElasticAction is the outcome of one elastic-controller step.
+type ElasticAction string
+
+// Elastic controller step outcomes.
+const (
+	// ElasticNoTraffic: no mix observed yet; nothing to evaluate.
+	ElasticNoTraffic ElasticAction = "no-traffic"
+	// ElasticHold: no neighbor partition clears the threshold.
+	ElasticHold ElasticAction = "hold"
+	// ElasticReassigned: every active replica's slices were re-sized
+	// in place (cheap intra-HDA move, no generation change).
+	ElasticReassigned ElasticAction = "reassigned"
+	// ElasticPreempted: SLA risk triggered preemption of low-priority
+	// work, but no reassignment was warranted this step.
+	ElasticPreempted ElasticAction = "preempted"
+	// ElasticMigrated: drift persisted beyond the escalation budget and
+	// the optimum is not reachable by re-slicing, so the controller
+	// escalated to a full generation migration.
+	ElasticMigrated ElasticAction = "migrated"
+)
+
+// ElasticOptions tunes the elastic controller. The zero value selects
+// the defaults.
+type ElasticOptions struct {
+	// ReassignThreshold is the minimum fractional objective improvement
+	// a neighbor partition (one PE quantum moved between two subs) must
+	// offer over the serving partition to trigger a reassignment. 0
+	// selects the default 0.02 — deliberately lower than the migration
+	// controller's 0.05, because a reassignment is cheap: committed
+	// layers finish untouched and no generation drains.
+	ReassignThreshold float64
+
+	// PEQuantum is how many PEs one reassignment moves between two
+	// sub-accelerators (bandwidth moves proportionally, keeping the
+	// Definition 1 sums exact). 0 selects class PEs / 16 (min 1).
+	PEQuantum int
+
+	// EscalateAfter is how many consecutive hold steps with persistent
+	// unreachable drift (the fleet sweeper's winner beats the serving
+	// partition by >= EscalateThreshold but differs in sub count or
+	// styles, so no sequence of reassignments reaches it) the
+	// controller tolerates before escalating to Fleet.Migrate. 0
+	// selects the default 3. Escalation requires the fleet to have a
+	// sweeper (Options.Sweeper); without one the controller never
+	// migrates.
+	EscalateAfter int
+
+	// EscalateThreshold is the minimum fractional improvement the sweep
+	// winner must sustain to count as drift. 0 selects the default
+	// 0.10 (2x the migration controller's default threshold — a
+	// migration out of the elastic loop must be clearly worth a drain).
+	EscalateThreshold float64
+
+	// PreemptBelow, when > 0, arms the SLA-risk trigger: a step that
+	// observes new SLA violations since the previous step preempts up
+	// to PreemptMax requests with priority strictly below PreemptBelow
+	// on each replica (the engines must run with serve.Options.Elastic
+	// set, or preemption is a no-op).
+	PreemptBelow int
+
+	// PreemptMax caps preemptions per replica per step. 0 selects the
+	// default 2.
+	PreemptMax int
+
+	// Objective selects the comparison metric; the default follows the
+	// fleet sweeper's objective when one is configured, else EDP.
+	Objective dse.Objective
+
+	// Logf, when set, receives one line per step.
+	Logf func(format string, args ...any)
+}
+
+func (o ElasticOptions) withDefaults() ElasticOptions {
+	if o.ReassignThreshold == 0 {
+		o.ReassignThreshold = 0.02
+	}
+	if o.EscalateAfter <= 0 {
+		o.EscalateAfter = 3
+	}
+	if o.EscalateThreshold == 0 {
+		o.EscalateThreshold = 0.10
+	}
+	if o.PreemptMax <= 0 {
+		o.PreemptMax = 2
+	}
+	return o
+}
+
+// ElasticDecision records one elastic-controller step. The value
+// fields carry no omitempty: 0 is a legitimate objective reading or
+// counter, and a decision consumer must be able to distinguish it from
+// an absent field.
+type ElasticDecision struct {
+	Step   int           `json:"step"`
+	Action ElasticAction `json:"action"`
+	// Generation is the fleet generation after the step (it changes
+	// only on escalation).
+	Generation int `json:"generation"`
+
+	// Mix is the probed workload, empty under ElasticNoTraffic.
+	Mix string `json:"mix,omitempty"`
+
+	// Serving/Candidate describe the comparison: the serving
+	// partition's objective value on the mix vs. the best neighbor
+	// partition's (one PE quantum moved between two subs).
+	Serving        string  `json:"serving,omitempty"`
+	Candidate      string  `json:"candidate,omitempty"`
+	Objective      string  `json:"objective,omitempty"`
+	ServingValue   float64 `json:"serving_value"`
+	CandidateValue float64 `json:"candidate_value"`
+	// Improvement is the candidate's fractional gain over the serving
+	// partition ((serving-candidate)/serving).
+	Improvement float64 `json:"improvement"`
+
+	// Reassigned counts replicas re-sliced this step; Preempted counts
+	// requests preempted by the SLA-risk trigger this step.
+	Reassigned int `json:"reassigned"`
+	Preempted  int `json:"preempted"`
+
+	// DriftStreak is the consecutive count of unreachable-drift holds
+	// feeding the escalation budget.
+	DriftStreak int `json:"drift_streak"`
+}
+
+// String renders the decision as a one-line log entry.
+func (d ElasticDecision) String() string {
+	switch d.Action {
+	case ElasticNoTraffic:
+		return fmt.Sprintf("elastic step %d: no traffic observed yet", d.Step)
+	case ElasticReassigned:
+		return fmt.Sprintf("elastic step %d: REASSIGNED %d replicas to %s: %s %.4g -> %.4g on %s (%+.1f%%; preempted %d)",
+			d.Step, d.Reassigned, d.Candidate, d.Objective, d.ServingValue, d.CandidateValue, d.Mix,
+			-100*d.Improvement, d.Preempted)
+	case ElasticMigrated:
+		return fmt.Sprintf("elastic step %d: ESCALATED to migration (gen %d) after drift streak %d on %s",
+			d.Step, d.Generation, d.DriftStreak, d.Mix)
+	}
+	return fmt.Sprintf("elastic step %d: %s: serving %s, best neighbor %s (%s %.4g vs %.4g, %+.1f%% on %s; preempted %d, drift %d)",
+		d.Step, d.Action, d.Serving, d.Candidate, d.Objective, d.ServingValue, d.CandidateValue,
+		100*d.Improvement, d.Mix, d.Preempted, d.DriftStreak)
+}
+
+// ElasticController is the intra-HDA counterpart of the migration
+// Controller: each Step probes the observed mix, evaluates neighbor
+// partitions (one PE quantum moved between two sub-accelerators) on a
+// private scheduler, and executes the cheapest sufficient action —
+// preempt low-priority work when SLA risk appears, re-slice every
+// active replica in place when a neighbor partition clears the
+// threshold, and only escalate to a full Fleet.Migrate when the
+// sweeper's winner stays out of reach of re-slicing for EscalateAfter
+// consecutive steps. Steps are serialized; replay harnesses call Step
+// at deterministic quiesce boundaries, so the same trace with Steps at
+// the same points yields the same decision sequence.
+type ElasticController struct {
+	f    *Fleet
+	opts ElasticOptions
+	obj  dse.Objective
+
+	// stepMu serializes Step calls and guards the private scheduler (a
+	// sched.Scheduler is single-goroutine).
+	stepMu sync.Mutex
+	s      *sched.Scheduler // guarded by stepMu
+
+	// mu guards the published state below. Writes happen only inside
+	// Step (under stepMu); Status readers may arrive concurrently.
+	mu             sync.Mutex
+	steps          int              // guarded by mu
+	reassigns      int              // guarded by mu
+	preempts       int              // guarded by mu
+	migrations     int              // guarded by mu
+	driftStreak    int              // guarded by mu
+	lastViolations int64            // guarded by mu
+	last           *ElasticDecision // guarded by mu
+}
+
+// NewElasticController attaches an elastic controller to a fleet. A
+// sweeper is optional: without one the controller reassigns and
+// preempts but never escalates to a migration.
+func NewElasticController(f *Fleet, opts ElasticOptions) (*ElasticController, error) {
+	if f == nil {
+		return nil, fmt.Errorf("fleet: elastic controller needs a fleet")
+	}
+	if opts.ReassignThreshold < 0 || opts.EscalateThreshold < 0 {
+		return nil, fmt.Errorf("fleet: elastic thresholds must be >= 0")
+	}
+	if opts.PreemptBelow > 0 && !f.serveOpts.Elastic {
+		return nil, fmt.Errorf("fleet: the SLA-risk preemption trigger needs elastic engines (set Options.Serve.Elastic)")
+	}
+	opts = opts.withDefaults()
+	obj := opts.Objective
+	schedOpts := f.serveOpts.Sched
+	if f.sweeper != nil {
+		if opts.Objective == dse.ObjectiveEDP {
+			obj = f.sweeper.Options().Objective
+		}
+		schedOpts = f.sweeper.Options().Sched
+	}
+	schedOpts.Priorities = nil
+	return &ElasticController{
+		f:    f,
+		opts: opts,
+		obj:  obj,
+		s:    sched.MustNew(f.cache, schedOpts),
+	}, nil
+}
+
+// ElasticStatus is a point-in-time elastic-controller snapshot.
+type ElasticStatus struct {
+	Steps       int `json:"steps"`
+	Reassigns   int `json:"reassigns"`
+	Preemptions int `json:"preemptions"`
+	Migrations  int `json:"migrations"`
+	// DriftStreak is the current escalation streak; no omitempty — 0
+	// ("no drift") is the state a dashboard most wants to confirm.
+	DriftStreak int              `json:"drift_streak"`
+	Last        *ElasticDecision `json:"last,omitempty"`
+}
+
+// Status returns the controller's current state snapshot.
+func (c *ElasticController) Status() ElasticStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ElasticStatus{
+		Steps:       c.steps,
+		Reassigns:   c.reassigns,
+		Preemptions: c.preempts,
+		Migrations:  c.migrations,
+		DriftStreak: c.driftStreak,
+	}
+	if c.last != nil {
+		d := *c.last
+		st.Last = &d
+	}
+	return st
+}
+
+// Migrations returns how many escalated migrations the controller has
+// executed.
+func (c *ElasticController) Migrations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrations
+}
+
+// Step runs one elastic control iteration: SLA-risk preemption first
+// (lowest-cost relief), then the neighbor-partition evaluation, then —
+// only on a hold with persistent unreachable drift — the escalation
+// check. Calling Step at deterministic points of a fixed submission
+// trace yields a deterministic decision sequence.
+func (c *ElasticController) Step(ctx context.Context) (ElasticDecision, error) {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
+	d := ElasticDecision{Step: c.steps, Objective: c.obj.String()} //herald:nolock single-writer read: steps is written only inside Step, and stepMu serializes Steps
+	c.setState(func() { c.steps++ })
+	d.Generation = c.f.Generation()
+
+	// SLA-risk trigger: new violations since the last step preempt
+	// low-priority placements, freeing committed future capacity for
+	// the latency-critical tenants that are already missing targets.
+	if c.opts.PreemptBelow > 0 {
+		viol := c.totalViolations()
+		prev := c.lastViolations //herald:nolock single-writer read under stepMu (see the state-fields comment above)
+		c.setState(func() { c.lastViolations = viol })
+		if viol > prev {
+			d.Preempted = c.f.PreemptBelow(c.opts.PreemptBelow, c.opts.PreemptMax)
+			c.setState(func() { c.preempts += d.Preempted })
+		}
+	}
+
+	mix := c.f.ObservedMix("observed-mix")
+	if mix == nil {
+		d.Action = ElasticNoTraffic
+		if d.Preempted > 0 {
+			d.Action = ElasticPreempted
+		}
+		return c.finish(d), nil
+	}
+	d.Mix = mixString(mix)
+
+	serving := c.f.ActiveHDAs()
+	if len(serving) == 0 {
+		return d, fmt.Errorf("fleet: no active replicas to evaluate")
+	}
+	cur := serving[0]
+	d.Serving = cur.String()
+	servingValue, err := c.evaluate(cur, mix)
+	if err != nil {
+		return d, err
+	}
+	d.ServingValue = servingValue
+
+	bestParts, bestValue, bestHDA, err := c.bestNeighbor(cur, mix)
+	if err != nil {
+		return d, err
+	}
+	d.CandidateValue = bestValue
+	if bestHDA != nil {
+		d.Candidate = bestHDA.String()
+	}
+	if servingValue > 0 && bestHDA != nil {
+		d.Improvement = (servingValue - bestValue) / servingValue
+	}
+
+	if bestParts != nil && d.Improvement >= c.opts.ReassignThreshold {
+		n, err := c.f.ReassignAll(bestParts)
+		if err != nil {
+			return d, fmt.Errorf("fleet: reassigning to %s: %w", d.Candidate, err)
+		}
+		d.Reassigned = n
+		d.Action = ElasticReassigned
+		c.setState(func() {
+			c.reassigns++
+			c.driftStreak = 0
+		})
+		return c.finish(d), nil
+	}
+
+	d.Action = ElasticHold
+	if d.Preempted > 0 {
+		d.Action = ElasticPreempted
+	}
+
+	// Escalation: re-slicing has nothing to offer; if the sweeper's
+	// winner is structurally out of reach (different sub count or
+	// styles) and keeps clearing the escalation threshold, migrate.
+	if c.f.sweeper != nil {
+		res, err := c.f.Resweep(mix)
+		if err != nil {
+			return d, err
+		}
+		wv := c.obj.Value(res.Best)
+		drift := servingValue > 0 &&
+			(servingValue-wv)/servingValue >= c.opts.EscalateThreshold &&
+			!res.Best.HDA.SamePartition(cur) &&
+			!reachableBySlicing(cur, res.Best.HDA)
+		if !drift {
+			c.setState(func() { c.driftStreak = 0 })
+			return c.finish(d), nil
+		}
+		c.setState(func() { c.driftStreak++ })
+		d.DriftStreak = c.driftStreak //herald:nolock single-writer read under stepMu (see the state-fields comment above)
+		if d.DriftStreak < c.opts.EscalateAfter {
+			return c.finish(d), nil
+		}
+		hdas := make([]*accel.HDA, len(serving))
+		for i := range hdas {
+			hdas[i] = res.Best.HDA
+		}
+		migErr := c.f.Migrate(ctx, hdas, mix)
+		if migErr != nil && c.f.Generation() == d.Generation {
+			return d, fmt.Errorf("fleet: escalated migration to %s failed: %w", res.Best.HDA, migErr)
+		}
+		c.f.ResetMix()
+		c.setState(func() {
+			c.migrations++
+			c.driftStreak = 0
+		})
+		d.Action = ElasticMigrated
+		d.Generation = c.f.Generation()
+		d.DriftStreak = 0
+		d = c.finish(d)
+		if migErr != nil {
+			return d, fmt.Errorf("fleet: escalated to %s, but draining the retired generation was interrupted: %w", res.Best.HDA, migErr)
+		}
+		return d, nil
+	}
+	return c.finish(d), nil
+}
+
+// Run drives Step on a ticker until ctx is cancelled — the daemon form
+// of the control loop (heraldd -elastic). Errors are logged (via
+// Options.Logf) and do not stop the loop: a transient probe failure
+// must not kill the controller.
+func (c *ElasticController) Run(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if _, err := c.Step(ctx); err != nil && c.opts.Logf != nil {
+				c.opts.Logf("elastic step failed: %v", err)
+			}
+		}
+	}
+}
+
+// setState applies a state mutation under the read lock, keeping
+// Status race-free while Step runs.
+func (c *ElasticController) setState(mutate func()) {
+	c.mu.Lock()
+	mutate()
+	c.mu.Unlock()
+}
+
+// finish records the decision as the controller's latest and logs it.
+func (c *ElasticController) finish(d ElasticDecision) ElasticDecision {
+	c.mu.Lock()
+	d.DriftStreak = c.driftStreak
+	last := d
+	c.last = &last
+	c.mu.Unlock()
+	if c.opts.Logf != nil {
+		c.opts.Logf("%s", d)
+	}
+	return d
+}
+
+// totalViolations sums SLA violations across every live replica and
+// the folded history. Called under stepMu.
+func (c *ElasticController) totalViolations() int64 {
+	st := c.f.Stats()
+	var v int64
+	for _, t := range st.Tenants {
+		v += t.SLAViolations
+	}
+	return v
+}
+
+// evaluate schedules the mix on one partition with the private
+// scheduler and returns the objective value. Step only: c.stepMu held.
+func (c *ElasticController) evaluate(h *accel.HDA, mix *workload.Workload) (float64, error) {
+	sch, err := c.s.Schedule(h, mix)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: evaluating partition %s: %w", h, err)
+	}
+	v := c.obj.Value(dse.Point{
+		HDA:        h,
+		Schedule:   sch,
+		LatencySec: sch.LatencySeconds(1.0),
+		EnergyMJ:   sch.EnergyMJ(),
+		EDP:        sch.EDP(1.0),
+	})
+	c.s.Recycle(sch)
+	return v, nil
+}
+
+// bestNeighbor evaluates every partition one PE quantum away from the
+// serving one (each ordered (from, to) sub pair, bandwidth moving
+// proportionally) and returns the best candidate. The candidate order
+// is the deterministic double loop, so ties resolve identically run to
+// run. Step only: c.stepMu held.
+func (c *ElasticController) bestNeighbor(cur *accel.HDA, mix *workload.Workload) ([]accel.Partition, float64, *accel.HDA, error) {
+	q := c.opts.PEQuantum
+	if q <= 0 {
+		q = cur.Class.PEs / 16
+		if q < 1 {
+			q = 1
+		}
+	}
+	bwq := cur.Class.BWGBps * float64(q) / float64(cur.Class.PEs)
+
+	var (
+		bestParts []accel.Partition
+		bestHDA   *accel.HDA
+		best      = math.Inf(1)
+	)
+	for from := range cur.Subs {
+		for to := range cur.Subs {
+			if from == to || cur.Subs[from].HW.PEs-q < 1 || cur.Subs[from].HW.BWGBps-bwq <= 0 {
+				continue
+			}
+			parts := make([]accel.Partition, len(cur.Subs))
+			for i, s := range cur.Subs {
+				parts[i] = accel.Partition{Style: s.Style, PEs: s.HW.PEs, BWGBps: s.HW.BWGBps}
+			}
+			parts[from].PEs -= q
+			parts[from].BWGBps -= bwq
+			parts[to].PEs += q
+			parts[to].BWGBps += bwq
+			h, err := accel.New(cur.Name, cur.Class, parts)
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("fleet: building neighbor partition: %w", err)
+			}
+			v, err := c.evaluate(h, mix)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			if v < best {
+				best, bestParts, bestHDA = v, parts, h
+			}
+		}
+	}
+	if bestHDA == nil {
+		return nil, 0, nil, nil // single-sub HDA or quantum too large: no neighbors
+	}
+	return bestParts, best, bestHDA, nil
+}
+
+// reachableBySlicing reports whether target could be reached from cur
+// by PE reassignments alone: same class, same sub count, same styles
+// in order. Anything else needs a migration.
+func reachableBySlicing(cur, target *accel.HDA) bool {
+	if cur.Class.Name != target.Class.Name || len(cur.Subs) != len(target.Subs) {
+		return false
+	}
+	for i := range cur.Subs {
+		if cur.Subs[i].Style != target.Subs[i].Style {
+			return false
+		}
+	}
+	return true
+}
+
+// ReassignAll re-slices every active replica to the given partitions
+// at its current layer boundary (serve.Engine.Reassign) and refreshes
+// the dispatcher's per-replica state that depends on slice sizes (the
+// cost-estimate memo). All replicas are validated before any is
+// touched, so a sub-count mismatch on a heterogeneous fleet leaves the
+// fleet unchanged. Returns the number of replicas reassigned.
+func (f *Fleet) ReassignAll(parts []accel.Partition) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.draining {
+		return 0, serve.ErrDraining
+	}
+	for _, r := range f.replicas {
+		if len(parts) != len(r.hda.Subs) {
+			return 0, fmt.Errorf("fleet: replica %d has %d subs, reassignment has %d partitions (migrate instead)",
+				r.id, len(r.hda.Subs), len(parts))
+		}
+	}
+	n := 0
+	for _, r := range f.replicas {
+		if err := r.engine.Reassign(parts); err != nil {
+			return n, fmt.Errorf("fleet: replica %d: %w", r.id, err)
+		}
+		r.hda = r.engine.HDA()
+		// The cost-estimate memo keys on slice sizes; drop it so the
+		// horizon ledger re-learns the new slices.
+		r.est = make(map[*dnn.Model]int64)
+		n++
+	}
+	return n, nil
+}
+
+// PreemptBelow preempts up to maxPerReplica requests with priority
+// strictly below the threshold on every active replica (see
+// serve.Engine.Preempt) and returns the total preempted. Engines
+// without serve.Options.Elastic preempt nothing.
+func (f *Fleet) PreemptBelow(priority, maxPerReplica int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.replicas {
+		n += r.engine.Preempt(priority, maxPerReplica)
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/dataflow"
+	"repro/internal/serve"
+)
+
+// elasticFleet builds a 2-replica fleet on the given start partition
+// with elastic engines and an attached elastic controller. No sweeper
+// unless added via fopts, so the controller can never escalate.
+func elasticFleet(t testing.TB, start *accel.HDA, eopts ElasticOptions, fopts ...func(*Options)) (*Fleet, *ElasticController) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Serve.Elastic = true
+	for _, fo := range fopts {
+		fo(&opts)
+	}
+	f, err := Replicated(newTestCache(), start, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewElasticController(f, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c
+}
+
+// TestElasticReassignsOnSkewedMix: a fleet serving the even 512/512
+// split under mobilenet-dominated traffic re-slices in place to the
+// mobilenet-optimal 768/256 neighbor (PEQuantum 256 puts it one move
+// away) — same generation, zero migrations, and requests submitted
+// after the reassignment still complete and conserve.
+func TestElasticReassignsOnSkewedMix(t *testing.T) {
+	f, c := elasticFleet(t, testHDA(t), ElasticOptions{PEQuantum: 256})
+
+	waitAll(t, submitN(t, f, "mobile", "mobilenetv1", 6))
+	d, err := c.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ElasticReassigned {
+		t.Fatalf("step on skewed mix: %+v", d)
+	}
+	if d.Reassigned != 2 {
+		t.Fatalf("reassigned %d replicas, want 2", d.Reassigned)
+	}
+	if d.Improvement < c.opts.ReassignThreshold {
+		t.Fatalf("reassignment below threshold: %+v", d)
+	}
+	if f.Generation() != 0 || c.Migrations() != 0 {
+		t.Fatalf("reassignment changed generation (%d) or migrated (%d)", f.Generation(), c.Migrations())
+	}
+	for _, h := range f.ActiveHDAs() {
+		if h.SamePartition(testHDA(t)) {
+			t.Fatalf("active partition unchanged: %v", h)
+		}
+		if got := h.Subs[0].HW.PEs + h.Subs[1].HW.PEs; got != accel.Edge.PEs {
+			t.Fatalf("Definition 1 broken after reassignment: %d PEs", got)
+		}
+	}
+
+	waitAll(t, submitN(t, f, "mobile", "mobilenetv1", 4))
+	st, err := f.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 10 || st.Completed != 10 || st.Failed != 0 || st.Pending != 0 {
+		t.Fatalf("conservation across reassignment: %+v", st)
+	}
+	if st.PEReassigns != 2 {
+		t.Fatalf("fleet stats count %d reassigns, want 2", st.PEReassigns)
+	}
+	if cs := c.Status(); cs.Reassigns != 1 || cs.Migrations != 0 {
+		t.Fatalf("controller status: %+v", cs)
+	}
+}
+
+// TestElasticStepDeterministic: the same submission trace with Step
+// calls at the same points yields the identical decision sequence and
+// final partition, run to run.
+func TestElasticStepDeterministic(t *testing.T) {
+	type outcome struct {
+		decisions []ElasticDecision
+		final     string
+	}
+	run := func() outcome {
+		f, c := elasticFleet(t, testHDA(t), ElasticOptions{PEQuantum: 256})
+		var o outcome
+		step := func() {
+			d, err := c.Step(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.decisions = append(o.decisions, d)
+		}
+		step() // no traffic
+		waitAll(t, submitN(t, f, "mobile", "mobilenetv1", 5))
+		step() // reassign toward the mobilenet-optimal slice
+		waitAll(t, submitN(t, f, "mobile", "mobilenetv1", 3))
+		step() // hold (already optimal in the neighbor set) or reassign again
+		if _, err := f.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		o.final = f.ActiveHDAs()[0].String()
+		return o
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("elastic steps diverged:\nrun1 %+v\nrun2 %+v", a, b)
+	}
+	if a.decisions[0].Action != ElasticNoTraffic {
+		t.Fatalf("first step saw traffic: %+v", a.decisions[0])
+	}
+	if a.decisions[1].Action != ElasticReassigned {
+		t.Fatalf("second step did not reassign: %+v", a.decisions[1])
+	}
+}
+
+// TestElasticNoSweeperNeverMigrates: without a fleet sweeper the
+// controller has no escalation path — steps hold or reassign but the
+// generation never moves, no matter how long the mix disagrees with
+// the serving partition.
+func TestElasticNoSweeperNeverMigrates(t *testing.T) {
+	f, c := elasticFleet(t, testHDA(t), ElasticOptions{EscalateAfter: 1})
+	waitAll(t, submitN(t, f, "arvr", "unet", 6))
+	for i := 0; i < 4; i++ {
+		d, err := c.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Action == ElasticMigrated {
+			t.Fatalf("step %d escalated without a sweeper: %+v", i, d)
+		}
+	}
+	if f.Generation() != 0 || c.Migrations() != 0 {
+		t.Fatalf("sweeperless controller migrated: gen %d, migrations %d", f.Generation(), c.Migrations())
+	}
+	if _, err := f.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElasticControllerValidation: the SLA-risk preemption trigger
+// needs elastic engines; thresholds must be non-negative.
+func TestElasticControllerValidation(t *testing.T) {
+	f, err := Replicated(newTestCache(), testHDA(t), 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Drain(context.Background())
+	if _, err := NewElasticController(f, ElasticOptions{PreemptBelow: 1}); err == nil ||
+		!strings.Contains(err.Error(), "Elastic") {
+		t.Errorf("preemption trigger on non-elastic engines accepted: %v", err)
+	}
+	if _, err := NewElasticController(f, ElasticOptions{ReassignThreshold: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := NewElasticController(nil, ElasticOptions{}); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	if _, err := NewElasticController(f, ElasticOptions{}); err != nil {
+		t.Errorf("reassign-only controller on non-elastic engines rejected: %v", err)
+	}
+}
+
+// TestFleetReassignAllValidation: a partition-count mismatch is
+// rejected before any replica is touched, so the fleet keeps serving
+// its current slices.
+func TestFleetReassignAllValidation(t *testing.T) {
+	f, _ := elasticFleet(t, testHDA(t), ElasticOptions{})
+	before := f.ActiveHDAs()[0].String()
+	if _, err := f.ReassignAll([]accel.Partition{
+		{Style: dataflow.NVDLA, PEs: accel.Edge.PEs, BWGBps: accel.Edge.BWGBps},
+	}); err == nil {
+		t.Fatal("sub-count mismatch accepted")
+	}
+	if got := f.ActiveHDAs()[0].String(); got != before {
+		t.Fatalf("failed reassignment mutated the fleet: %s -> %s", before, got)
+	}
+
+	n, err := f.ReassignAll([]accel.Partition{
+		{Style: dataflow.NVDLA, PEs: 768, BWGBps: 12},
+		{Style: dataflow.ShiDiannao, PEs: 256, BWGBps: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reassigned %d replicas, want 2", n)
+	}
+	waitAll(t, submitN(t, f, "mobile", "mobilenetv1", 3))
+	st, err := f.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PEReassigns != 2 || st.Completed != 3 {
+		t.Fatalf("post-reassign stats: %+v", st)
+	}
+}
+
+// TestFleetPreemptBelow: fleet-wide preemption revokes only work below
+// the priority threshold, the revoked requests resume and complete,
+// and conservation holds across the preempt/resume cycle.
+func TestFleetPreemptBelow(t *testing.T) {
+	f, _ := elasticFleet(t, testHDA(t), ElasticOptions{})
+
+	var tickets []*Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := f.Submit(serve.Request{Tenant: "batch", Model: "mobilenetv1", Priority: 0, ArrivalCycle: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	tk, err := f.Submit(serve.Request{Tenant: "urgent", Model: "mobilenetv1", Priority: 5, ArrivalCycle: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets = append(tickets, tk)
+	waitAll(t, tickets)
+
+	n := f.PreemptBelow(3, 8)
+	if n != 4 {
+		t.Fatalf("preempted %d requests, want the 4 low-priority ones", n)
+	}
+	st, err := f.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 4 || st.Resumes != 4 {
+		t.Fatalf("preemption counters: %+v", st)
+	}
+	if st.Submitted != 5 || st.Completed != 5 || st.Failed != 0 || st.Pending != 0 {
+		t.Fatalf("conservation across preempt/resume: %+v", st)
+	}
+}

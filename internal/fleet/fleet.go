@@ -388,6 +388,7 @@ type retiredHistory struct {
 	submitted, completed, failed, rejected int64
 	pending                                int64 // requests lost to a cancelled drain (should stay 0)
 	lost                                   int64 // crash-extracted requests (failover re-admits them)
+	preemptions, resumes, reassigns        int64 // elastic counters of retired engines
 	makespan                               int64
 	tenants                                map[string]*serve.TenantWindow
 }
@@ -1194,6 +1195,13 @@ type Stats struct {
 	BreakerTrips   int64 `json:"breaker_trips"`
 	FailedReplicas int   `json:"failed_replicas"`
 
+	// Elastic counters summed across live engines and folded history:
+	// preempted placements, successful resumptions, and per-engine PE
+	// reassignments (one ReassignAll counts once per replica).
+	Preemptions int64 `json:"preemptions"`
+	Resumes     int64 `json:"resumes"`
+	PEReassigns int64 `json:"pe_reassigns"`
+
 	// MakespanCycles is the slowest replica's committed horizon —
 	// replicas run in parallel in simulated time, so fleet throughput
 	// is total completions over the maximum makespan, not the sum.
@@ -1268,6 +1276,9 @@ func (f *Fleet) Stats() Stats {
 		Recoveries:           f.recoveries,
 		BreakerTrips:         f.breakerTrips,
 		FailedReplicas:       len(f.failedReplicas),
+		Preemptions:          f.history.preemptions,
+		Resumes:              f.history.resumes,
+		PEReassigns:          f.history.reassigns,
 		MakespanCycles:       f.history.makespan,
 		Segments:             f.segStats,
 		CrossReplicaHandoffs: f.crossHandoffs,
@@ -1307,6 +1318,9 @@ func (f *Fleet) Stats() Stats {
 		st.Rejected += es.Rejected
 		st.Pending += es.Pending
 		st.Lost += es.Lost
+		st.Preemptions += es.Preemptions
+		st.Resumes += es.Resumes
+		st.PEReassigns += es.PEReassigns
 		if es.MakespanCycles > st.MakespanCycles {
 			st.MakespanCycles = es.MakespanCycles
 		}
@@ -1610,6 +1624,9 @@ func (f *Fleet) foldStatsLocked(es serve.Stats, windows []serve.TenantWindow) {
 	h.rejected += es.Rejected
 	h.pending += es.Pending
 	h.lost += es.Lost
+	h.preemptions += es.Preemptions
+	h.resumes += es.Resumes
+	h.reassigns += es.PEReassigns
 	if es.MakespanCycles > h.makespan {
 		h.makespan = es.MakespanCycles
 	}

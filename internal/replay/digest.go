@@ -42,6 +42,9 @@ type Digest struct {
 	FaultDecisions []fleet.FaultDecision `json:"fault_decisions,omitempty"`
 	// Repartitions is every controller step taken during the replay.
 	Repartitions []fleet.Decision `json:"repartitions,omitempty"`
+	// ElasticDecisions is every elastic-controller step taken during
+	// the replay (the intra-HDA A/B arm; see Options.Elastic).
+	ElasticDecisions []fleet.ElasticDecision `json:"elastic_decisions,omitempty"`
 }
 
 // TraceInfo identifies the replayed trace.
@@ -74,6 +77,9 @@ type Setup struct {
 	// Repartition reports whether a controller stepped at window
 	// boundaries.
 	Repartition bool `json:"repartition,omitempty"` //herald:jsonzero false means no controller; absent means the same
+	// Elastic reports whether an elastic (intra-HDA) controller
+	// stepped at window boundaries.
+	Elastic bool `json:"elastic,omitempty"` //herald:jsonzero false means no elastic controller; absent means the same
 }
 
 // Counters is the deterministic slice of fleet.Stats. Zero values are
@@ -92,6 +98,9 @@ type Counters struct {
 	Recoveries           int64              `json:"recoveries"`
 	BreakerTrips         int64              `json:"breaker_trips"`
 	Migrations           int64              `json:"migrations"`
+	Preemptions          int64              `json:"preemptions"`
+	Resumes              int64              `json:"resumes"`
+	PEReassigns          int64              `json:"pe_reassigns"`
 	Generation           int                `json:"generation"`
 	MakespanCycles       int64              `json:"makespan_cycles"`
 	CrossReplicaHandoffs int64              `json:"cross_replica_handoffs"`

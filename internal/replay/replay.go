@@ -60,6 +60,13 @@ type Options struct {
 	// boundary — the deterministic stand-in for the live ticker.
 	// Requires Window > 0.
 	Controller *fleet.ControllerOptions
+
+	// Elastic, when set, attaches an elastic (intra-HDA) controller
+	// instead and steps it at every window boundary. Fleet.Serve.Elastic
+	// is forced on so the SLA-risk preemption trigger can act. Requires
+	// Window > 0; mutually exclusive with Controller — the two are the
+	// A/B arms of a shoot-out, not a stack.
+	Elastic *fleet.ElasticOptions
 }
 
 // Run replays the trace and returns its digest. See the package
@@ -77,6 +84,12 @@ func Run(ctx context.Context, cache *maestro.Cache, hdas []*accel.HDA, tr *captu
 	if o.Controller != nil && o.Window <= 0 {
 		return nil, fmt.Errorf("replay: a repartitioning controller needs a window (set Options.Window)")
 	}
+	if o.Elastic != nil && o.Window <= 0 {
+		return nil, fmt.Errorf("replay: an elastic controller needs a window (set Options.Window)")
+	}
+	if o.Elastic != nil && o.Controller != nil {
+		return nil, fmt.Errorf("replay: Elastic and Controller are mutually exclusive (A/B them in separate runs)")
+	}
 	for i, e := range tr.Entries {
 		if e.ArrivalCycle < 0 {
 			return nil, fmt.Errorf("replay: entry %d: negative arrival cycle %d (traces must carry explicit arrivals)", i, e.ArrivalCycle)
@@ -84,6 +97,9 @@ func Run(ctx context.Context, cache *maestro.Cache, hdas []*accel.HDA, tr *captu
 	}
 
 	o.Fleet.StartPaused = true
+	if o.Elastic != nil {
+		o.Fleet.Serve.Elastic = true
+	}
 	f, err := fleet.New(cache, hdas, o.Fleet)
 	if err != nil {
 		return nil, err
@@ -91,6 +107,13 @@ func Run(ctx context.Context, cache *maestro.Cache, hdas []*accel.HDA, tr *captu
 	var ctrl *fleet.Controller
 	if o.Controller != nil {
 		ctrl, err = fleet.NewController(f, *o.Controller)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var ectrl *fleet.ElasticController
+	if o.Elastic != nil {
+		ectrl, err = fleet.NewElasticController(f, *o.Elastic)
 		if err != nil {
 			return nil, err
 		}
@@ -110,6 +133,7 @@ func Run(ctx context.Context, cache *maestro.Cache, hdas []*accel.HDA, tr *captu
 			ShedSLAFactor: o.Fleet.Health.ShedSLAFactor,
 			Window:        o.Window,
 			Repartition:   ctrl != nil,
+			Elastic:       ectrl != nil,
 		},
 	}
 	for _, e := range tr.Entries {
@@ -155,6 +179,13 @@ func Run(ctx context.Context, cache *maestro.Cache, hdas []*accel.HDA, tr *captu
 				return fmt.Errorf("replay: controller step: %w", err)
 			}
 			d.Repartitions = append(d.Repartitions, dec)
+		}
+		if step && ectrl != nil {
+			dec, err := ectrl.Step(ctx)
+			if err != nil {
+				return fmt.Errorf("replay: elastic step: %w", err)
+			}
+			d.ElasticDecisions = append(d.ElasticDecisions, dec)
 		}
 		f.PauseAll()
 		return nil
@@ -214,6 +245,9 @@ func Run(ctx context.Context, cache *maestro.Cache, hdas []*accel.HDA, tr *captu
 		Recoveries:           st.Recoveries,
 		BreakerTrips:         st.BreakerTrips,
 		Migrations:           st.Migrations,
+		Preemptions:          st.Preemptions,
+		Resumes:              st.Resumes,
+		PEReassigns:          st.PEReassigns,
 		Generation:           st.Generation,
 		MakespanCycles:       st.MakespanCycles,
 		CrossReplicaHandoffs: st.CrossReplicaHandoffs,

@@ -30,6 +30,12 @@ type Incremental struct {
 	// at or after it, which is what makes memory-ledger pruning safe
 	// (slots ending before the floor can never overlap future work).
 	floor int64
+
+	// susp holds the suspended (preempted, not yet resumed) instances
+	// by global index; see Preempt/Resume in elastic.go. Suspended
+	// instances are out of the visitation order, so Extend never
+	// schedules their remaining layers.
+	susp map[int]Checkpoint
 }
 
 // Incremental starts an empty incremental schedule on the given HDA.

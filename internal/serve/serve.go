@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/accel"
@@ -86,6 +87,15 @@ type Options struct {
 	// without a plan (or with a single-segment plan), and nil Plans,
 	// serve whole-model requests exactly as before.
 	Plans map[string]dse.SegmentPlan
+
+	// Elastic enables the elastic intra-HDA surface: Preempt (revoke
+	// the scheduled-but-future suffix of low-priority requests at a
+	// layer boundary and re-queue them for Resume) and Reassign
+	// (re-size the sub-accelerator slices between committed layers).
+	// Off by default; a disabled engine's scheduling is bit-identical
+	// to one built before the elastic surface existed (the golden
+	// fingerprints pin it).
+	Elastic bool
 
 	// OnAccept, when set, is called once per accepted submission with
 	// the normalized request — model name resolved, live-clock
@@ -267,6 +277,13 @@ type pending struct {
 
 	chain    *chainState
 	segIndex int
+
+	// resume marks a preempted request re-queued for resumption: the
+	// scheduling round routes it through Incremental.Resume instead of
+	// Extend, and its completion merges with the checkpointed prefix
+	// without re-firing any hooks (the original completion already
+	// fired them; see Engine.Preempt).
+	resume *resumeState
 }
 
 // chainState is the scheduling-goroutine-private bookkeeping of one
@@ -325,8 +342,11 @@ func (ta *tenantAgg) addLatency(l int64) {
 
 // Engine is the online serving engine over one fixed HDA.
 type Engine struct {
-	opts  Options
-	hda   *accel.HDA
+	opts Options
+	// hda is the serving accelerator. It is atomic because Reassign
+	// swaps it for a re-sliced HDA while lock-free readers (feasible,
+	// HDA) hold no engine lock; the pointed-to HDA is immutable.
+	hda   atomic.Pointer[accel.HDA]
 	cache *maestro.Cache
 	start time.Time
 
@@ -360,6 +380,14 @@ type Engine struct {
 
 	// segStats accumulates fused-serving counters (under e.mu).
 	segStats SegmentStats
+
+	// preemptible tracks finalized-but-future unfused requests (their
+	// placements end past the admission floor, so a Preempt can still
+	// revoke layers) in admission order; only populated when
+	// Options.Elastic is set. Guarded by mu.
+	preemptible []*preemptee
+	// Elastic counters (see Stats); guarded by mu.
+	preemptions, resumptions, reassigns int64
 }
 
 // New starts a serving engine over the given cost cache and HDA. The
@@ -381,7 +409,6 @@ func New(cache *maestro.Cache, hda *accel.HDA, opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		opts:        opts,
-		hda:         hda,
 		cache:       cache,
 		start:       time.Now(), //herald:nondet live-mode clock anchor; replays pass explicit arrival_cycle
 		inc:         inc,
@@ -391,13 +418,14 @@ func New(cache *maestro.Cache, hda *accel.HDA, opts Options) (*Engine, error) {
 		tenants:     make(map[string]*tenantAgg),
 		loopDone:    make(chan struct{}),
 	}
+	e.hda.Store(hda)
 	e.cond = sync.NewCond(&e.mu)
 	go e.loop()
 	return e, nil
 }
 
 // HDA returns the fixed accelerator the engine serves on.
-func (e *Engine) HDA() *accel.HDA { return e.hda }
+func (e *Engine) HDA() *accel.HDA { return e.hda.Load() }
 
 // ClockGHz returns the cycle clock used for second-domain stats.
 func (e *Engine) ClockGHz() float64 { return e.opts.ClockGHz }
@@ -608,10 +636,11 @@ func segmentModels(model *dnn.Model, plan dse.SegmentPlan) ([]*dnn.Model, error)
 // deadlock the assignment loop (the incremental scheduler rolls back,
 // but the request can never be served on this HDA).
 func (e *Engine) feasible(model *dnn.Model) error {
-	buf := e.hda.Class.GlobalBufBytes
+	hda := e.hda.Load()
+	buf := hda.Class.GlobalBufBytes
 	for li := range model.Layers {
 		fits := false
-		for _, sub := range e.hda.Subs {
+		for _, sub := range hda.Subs {
 			if e.cache.EstimateRef(&model.Layers[li], sub.Style, sub.HW).OccupancyBytes <= buf {
 				fits = true
 				break
@@ -726,7 +755,11 @@ func (e *Engine) admit(batch []*pending) {
 		return
 	}
 	e.schedMu.Lock()
-	placements, errs := e.extendBatch(batch)
+	placements, errs := e.extendElastic(batch)
+	// floor snapshots the admission floor the batch was placed against;
+	// preemptible tracking below uses it to prune entries whose
+	// placements already fully precede it (nothing left to revoke).
+	floor := e.inc.Floor()
 	e.schedMu.Unlock()
 
 	// finalized collects the records that reached a terminal status in
@@ -737,6 +770,10 @@ func (e *Engine) admit(batch []*pending) {
 	for i, p := range batch {
 		if p.chain != nil {
 			e.admitSegmentLocked(p, placements[i], errs[i], &finalized)
+			continue
+		}
+		if p.resume != nil {
+			e.admitResumeLocked(p, placements[i], errs[i], floor)
 			continue
 		}
 		rec := p.rec
@@ -781,6 +818,9 @@ func (e *Engine) admit(batch []*pending) {
 		e.finishLocked(rec.ID)
 		close(p.done)
 		finalized = append(finalized, doneEvent{rec, p.onDone})
+		if e.opts.Elastic {
+			e.trackPreemptibleLocked(p, pl, floor)
+		}
 	}
 	e.mu.Unlock()
 
@@ -1139,6 +1179,22 @@ func (e *Engine) Crash() int {
 					chainOrder = append(chainOrder, p.chain)
 				}
 				lostChains[p.chain]++
+				continue
+			}
+			if p.resume != nil {
+				// A preempted request awaiting resumption dies with the
+				// crashed schedule: its prefix already completed (and was
+				// reported), the suspended suffix is unrecoverable. Erase
+				// it like any lost request, but fire no hooks — the
+				// original completion already fired them, and a second
+				// delivery would double-count at the dispatcher.
+				requests++
+				rec := p.rec
+				e.agg(rec.Tenant).submitted--
+				delete(e.records, rec.ID)
+				rec.Status = StatusLost
+				rec.Err = "replica crashed"
+				close(p.done)
 				continue
 			}
 			requests++

@@ -68,6 +68,15 @@ type Stats struct {
 	// across requests.
 	CostCacheEntries int `json:"cost_cache_entries"`
 
+	// Elastic counters (Options.Elastic): Preemptions counts revoked
+	// placements, Resumes successful re-schedules of preempted work,
+	// PEReassigns sub-accelerator slice re-sizings. None carries
+	// omitempty — 0 is a meaningful reading (elastic on, never
+	// triggered) distinct from the field being absent.
+	Preemptions int64 `json:"preemptions"`
+	Resumes     int64 `json:"resumes"`
+	PEReassigns int64 `json:"pe_reassigns"`
+
 	// Segments reports fused-serving (segment pipeline) counters.
 	Segments SegmentStats `json:"segments"`
 
@@ -205,6 +214,9 @@ func (e *Engine) Stats() Stats {
 		MakespanCycles:   snap.MakespanCycles,
 		Utilization:      snap.Utilization(),
 		CostCacheEntries: e.cache.Len(),
+		Preemptions:      e.preemptions,
+		Resumes:          e.resumptions,
+		PEReassigns:      e.reassigns,
 		Segments:         e.segStats,
 	}
 	names := make([]string, 0, len(e.tenants))
